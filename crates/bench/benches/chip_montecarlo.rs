@@ -1,0 +1,40 @@
+//! Wall-clock cost of the chip-scale Monte-Carlo experiments (Fig. 11 and
+//! the power-loss injection).
+
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use stt_sense::{ChipExperiment, PowerLossExperiment};
+
+fn bench_chip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip");
+    group.sampling_mode(SamplingMode::Flat);
+    group.sample_size(10);
+
+    // The full 16 kb Fig. 11 run.
+    group.bench_function("fig11_16kb", |b| {
+        b.iter(|| std::hint::black_box(ChipExperiment::date2010(2010).run()))
+    });
+
+    // A 1 kb sub-chip (per-bit cost without the fan-out overhead).
+    group.bench_function("fig11_1kb", |b| {
+        let mut experiment = ChipExperiment::date2010(1);
+        experiment.array.rows = 32;
+        experiment.array.cols = 32;
+        experiment.array.bitline.cells_per_bitline = 32;
+        b.iter(|| std::hint::black_box(experiment.run()))
+    });
+
+    // Power-loss fault injection, 1024 interrupted reads.
+    group.bench_function("powerloss_1k_reads", |b| {
+        let mut experiment = PowerLossExperiment::date2010(3);
+        experiment.array.rows = 32;
+        experiment.array.cols = 32;
+        experiment.array.bitline.cells_per_bitline = 32;
+        experiment.trials = 1024;
+        b.iter(|| std::hint::black_box(experiment.run()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_chip);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Cost of the device-physics substrate: the three resistance models (the
+//! DESIGN.md §8 ablation — how much does physical fidelity cost?), switching
+//! statistics, and variation sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stt_mtj::{MtjSpec, ResistanceState, SwitchingModel, VariationModel};
+use stt_units::{Amps, Seconds};
+
+fn bench_devices(c: &mut Criterion) {
+    let spec = MtjSpec::date2010_typical();
+    let linear = spec.clone().into_device();
+    let physical = spec.clone().into_physical_device();
+    let tabulated = spec.clone().into_tabulated_device(64);
+    let i = Amps::from_micro(137.0);
+
+    for (name, device) in [
+        ("linear", &linear),
+        ("conductance", &physical),
+        ("tabulated", &tabulated),
+    ] {
+        c.bench_function(&format!("resistance/{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    device.resistance(ResistanceState::AntiParallel, std::hint::black_box(i)),
+                )
+            })
+        });
+    }
+
+    let switching = SwitchingModel::date2010_typical();
+    c.bench_function("switching/probability", |b| {
+        b.iter(|| {
+            std::hint::black_box(switching.switching_probability(
+                std::hint::black_box(Amps::from_micro(350.0)),
+                Seconds::from_nano(4.0),
+            ))
+        })
+    });
+
+    let variation = VariationModel::date2010_chip();
+    c.bench_function("variation/sample_device", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| {
+            let factors = variation.sample(&mut rng);
+            std::hint::black_box(spec.varied(&factors))
+        })
+    });
+
+    c.bench_function("variation/full_cell_sample", |b| {
+        let cell_spec = stt_array::CellSpec::date2010_chip();
+        let mut rng = StdRng::seed_from_u64(10);
+        b.iter(|| std::hint::black_box(cell_spec.sample_cell(&mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_devices);
+criterion_main!(benches);

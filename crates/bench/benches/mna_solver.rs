@@ -1,0 +1,106 @@
+//! Throughput of the MNA substrate: LU solves, DC operating points, the
+//! full Fig. 10 transient, and Elmore evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stt_array::{BitlineSpec, CellSpec};
+use stt_mna::matrix::{LuFactors, Matrix};
+use stt_mna::{Circuit, Node, Waveform};
+use stt_mtj::ResistanceState;
+use stt_sense::{DesignPoint, TransientRead};
+use stt_units::{Farads, Ohms, Seconds};
+
+fn dense_test_matrix(n: usize) -> Matrix {
+    let mut matrix = Matrix::zeros(n, n);
+    for row in 0..n {
+        for col in 0..n {
+            matrix[(row, col)] = ((row * 31 + col * 17) % 13) as f64 - 6.0;
+        }
+        matrix[(row, row)] += 100.0; // diagonal dominance
+    }
+    matrix
+}
+
+fn bench_mna(c: &mut Criterion) {
+    for n in [8usize, 32, 64] {
+        let matrix = dense_test_matrix(n);
+        let rhs: Vec<f64> = (0..n).map(|k| k as f64).collect();
+        c.bench_function(&format!("lu/factor_solve_{n}x{n}"), |b| {
+            b.iter(|| {
+                let lu = LuFactors::factor(std::hint::black_box(matrix.clone())).expect("solve");
+                std::hint::black_box(lu.solve(&rhs).expect("solve"))
+            })
+        });
+    }
+
+    // A representative linear DC solve: 16-node resistor ladder.
+    let mut ladder = Circuit::new();
+    let mut previous = Node::GROUND;
+    let mut nodes = Vec::new();
+    for k in 0..16 {
+        let node = ladder.node(&format!("n{k}"));
+        if k == 0 {
+            ladder.voltage_source(node, Node::GROUND, Waveform::Dc(1.0));
+        } else {
+            ladder.resistor(previous, node, Ohms::from_kilo(1.0));
+            ladder.resistor(node, Node::GROUND, Ohms::from_kilo(10.0));
+        }
+        nodes.push(node);
+        previous = node;
+    }
+    c.bench_function("dc/resistor_ladder_16", |b| {
+        b.iter(|| std::hint::black_box(ladder.dc_operating_point(Seconds::ZERO).expect("dc")))
+    });
+
+    // RC transient throughput (linear, 1000 steps).
+    let mut rc = Circuit::new();
+    let input = rc.node("in");
+    let output = rc.node("out");
+    rc.voltage_source(input, Node::GROUND, Waveform::Dc(1.0));
+    rc.resistor(input, output, Ohms::from_kilo(1.0));
+    rc.capacitor(output, Node::GROUND, Farads::from_pico(1.0));
+    let options =
+        stt_mna::TranOptions::new(Seconds::from_nano(10.0), Seconds::from_pico(10.0))
+            .from_zero_state();
+    c.bench_function("transient/rc_1000_steps", |b| {
+        b.iter(|| std::hint::black_box(rc.transient(&options).expect("transient")))
+    });
+
+    // The adaptive stepper on the same problem at an equivalent accuracy.
+    let adaptive_options = stt_mna::AdaptiveTranOptions::new(
+        Seconds::from_nano(10.0),
+        Seconds::from_pico(10.0),
+        Seconds::from_nano(1.0),
+    )
+    .with_tolerance(1e-6)
+    .from_zero_state();
+    c.bench_function("transient/rc_adaptive", |b| {
+        b.iter(|| std::hint::black_box(rc.transient_adaptive(&adaptive_options).expect("adaptive")))
+    });
+
+    // The full Fig. 10 nonlinear transient read.
+    let cell = CellSpec::date2010_chip().nominal_cell();
+    let design = DesignPoint::date2010(&cell).nondestructive;
+    let reader = TransientRead::new(design);
+    c.bench_function("transient/fig10_full_read", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                reader
+                    .run(&cell, ResistanceState::AntiParallel)
+                    .expect("transient"),
+            )
+        })
+    });
+
+    // Elmore evaluation of the 128-cell bit-line.
+    let bitline = BitlineSpec::date2010_chip();
+    c.bench_function("elmore/128_cell_bitline", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                bitline.elmore_delay_with_load(std::hint::black_box(Farads::from_femto(50.0))),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_mna);
+criterion_main!(benches);

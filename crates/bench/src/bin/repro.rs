@@ -1,0 +1,210 @@
+//! `repro` — regenerate any table or figure of the DATE 2010 paper.
+//!
+//! ```text
+//! repro <experiment> [--csv <dir>]
+//!
+//! experiments:
+//!   table1 table2                      the paper's tables
+//!   fig2 fig4 fig6 fig7 fig8 fig9      figure data series / renderings
+//!   fig10 fig11
+//!   latency powerloss imax elmore      §V / §I claims and ablations
+//!   yieldsweep temperature reliability
+//!   azsa retention alphasweep differential
+//!   all                                everything, in order
+//! ```
+
+use std::io::Write as _;
+use std::path::Path;
+
+use stt_bench::{extras, figures, tables};
+use stt_stats::Table;
+
+struct Experiment {
+    id: &'static str,
+    title: &'static str,
+    run: fn() -> (Option<Table>, Option<String>),
+}
+
+const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "table1",
+        title: "Table I — electrical parameters of MTJ and NMOS transistor",
+        run: || (Some(tables::table1()), None),
+    },
+    Experiment {
+        id: "table2",
+        title: "Table II — robustness of the two self-reference schemes",
+        run: || (Some(tables::table2()), None),
+    },
+    Experiment {
+        id: "fig2",
+        title: "Fig. 2 — measured static R–I curve of an MgO-based MTJ",
+        run: || (Some(figures::fig2()), None),
+    },
+    Experiment {
+        id: "fig4",
+        title: "Fig. 4 — R–I curve in self-reference schemes",
+        run: || (Some(figures::fig4()), None),
+    },
+    Experiment {
+        id: "fig6",
+        title: "Fig. 6 — selection of read current ratio β = I_R2/I_R1",
+        run: || {
+            let (table, annotation) = figures::fig6();
+            (Some(table), Some(annotation))
+        },
+    },
+    Experiment {
+        id: "fig7",
+        title: "Fig. 7 — robustness for NMOS transistor resistance",
+        run: || {
+            let (table, annotation) = figures::fig7();
+            (Some(table), Some(annotation))
+        },
+    },
+    Experiment {
+        id: "fig8",
+        title: "Fig. 8 — robustness for voltage ratio",
+        run: || {
+            let (table, annotation) = figures::fig8();
+            (Some(table), Some(annotation))
+        },
+    },
+    Experiment {
+        id: "fig9",
+        title: "Fig. 9 — timing diagram of nondestructive self-reference",
+        run: || (None, Some(figures::fig9())),
+    },
+    Experiment {
+        id: "fig10",
+        title: "Fig. 10 — simulation result of nondestructive self-reference",
+        run: || {
+            let (table, annotation) = figures::fig10();
+            (Some(table), Some(annotation))
+        },
+    },
+    Experiment {
+        id: "fig11",
+        title: "Fig. 11 — sense margins for all sensing schemes (16 kb chip)",
+        run: || {
+            let (table, annotation) = figures::fig11();
+            (Some(table), Some(annotation))
+        },
+    },
+    Experiment {
+        id: "latency",
+        title: "E1 — read latency and energy per scheme (§V)",
+        run: || (Some(extras::latency()), None),
+    },
+    Experiment {
+        id: "powerloss",
+        title: "E2 — nonvolatility under power failure (§I)",
+        run: || (Some(extras::powerloss()), None),
+    },
+    Experiment {
+        id: "imax",
+        title: "E3 — sense margin vs maximum read current (§V future work)",
+        run: || (Some(extras::imax_sweep()), None),
+    },
+    Experiment {
+        id: "elmore",
+        title: "E4 — bit-line Elmore delay per sensing configuration (§V)",
+        run: || (Some(extras::elmore()), None),
+    },
+    Experiment {
+        id: "yieldsweep",
+        title: "E5 — yield vs bit-to-bit variation σ (ablation)",
+        run: || (Some(extras::yield_sweep()), None),
+    },
+    Experiment {
+        id: "temperature",
+        title: "E6 — sense margin vs die temperature (extension)",
+        run: || (Some(extras::temperature()), None),
+    },
+    Experiment {
+        id: "reliability",
+        title: "E7 — per-read reliability budget (endurance, disturb, exposure)",
+        run: || (Some(extras::reliability()), None),
+    },
+    Experiment {
+        id: "azsa",
+        title: "E8 — auto-zero sense amplifier at circuit level",
+        run: || (Some(extras::autozero()), None),
+    },
+    Experiment {
+        id: "retention",
+        title: "E9 — data retention vs die temperature (extension)",
+        run: || (Some(extras::retention()), None),
+    },
+    Experiment {
+        id: "alphasweep",
+        title: "E10 — divider-ratio ablation: why α = 0.5 (DESIGN.md §8)",
+        run: || (Some(extras::alpha_sweep()), None),
+    },
+    Experiment {
+        id: "differential",
+        title: "E11 — 2T-2MTJ complementary-cell baseline vs the schemes",
+        run: || (Some(extras::differential()), None),
+    },
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--csv" {
+            csv_dir = iter.next();
+            if csv_dir.is_none() {
+                eprintln!("--csv needs a directory argument");
+                std::process::exit(2);
+            }
+        } else {
+            wanted.push(arg);
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+
+    let ids: Vec<&str> = if wanted.iter().any(|w| w == "all") {
+        EXPERIMENTS.iter().map(|e| e.id).collect()
+    } else {
+        wanted.iter().map(String::as_str).collect()
+    };
+
+    for id in ids {
+        let Some(experiment) = EXPERIMENTS.iter().find(|e| e.id == id) else {
+            eprintln!("unknown experiment: {id}\n");
+            usage();
+            std::process::exit(2);
+        };
+        println!("════ {} ════\n", experiment.title);
+        let (table, annotation) = (experiment.run)();
+        if let Some(table) = &table {
+            println!("{table}");
+            if let Some(dir) = &csv_dir {
+                let path = Path::new(dir).join(format!("{}.csv", experiment.id));
+                std::fs::create_dir_all(dir).expect("create csv directory");
+                let mut file = std::fs::File::create(&path).expect("create csv file");
+                file.write_all(table.to_csv().as_bytes()).expect("write csv");
+                println!("(csv written to {})", path.display());
+            }
+        }
+        if let Some(annotation) = annotation {
+            println!("{annotation}");
+        }
+        println!();
+    }
+}
+
+fn usage() {
+    eprintln!("usage: repro <experiment>... [--csv <dir>]");
+    eprintln!("experiments:");
+    for experiment in EXPERIMENTS {
+        eprintln!("  {:<10}  {}", experiment.id, experiment.title);
+    }
+    eprintln!("  {:<10}  run every experiment in order", "all");
+}

@@ -1,0 +1,573 @@
+//! Experiments beyond the paper's numbered artefacts: the §V latency/energy
+//! and Elmore claims, the §I nonvolatility claim, the future-work `I_max`
+//! lever, and a yield-vs-variation ablation.
+
+use stt_array::{BitlineSpec, CellGeometry, CellSpec, PhaseKind};
+use stt_mtj::ThermalModel;
+use stt_sense::robustness::alpha_choice_sweep;
+use stt_sense::differential_experiment;
+use stt_sense::{
+    reliability_budgets, AutoZeroNetlist, ChipExperiment, ChipTiming, NondestructiveDesign,
+    Perturbations, PowerLossExperiment, SchemeKind, TemperatureSweep, PAPER_ENDURANCE_CYCLES,
+};
+use stt_stats::Table;
+use stt_units::{Amps, Farads, Volts};
+
+use crate::{mv, ns, paper_setup, ua};
+
+/// E1 — per-scheme read latency and energy, phase by phase (§V: the
+/// nondestructive scheme "has much faster read speed by eliminating two
+/// write steps").
+#[must_use]
+pub fn latency() -> Table {
+    let (_, design) = paper_setup();
+    let timing = ChipTiming::date2010();
+    let mut table = Table::new([
+        "scheme",
+        "latency (ns)",
+        "energy (pJ)",
+        "write time (ns)",
+        "write energy (pJ)",
+        "phases",
+    ]);
+    for kind in [
+        SchemeKind::Conventional,
+        SchemeKind::Destructive,
+        SchemeKind::Nondestructive,
+    ] {
+        let cost = timing.read_cost(kind, &design);
+        let phases: Vec<String> = cost
+            .phases()
+            .iter()
+            .map(|phase| format!("{} ({})", phase.label, ns(phase.duration)))
+            .collect();
+        table.push_row([
+            kind.to_string(),
+            ns(cost.latency()),
+            format!("{:.2}", cost.energy().get() * 1e12),
+            ns(cost.time_in(PhaseKind::Write)),
+            format!("{:.2}", cost.energy_in(PhaseKind::Write).get() * 1e12),
+            phases.join(" → "),
+        ]);
+    }
+    table
+}
+
+/// E2 — power-failure fault injection (§I): data lost per scheme when reads
+/// are interrupted at random instants.
+#[must_use]
+pub fn powerloss() -> Table {
+    let result = PowerLossExperiment::date2010(7).run();
+    let mut table = Table::new([
+        "scheme",
+        "interrupted reads",
+        "data lost",
+        "loss rate (%)",
+        "vulnerable window (ns)",
+    ]);
+    table.push_row([
+        SchemeKind::Destructive.to_string(),
+        result.destructive.total().to_string(),
+        result.destructive.failures().to_string(),
+        format!("{:.1}", result.destructive.failure_rate() * 100.0),
+        ns(result.destructive_vulnerable),
+    ]);
+    table.push_row([
+        SchemeKind::Nondestructive.to_string(),
+        result.nondestructive.total().to_string(),
+        result.nondestructive.failures().to_string(),
+        format!("{:.1}", result.nondestructive.failure_rate() * 100.0),
+        ns(result.nondestructive_vulnerable),
+    ]);
+    table
+}
+
+/// E3 — the §V future-work lever: the nondestructive sense margin grows
+/// with the allowed read current `I_max`.
+#[must_use]
+pub fn imax_sweep() -> Table {
+    let (cell, _) = paper_setup();
+    let mut table = Table::new(["I_max (µA)", "β*", "equal margin (mV)"]);
+    for microamps in [50.0, 75.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0] {
+        let budget = Amps::from_micro(microamps);
+        let design = NondestructiveDesign::optimize(&cell, budget, 0.5);
+        let margins = design.margins(&cell, &Perturbations::NONE);
+        table.push_row([
+            format!("{microamps:.0}"),
+            format!("{:.3}", design.beta()),
+            mv(margins.min()),
+        ]);
+    }
+    table
+}
+
+/// E4 — §V Elmore-delay claim: sample caps on the bit-line slow the
+/// conventional self-reference second read; the high-impedance divider is
+/// delay-neutral.
+#[must_use]
+pub fn elmore() -> Table {
+    let bitline = BitlineSpec::date2010_chip();
+    let mut table = Table::new(["bit-line configuration", "Elmore delay (ps)", "vs bare (%)"]);
+    let bare = bitline.elmore_delay();
+    let configs: [(&str, Farads); 4] = [
+        ("bare 128-cell line", Farads::from_femto(0.001)),
+        ("+ divider tap (nondestructive, ~1 fF)", Farads::from_femto(1.0)),
+        ("+ C1 (destructive 1st read, 25 fF)", Farads::from_femto(25.0)),
+        ("+ C1 ∥ C2 (destructive 2nd read, 50 fF)", Farads::from_femto(50.0)),
+    ];
+    for (name, load) in configs {
+        let delay = bitline.elmore_delay_with_load(load);
+        table.push_row([
+            name.to_string(),
+            format!("{:.2}", delay.get() * 1e12),
+            format!("{:+.1}", (delay / bare - 1.0) * 100.0),
+        ]);
+    }
+    table
+}
+
+/// E5 — yield vs variation σ: where each scheme breaks as bit-to-bit spread
+/// grows (ablation; run on a 4 kb sub-chip for speed).
+#[must_use]
+pub fn yield_sweep() -> Table {
+    let mut table = Table::new([
+        "σ_RA (%)",
+        "conventional fail (%)",
+        "destructive fail (%)",
+        "nondestructive fail (%)",
+    ]);
+    for sigma in [0.02, 0.04, 0.06, 0.09, 0.12, 0.16, 0.20] {
+        let mut experiment = ChipExperiment::date2010(42).with_sigma_ra(sigma);
+        experiment.array.rows = 64;
+        experiment.array.cols = 64;
+        experiment.array.bitline.cells_per_bitline = 64;
+        let result = experiment.run();
+        table.push_row([
+            format!("{:.0}", sigma * 100.0),
+            format!(
+                "{:.2}",
+                result.tally(SchemeKind::Conventional).yields.failure_rate() * 100.0
+            ),
+            format!(
+                "{:.2}",
+                result.tally(SchemeKind::Destructive).yields.failure_rate() * 100.0
+            ),
+            format!(
+                "{:.2}",
+                result
+                    .tally(SchemeKind::Nondestructive)
+                    .yields
+                    .failure_rate()
+                    * 100.0
+            ),
+        ]);
+    }
+    table
+}
+
+/// E6 — sense margin vs die temperature: the TMR collapse and the
+/// disturb-derated read budget squeeze the scheme from both sides.
+#[must_use]
+pub fn temperature() -> Table {
+    let sweep = TemperatureSweep::date2010();
+    let points = sweep.run(
+        &CellSpec::date2010_chip(),
+        &ThermalModel::date2010_mgo(),
+        &[250.0, 275.0, 300.0, 325.0, 350.0, 375.0, 400.0],
+    );
+    let mut table = Table::new([
+        "T (K)",
+        "TMR (%)",
+        "safe I_max (µA)",
+        "β*",
+        "margin @200 µA (mV)",
+        "margin @derated (mV)",
+    ]);
+    for point in points {
+        table.push_row([
+            format!("{:.0}", point.t_kelvin),
+            format!("{:.0}", point.tmr * 100.0),
+            ua(point.i_max_safe),
+            format!("{:.3}", point.beta),
+            mv(point.margin_fixed_budget),
+            mv(point.margin_derated),
+        ]);
+    }
+    table
+}
+
+/// E7 — per-read reliability budget: writes, write errors, read disturb,
+/// endurance-limited reads, power-loss exposure.
+#[must_use]
+pub fn reliability() -> Table {
+    let (cell, design) = paper_setup();
+    let budgets =
+        reliability_budgets(&cell, &design, &ChipTiming::date2010(), PAPER_ENDURANCE_CYCLES);
+    let mut table = Table::new([
+        "scheme",
+        "writes/read",
+        "write error/read",
+        "disturb/read",
+        "reads to disturb",
+        "endurance-limited reads",
+        "power-loss window (ns)",
+    ]);
+    let big = |x: f64| {
+        if x.is_infinite() {
+            "∞".to_string()
+        } else {
+            format!("{x:.2e}")
+        }
+    };
+    for budget in budgets {
+        table.push_row([
+            budget.kind.to_string(),
+            budget.writes_per_read.to_string(),
+            format!("{:.1e}", budget.write_error_per_read),
+            format!("{:.1e}", budget.read_disturb_per_read),
+            big(budget.expected_reads_to_disturb),
+            big(budget.endurance_limited_reads),
+            ns(budget.power_loss_window),
+        ]);
+    }
+    table
+}
+
+/// E8 — the auto-zero sense amplifier at circuit level: plain-latch vs
+/// auto-zero decisions across comparator offsets, on the nondestructive
+/// scheme's actual margin.
+#[must_use]
+pub fn autozero() -> Table {
+    let (cell, design) = paper_setup();
+    let margin = design
+        .nondestructive
+        .margins(&cell, &Perturbations::NONE)
+        .margin1;
+    let base = Volts::from_milli(500.0);
+    let mut table = Table::new([
+        "SA offset (mV)",
+        "plain latch reads",
+        "auto-zero reads",
+        "residual offset (µV)",
+    ]);
+    for offset_mv in [-20.0, -12.0, -6.0, 0.0, 6.0, 12.0, 20.0] {
+        let sa = AutoZeroNetlist::new().with_offset(Volts::from_milli(offset_mv));
+        let plain = sa.run_plain(base + margin, base);
+        let auto_zeroed = sa.run(base + margin, base).expect("transient converges");
+        let residual = sa.measured_residual().expect("transient converges");
+        table.push_row([
+            format!("{offset_mv:+.0}"),
+            if plain.decision { "1 ✓" } else { "0 ✗" }.to_string(),
+            if auto_zeroed.decision { "1 ✓" } else { "0 ✗" }.to_string(),
+            format!("{:+.1}", residual.get() * 1e6),
+        ]);
+    }
+    table
+}
+
+/// E9 — data retention vs die temperature: per-cell Néel–Brown failure
+/// probability over one year of storage, and the expected bit losses on a
+/// 16 kb chip — for the paper-era demo device (Δ(300 K) = 40) and a
+/// product-grade one (Δ(300 K) = 60). An extension; the paper's own intro
+/// stakes STT-RAM's claim on non-volatility, and this quantifies how much
+/// thermal stability that claim actually needs.
+#[must_use]
+pub fn retention() -> Table {
+    let year = 365.25 * 24.0 * 3600.0;
+    let chip_bits = 16384.0;
+    let mut table = Table::new([
+        "T (K)",
+        "Δ=40: mean retention",
+        "Δ=40: 16 kb losses/yr",
+        "Δ=60: mean retention",
+        "Δ=60: 16 kb losses/yr",
+    ]);
+    let human = |tau: f64| {
+        if tau > 100.0 * year {
+            format!("{:.0} years", tau / year)
+        } else if tau > year {
+            format!("{:.1} years", tau / year)
+        } else {
+            format!("{:.1} days", tau / 86_400.0)
+        }
+    };
+    for t_kelvin in [300.0, 325.0, 358.0, 398.0] {
+        let row: Vec<String> = std::iter::once(format!("{t_kelvin:.0}"))
+            .chain([40.0, 60.0].into_iter().flat_map(|delta_room| {
+                let reference = stt_mtj::SwitchingModel::date2010_typical();
+                let delta_t = delta_room * 300.0 / t_kelvin;
+                let model = stt_mtj::SwitchingModel::new(
+                    reference.i_c0(),
+                    delta_t,
+                    reference.tau0(),
+                    reference.tau_dynamic(),
+                );
+                let tau = model.retention_mean_time().get();
+                let p_year = model
+                    .retention_failure_probability(stt_units::Seconds::new(year));
+                [human(tau), format!("{:.2e}", p_year * chip_bits)]
+            }))
+            .collect();
+        table.push_row(row);
+    }
+    table
+}
+
+/// E10 — the divider-ratio ablation (DESIGN.md §8): margin, deviation
+/// window and mismatch-weighted robustness across α, quantifying why the
+/// paper's symmetric α = 0.5 divider is the right choice.
+#[must_use]
+pub fn alpha_sweep() -> Table {
+    let (cell, _) = paper_setup();
+    let alphas = [0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7];
+    let sweep = alpha_choice_sweep(&cell, Amps::from_micro(200.0), &alphas, 0.01);
+    let mut table = Table::new([
+        "α",
+        "β*",
+        "margin (mV)",
+        "Δr window (%)",
+        "σ(Δr) @1% match (%)",
+        "window / 3σ",
+    ]);
+    for point in sweep {
+        table.push_row([
+            format!("{:.2}", point.alpha),
+            format!("{:.3}", point.beta),
+            mv(point.margin),
+            format!(
+                "{:+.2} … {:+.2}",
+                point.deviation_window.low * 100.0,
+                point.deviation_window.high * 100.0
+            ),
+            format!("{:.2}", point.sigma_deviation * 100.0),
+            format!("{:.2}", point.margin_over_3_sigma),
+        ]);
+    }
+    table
+}
+
+/// E11 — the 2T-2MTJ complementary-cell baseline vs the paper's schemes:
+/// the full cost/benefit table (area, writes, margins, yield).
+#[must_use]
+pub fn differential() -> Table {
+    let (cell, design) = paper_setup();
+    let spec = CellSpec::date2010_chip();
+    let i = Amps::from_micro(200.0);
+    let diff = differential_experiment(&spec, i, 0.9, 16384, 2010);
+    let chip = ChipExperiment::date2010(2010).run();
+    let single = CellGeometry::date2010_1t1j();
+    let double = CellGeometry::date2010_2t2mtj();
+    let mut table = Table::new([
+        "approach",
+        "junctions/bit",
+        "16 kb macro (mm²)",
+        "writes per data write",
+        "writes per read",
+        "nominal margin (mV)",
+        "16 kb failures",
+    ]);
+    let margins = |kind: SchemeKind| chip.tally(kind).yields.failures().to_string();
+    let area = |geometry: &CellGeometry| format!("{:.3}", geometry.macro_area_mm2(16384));
+    table.push_row([
+        "conventional + shared V_REF".to_string(),
+        "1".to_string(),
+        area(&single),
+        "1".to_string(),
+        "0".to_string(),
+        mv(design.conventional.margins(&cell).min()),
+        margins(SchemeKind::Conventional),
+    ]);
+    table.push_row([
+        "destructive self-reference".to_string(),
+        "1".to_string(),
+        area(&single),
+        "1".to_string(),
+        "2".to_string(),
+        mv(design.destructive.margins(&cell, &Perturbations::NONE).min()),
+        margins(SchemeKind::Destructive),
+    ]);
+    table.push_row([
+        "nondestructive self-reference".to_string(),
+        "1".to_string(),
+        area(&single),
+        "1".to_string(),
+        "0".to_string(),
+        mv(design.nondestructive.margins(&cell, &Perturbations::NONE).min()),
+        margins(SchemeKind::Nondestructive),
+    ]);
+    table.push_row([
+        "2T-2MTJ differential (ρ = 0.9)".to_string(),
+        "2".to_string(),
+        area(&double),
+        "2".to_string(),
+        "0".to_string(),
+        mv(diff.mean_margin),
+        diff.yields.failures().to_string(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_orders_schemes() {
+        let table = latency();
+        let rows = table.rows();
+        let parse = |row: usize| -> f64 { rows[row][1].parse().expect("latency") };
+        assert!(parse(0) < parse(2), "conventional fastest");
+        assert!(parse(2) < parse(1), "destructive slowest");
+        // Nondestructive has zero write time.
+        assert_eq!(rows[2][3], "0.00");
+    }
+
+    #[test]
+    fn powerloss_contrast() {
+        let table = powerloss();
+        let rows = table.rows();
+        let destructive_lost: u64 = rows[0][2].parse().expect("u64");
+        let nondestructive_lost: u64 = rows[1][2].parse().expect("u64");
+        assert!(destructive_lost > 0);
+        assert_eq!(nondestructive_lost, 0);
+        assert_eq!(rows[1][4], "0.00");
+    }
+
+    #[test]
+    fn imax_margin_is_monotone() {
+        let table = imax_sweep();
+        let margins: Vec<f64> = table
+            .rows()
+            .iter()
+            .map(|row| row[2].parse().expect("margin"))
+            .collect();
+        for pair in margins.windows(2) {
+            assert!(pair[1] > pair[0], "margin must grow with I_max");
+        }
+    }
+
+    #[test]
+    fn elmore_penalty_is_on_the_destructive_side() {
+        let table = elmore();
+        let rows = table.rows();
+        let delays: Vec<f64> = rows.iter().map(|row| row[1].parse().expect("ps")).collect();
+        assert!(delays[1] < delays[2], "divider tap beats C1");
+        assert!(delays[2] < delays[3], "C1∥C2 is the worst");
+        // The nondestructive tap stays within 5 % of the bare line.
+        let tap_overhead: f64 = rows[1][2].trim_start_matches('+').parse().expect("pct");
+        assert!(tap_overhead < 5.0);
+    }
+
+    #[test]
+    fn temperature_margins_fall_monotonically() {
+        let table = temperature();
+        let margins: Vec<f64> = table
+            .rows()
+            .iter()
+            .map(|row| row[5].parse().expect("margin"))
+            .collect();
+        for pair in margins.windows(2) {
+            assert!(pair[1] < pair[0], "derated margin must fall with T");
+        }
+    }
+
+    #[test]
+    fn reliability_table_shapes() {
+        let table = reliability();
+        assert_eq!(table.len(), 3);
+        let rows = table.rows();
+        // Destructive: 2 writes/read, finite endurance, nonzero window.
+        assert_eq!(rows[1][1], "2");
+        assert!(rows[1][5].contains("e14"));
+        // Nondestructive: no writes, infinite endurance, zero window.
+        assert_eq!(rows[2][1], "0");
+        assert_eq!(rows[2][5], "∞");
+        assert_eq!(rows[2][6], "0.00");
+    }
+
+    #[test]
+    fn differential_table_shape() {
+        let table = differential();
+        assert_eq!(table.len(), 4);
+        let rows = table.rows();
+        // Only the shared-reference approach fails bits; the differential
+        // buys its zero failures with 2 junctions and 2 writes per write.
+        let conventional_failures: u64 = rows[0][6].parse().expect("u64");
+        assert!(conventional_failures > 0);
+        for row in &rows[1..] {
+            assert_eq!(row[6], "0", "{} must not fail", row[0]);
+        }
+        assert_eq!(rows[3][1], "2");
+        // Margin ordering: differential ≫ destructive ≫ nondestructive.
+        let margin: Vec<f64> = rows.iter().map(|r| r[5].parse().expect("mV")).collect();
+        assert!(margin[3] > margin[1] && margin[1] > margin[2]);
+        // The differential macro is twice the area.
+        let area: Vec<f64> = rows.iter().map(|r| r[2].parse().expect("mm²")).collect();
+        // Parsed from 3-decimal strings, so allow rounding slack.
+        assert!((area[3] / area[0] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn alpha_sweep_scores_half_best() {
+        let table = alpha_sweep();
+        let scores: Vec<f64> = table
+            .rows()
+            .iter()
+            .map(|row| row[5].parse().expect("score"))
+            .collect();
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("rows")
+            .0;
+        assert_eq!(table.rows()[best][0], "0.50");
+    }
+
+    #[test]
+    fn retention_collapses_with_temperature_and_delta_rescues_it() {
+        let table = retention();
+        let demo_losses: Vec<f64> = table
+            .rows()
+            .iter()
+            .map(|row| row[2].parse().expect("losses"))
+            .collect();
+        for pair in demo_losses.windows(2) {
+            assert!(pair[1] >= pair[0], "hotter must fail no less");
+        }
+        // The paper-era Δ = 40 device loses kilobits per year even at room
+        // temperature — a real design tension of that generation…
+        assert!(demo_losses[0] > 100.0, "Δ=40 yearly losses {}", demo_losses[0]);
+        // …while Δ = 60 keeps the whole chip intact at 300 K.
+        let product_losses: f64 = table.rows()[0][4].parse().expect("losses");
+        assert!(product_losses < 1e-2, "Δ=60 yearly losses {product_losses}");
+    }
+
+    #[test]
+    fn autozero_recovers_every_offset() {
+        let table = autozero();
+        for row in table.rows() {
+            assert!(row[2].contains('✓'), "auto-zero failed at offset {}", row[0]);
+        }
+        // Plain latch fails once the offset exceeds the ~9 mV margin.
+        let worst = table.rows().first().expect("rows");
+        assert!(worst[1].contains('✗'), "-20 mV offset must break the plain latch");
+    }
+
+    #[test]
+    fn yield_sweep_is_monotone_for_conventional() {
+        let table = yield_sweep();
+        let rates: Vec<f64> = table
+            .rows()
+            .iter()
+            .map(|row| row[1].parse().expect("rate"))
+            .collect();
+        for pair in rates.windows(2) {
+            assert!(pair[1] >= pair[0], "conventional failures grow with σ");
+        }
+        // Self-reference schemes hold at the calibrated spread.
+        let at_calibrated = &table.rows()[3];
+        assert_eq!(at_calibrated[2], "0.00");
+        assert_eq!(at_calibrated[3], "0.00");
+    }
+}

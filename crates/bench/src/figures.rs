@@ -1,0 +1,375 @@
+//! Regeneration of the paper's Figures 2, 4, 6, 7, 8, 9, 10 and 11 as data
+//! series / renderings.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stt_mtj::{IvSweep, MtjSpec, ResistanceModel, ResistanceState, TabulatedCurve};
+use stt_sense::robustness::{
+    allowable_alpha_deviation, allowable_delta_rt_destructive,
+    allowable_delta_rt_nondestructive, alpha_deviation_sweep, beta_sweep, delta_rt_sweep,
+    valid_beta_destructive, valid_beta_nondestructive,
+};
+use stt_sense::{ChipExperiment, ChipTiming, SchemeKind, TransientRead};
+use stt_stats::Table;
+use stt_units::{Amps, Ohms, Seconds};
+
+use crate::{i_max, paper_setup, ua};
+
+/// Fig. 2 — the static R–I curve of the typical MgO MTJ: the "measured"
+/// 4 ns-pulse curve (tabulated with 1 % instrument noise) alongside the
+/// smooth physical model ("DC extrapolation").
+#[must_use]
+pub fn fig2() -> Table {
+    let spec = MtjSpec::date2010_typical();
+    let physical = spec.clone().into_physical_device();
+    let mut rng = StdRng::seed_from_u64(2);
+    let measured = TabulatedCurve::from_model_noisy(
+        &stt_mtj::ConductanceModel::fit_linear(&spec.resistance),
+        i_max(),
+        40,
+        0.01,
+        &mut rng,
+    );
+    let sweep = IvSweep::sample(physical.curve(), i_max(), 40);
+    let mut table = Table::new([
+        "I (µA)",
+        "R_H model (Ω)",
+        "R_L model (Ω)",
+        "R_H 4ns-pulse (Ω)",
+        "R_L 4ns-pulse (Ω)",
+    ]);
+    for point in &sweep {
+        table.push_row([
+            format!("{:+.1}", point.current.get() * 1e6),
+            format!("{:.1}", point.r_high.get()),
+            format!("{:.1}", point.r_low.get()),
+            format!(
+                "{:.1}",
+                measured
+                    .resistance(ResistanceState::AntiParallel, point.current)
+                    .get()
+            ),
+            format!(
+                "{:.1}",
+                measured
+                    .resistance(ResistanceState::Parallel, point.current)
+                    .get()
+            ),
+        ]);
+    }
+    table
+}
+
+/// Fig. 4 — the R–I curve annotated for self-reference: the operating
+/// resistances at `I_R1` and `I_R2` and the maximum roll-offs.
+#[must_use]
+pub fn fig4() -> Table {
+    let (cell, design) = paper_setup();
+    let device = cell.device();
+    let nd = design.nondestructive;
+    let mut table = Table::new(["annotation", "current (µA)", "resistance (Ω)"]);
+    let rows: [(&str, Amps, Ohms); 6] = [
+        ("R_H1 = R_H(I_R1)", nd.i_r1, device.r_high(nd.i_r1)),
+        ("R_L1 = R_L(I_R1)", nd.i_r1, device.r_low(nd.i_r1)),
+        ("R_H2 = R_H(I_R2)", nd.i_r2, device.r_high(nd.i_r2)),
+        ("R_L2 = R_L(I_R2)", nd.i_r2, device.r_low(nd.i_r2)),
+        (
+            "ΔR_Hmax = R_H(0) − R_H(I_max)",
+            i_max(),
+            device.r_high(Amps::ZERO) - device.r_high(i_max()),
+        ),
+        (
+            "ΔR_Lmax = R_L(0) − R_L(I_max)",
+            i_max(),
+            device.r_low(Amps::ZERO) - device.r_low(i_max()),
+        ),
+    ];
+    for (name, current, resistance) in rows {
+        table.push_row([
+            name.to_string(),
+            ua(current),
+            format!("{:.1}", resistance.get()),
+        ]);
+    }
+    table
+}
+
+/// Fig. 6 — sense margins vs the current ratio β for both self-reference
+/// schemes, plus the valid-β windows.
+#[must_use]
+pub fn fig6() -> (Table, String) {
+    let (cell, _) = paper_setup();
+    let mut table = Table::new([
+        "β",
+        "SM0-Con (mV)",
+        "SM1-Con (mV)",
+        "SM0-Nondes (mV)",
+        "SM1-Nondes (mV)",
+    ]);
+    for point in beta_sweep(&cell, i_max(), 0.5, 1.0, 3.0, 40) {
+        table.push_row([
+            format!("{:.2}", point.beta),
+            format!("{:.2}", point.destructive.margin0.get() * 1e3),
+            format!("{:.2}", point.destructive.margin1.get() * 1e3),
+            format!("{:.2}", point.nondestructive.margin0.get() * 1e3),
+            format!("{:.2}", point.nondestructive.margin1.get() * 1e3),
+        ]);
+    }
+    let con = valid_beta_destructive(&cell, i_max());
+    let nondes = valid_beta_nondestructive(&cell, i_max(), 0.5);
+    let annotation = format!(
+        "valid β, destructive self-reference:    [{:.2}, {:.2}]\n\
+         valid β, nondestructive self-reference: [{:.2}, {:.2}]",
+        con.low, con.high, nondes.low, nondes.high
+    );
+    (table, annotation)
+}
+
+/// Fig. 7 — sense margins vs NMOS resistance shift ΔR_T, plus the allowable
+/// windows.
+#[must_use]
+pub fn fig7() -> (Table, String) {
+    let (cell, design) = paper_setup();
+    let mut table = Table::new([
+        "ΔR_T (Ω)",
+        "SM0-Con (mV)",
+        "SM1-Con (mV)",
+        "SM0-Nondes (mV)",
+        "SM1-Nondes (mV)",
+    ]);
+    for point in delta_rt_sweep(
+        &cell,
+        &design.destructive,
+        &design.nondestructive,
+        Ohms::new(-600.0),
+        Ohms::new(600.0),
+        24,
+    ) {
+        table.push_row([
+            format!("{:+.0}", point.delta_r_t.get()),
+            format!("{:.2}", point.destructive.margin0.get() * 1e3),
+            format!("{:.2}", point.destructive.margin1.get() * 1e3),
+            format!("{:.2}", point.nondestructive.margin0.get() * 1e3),
+            format!("{:.2}", point.nondestructive.margin1.get() * 1e3),
+        ]);
+    }
+    let con = allowable_delta_rt_destructive(&cell, &design.destructive);
+    let nondes = allowable_delta_rt_nondestructive(&cell, &design.nondestructive);
+    let annotation = format!(
+        "allowable ΔR_T, destructive:    [{:+.0} Ω, {:+.0} Ω]  (paper ±468 Ω)\n\
+         allowable ΔR_T, nondestructive: [{:+.0} Ω, {:+.0} Ω]  (paper ±130 Ω)",
+        con.low, con.high, nondes.low, nondes.high
+    );
+    (table, annotation)
+}
+
+/// Fig. 8 — nondestructive sense margins vs divider deviation Δr, plus the
+/// allowable window.
+#[must_use]
+pub fn fig8() -> (Table, String) {
+    let (cell, design) = paper_setup();
+    let mut table = Table::new(["Δr (%)", "SM0-Nondes (mV)", "SM1-Nondes (mV)"]);
+    for point in alpha_deviation_sweep(&cell, &design.nondestructive, -0.06, 0.05, 22) {
+        table.push_row([
+            format!("{:+.1}", point.deviation * 100.0),
+            format!("{:.2}", point.nondestructive.margin0.get() * 1e3),
+            format!("{:.2}", point.nondestructive.margin1.get() * 1e3),
+        ]);
+    }
+    let window = allowable_alpha_deviation(&cell, &design.nondestructive);
+    let annotation = format!(
+        "allowable Δr: [{:+.2} %, {:+.2} %]  (paper −5.71 % … +4.13 %)",
+        window.low * 100.0,
+        window.high * 100.0
+    );
+    (table, annotation)
+}
+
+/// Fig. 9 — the control timing diagram of the nondestructive read (with the
+/// destructive baseline for contrast).
+#[must_use]
+pub fn fig9() -> String {
+    let timing = ChipTiming::date2010();
+    let mut out = String::from("nondestructive self-reference read:\n\n");
+    out.push_str(&timing.timeline(SchemeKind::Nondestructive).render(64));
+    out.push_str("\ndestructive self-reference read (baseline):\n\n");
+    out.push_str(&timing.timeline(SchemeKind::Destructive).render(64));
+    out
+}
+
+/// Fig. 10 — the transient simulation of the nondestructive read on the
+/// Fig. 5 netlist: key waveforms each 0.5 ns for the stored-"1" case, plus
+/// both sensed outcomes.
+#[must_use]
+pub fn fig10() -> (Table, String) {
+    let (cell, design) = paper_setup();
+    let reader = TransientRead::new(design.nondestructive);
+    let high = reader
+        .run(&cell, ResistanceState::AntiParallel)
+        .expect("transient converges");
+    let low = reader
+        .run(&cell, ResistanceState::Parallel)
+        .expect("transient converges");
+
+    let mut table = Table::new(["t (ns)", "V_BL (mV)", "V_C1 (mV)", "V_BO (mV)"]);
+    let mut t = 0.0_f64;
+    while t <= high.total_time.get() * 1e9 + 1e-9 {
+        let at = Seconds::from_nano(t);
+        table.push_row([
+            format!("{t:.1}"),
+            format!("{:.1}", high.tran.voltage_at(high.bl, at) * 1e3),
+            format!("{:.1}", high.tran.voltage_at(high.c1_top, at) * 1e3),
+            format!("{:.1}", high.tran.voltage_at(high.v_bo, at) * 1e3),
+        ]);
+        t += 0.5;
+    }
+    let annotation = format!(
+        "stored 1: V_C1 = {}, V_BO = {}, differential = {} → bit 1\n\
+         stored 0: V_C1 = {}, V_BO = {}, differential = {} → bit 0\n\
+         read completes in {} (paper: ≈15 ns)",
+        high.v_c1,
+        high.v_bo_sampled,
+        high.differential,
+        low.v_c1,
+        low.v_bo_sampled,
+        low.differential,
+        high.total_time
+    );
+    (table, annotation)
+}
+
+/// Fig. 11 — the 16 kb chip experiment: per-scheme yields and margin
+/// distributions (the scatter's summary; the raw scatter is available via
+/// [`ChipExperiment::run`]).
+#[must_use]
+pub fn fig11() -> (Table, String) {
+    let result = ChipExperiment::date2010(2010).run();
+    let mut table = Table::new([
+        "scheme",
+        "SA threshold (mV)",
+        "failures",
+        "total",
+        "fail rate (%)",
+        "SM0 mean/min (mV)",
+        "SM1 mean/min (mV)",
+    ]);
+    for kind in [
+        SchemeKind::Conventional,
+        SchemeKind::Destructive,
+        SchemeKind::Nondestructive,
+    ] {
+        let tally = result.tally(kind);
+        table.push_row([
+            kind.to_string(),
+            format!("{:.1}", tally.threshold.get() * 1e3),
+            tally.yields.failures().to_string(),
+            tally.yields.total().to_string(),
+            format!("{:.2}", tally.yields.failure_rate() * 100.0),
+            format!(
+                "{:.1} / {:.1}",
+                tally.margin0.mean() * 1e3,
+                tally.margin0.min() * 1e3
+            ),
+            format!(
+                "{:.1} / {:.1}",
+                tally.margin1.mean() * 1e3,
+                tally.margin1.min() * 1e3
+            ),
+        ]);
+    }
+    // The operational variant: per-read sampled offsets + kT/C noise
+    // instead of the fixed threshold — the closest model to the tester.
+    let operational = ChipExperiment::date2010(2010).run_operational();
+    let annotation = format!(
+        "paper: ~1 % of bits fail conventional sensing; both self-reference schemes \
+         sense all measured bits\n\
+         operational readout (sampled offsets + kT/C noise): conventional {} / {} misread, \
+         destructive {}, nondestructive {}",
+        operational
+            .tally(stt_sense::SchemeKind::Conventional)
+            .failures(),
+        operational
+            .tally(stt_sense::SchemeKind::Conventional)
+            .total(),
+        operational
+            .tally(stt_sense::SchemeKind::Destructive)
+            .failures(),
+        operational
+            .tally(stt_sense::SchemeKind::Nondestructive)
+            .failures(),
+    );
+    (table, annotation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_covers_both_polarities_with_asymmetric_rolloff() {
+        let table = fig2();
+        assert_eq!(table.len(), 41);
+        let first = &table.rows()[0];
+        let mid = &table.rows()[20];
+        assert!(first[0].starts_with('-'));
+        assert_eq!(mid[0], "+0.0");
+        // High-state roll-off from zero bias to the edge far exceeds low's.
+        let r_h_edge: f64 = first[1].parse().expect("f64");
+        let r_h_zero: f64 = mid[1].parse().expect("f64");
+        let r_l_edge: f64 = first[2].parse().expect("f64");
+        let r_l_zero: f64 = mid[2].parse().expect("f64");
+        assert!((r_h_zero - r_h_edge) > 4.0 * (r_l_zero - r_l_edge));
+    }
+
+    #[test]
+    fn fig4_contains_the_operating_points() {
+        let table = fig4();
+        assert_eq!(table.len(), 6);
+        let csv = table.to_csv();
+        assert!(csv.contains("R_H1"));
+        assert!(csv.contains("ΔR_Lmax"));
+    }
+
+    #[test]
+    fn fig6_window_annotation() {
+        let (table, annotation) = fig6();
+        assert_eq!(table.len(), 41);
+        assert!(annotation.contains("valid β"));
+    }
+
+    #[test]
+    fn fig7_and_fig8_annotations_cite_paper_values() {
+        let (_, fig7_annotation) = fig7();
+        assert!(fig7_annotation.contains("±468"));
+        let (_, fig8_annotation) = fig8();
+        assert!(fig8_annotation.contains("4.13"));
+    }
+
+    #[test]
+    fn fig9_renders_both_schemes() {
+        let art = fig9();
+        assert!(art.contains("SLT1"));
+        assert!(art.contains("WriteEn"));
+    }
+
+    #[test]
+    fn fig10_read_completes_and_senses() {
+        let (table, annotation) = fig10();
+        assert!(table.len() >= 28, "0.5 ns samples over ≈14 ns");
+        assert!(annotation.contains("bit 1"));
+        assert!(annotation.contains("bit 0"));
+    }
+
+    #[test]
+    fn fig11_shape() {
+        let (table, _) = fig11();
+        assert_eq!(table.len(), 3);
+        let rows = table.rows();
+        let conventional_failures: u64 = rows[0][2].parse().expect("u64");
+        let destructive_failures: u64 = rows[1][2].parse().expect("u64");
+        let nondestructive_failures: u64 = rows[2][2].parse().expect("u64");
+        assert!(conventional_failures > 0);
+        assert_eq!(destructive_failures, 0);
+        assert_eq!(nondestructive_failures, 0);
+    }
+}

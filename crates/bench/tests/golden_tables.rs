@@ -1,0 +1,64 @@
+//! Golden-file regression tests: the paper's two tables are fully
+//! deterministic (fixed seeds, fixed calibration), so their CSV renderings
+//! are pinned byte-for-byte. A diff here means the reproduction's numbers
+//! moved — which must be a deliberate recalibration, not an accident.
+
+use stt_bench::tables;
+
+const TABLE1_GOLDEN: &str = "\
+parameter,ours,paper,unit
+R_L(0),1525,(reconstructed 1525),Ω
+R_H(0),3050,(reconstructed 3050),Ω
+ΔR_Hmax,600,600,Ω
+ΔR_Lmax,100,100,Ω
+R_T,917,917,Ω
+I_max (= I_R2),200.0,200,µA
+— destructive self-reference —,,,
+R_H1,2569.5,-,Ω
+R_L1,1444.9,-,Ω
+β*,1.25,1.22,-
+max sense margin,90.07,76.6,mV
+— nondestructive self-reference —,,,
+R_H1,2768.3,-,Ω
+R_L1,1478.1,-,Ω
+R_H2,2450.0,-,Ω
+R_L2,1425.0,-,Ω
+α,0.50,0.50,-
+β*,2.13,2.13,-
+max sense margin,9.32,12.1,mV
+";
+
+const TABLE2_GOLDEN: &str = "\
+quantity,destructive (ours),destructive (paper),nondestructive (ours),nondestructive (paper)
+max β,1.53,-,2.19,-
+min β,1.00,~1,2.04,2
+max ΔR_T (Ω),+450,+468,+93,+130
+min ΔR_T (Ω),-450,-468,-93,-130
+max Δr (%),N/A,N/A,+2.77,+4.13
+min Δr (%),N/A,N/A,-3.98,-5.71
+";
+
+#[test]
+fn table1_is_pinned() {
+    assert_eq!(tables::table1().to_csv(), TABLE1_GOLDEN);
+}
+
+#[test]
+fn table2_is_pinned() {
+    assert_eq!(tables::table2().to_csv(), TABLE2_GOLDEN);
+}
+
+const FIG4_GOLDEN: &str = "\
+annotation,current (µA),resistance (Ω)
+R_H1 = R_H(I_R1),93.9,2768.3
+R_L1 = R_L(I_R1),93.9,1478.1
+R_H2 = R_H(I_R2),200.0,2450.0
+R_L2 = R_L(I_R2),200.0,1425.0
+ΔR_Hmax = R_H(0) − R_H(I_max),200.0,600.0
+ΔR_Lmax = R_L(0) − R_L(I_max),200.0,100.0
+";
+
+#[test]
+fn fig4_operating_points_are_pinned() {
+    assert_eq!(stt_bench::figures::fig4().to_csv(), FIG4_GOLDEN);
+}

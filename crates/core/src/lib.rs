@@ -1,0 +1,101 @@
+//! STT-RAM sensing schemes — the reproduction of Chen, Li, Wang, Zhu, Xu &
+//! Zhang, *A Nondestructive Self-Reference Scheme for Spin-Transfer Torque
+//! Random Access Memory (STT-RAM)*, DATE 2010.
+//!
+//! Large bit-to-bit MTJ resistance variation breaks conventional sensing
+//! against a shared reference. Prior *destructive* self-reference schemes
+//! (read → overwrite with "0" → read → compare → write back) fix that at the
+//! cost of two write pulses and a window in which a power failure destroys
+//! the stored bit. The paper's contribution — implemented in
+//! [`NondestructiveScheme`] — reads the same cell twice at two different
+//! currents and exploits the asymmetric bias roll-off of the MgO MTJ's two
+//! resistance states: the high state's resistance falls steeply with read
+//! current, the low state's barely moves, so comparing `V_BL(I_R1)` against
+//! a divided-down `α·V_BL(I_R2)` recovers the stored bit without ever
+//! writing the cell.
+//!
+//! # Crate layout
+//!
+//! * [`amplifier`] — behavioural sense-amplifier models (plain latch vs the
+//!   paper's auto-zero SA with built-in data latch).
+//! * [`design`] — design points for the three schemes and the read-current
+//!   (-ratio) optimisers of the paper's Eqs. (5)/(10).
+//! * [`margins`] — closed-form sense margins including the perturbations of
+//!   the robustness analysis (β, ΔR_T, Δr).
+//! * [`scheme`] — the [`SenseScheme`] trait and the three implementations,
+//!   including the destructive scheme's full array-mutating sequence.
+//! * [`robustness`] — Figs. 6–8 sweeps and the Table II summary.
+//! * [`timing`] — Fig. 9 control timelines and per-scheme latency/energy.
+//! * [`netlist`] — MNA netlists of the Figs. 3/5 circuits, the Fig. 10
+//!   transient read, and the bit-line AC bandwidth.
+//! * [`autozero`] — the paper's auto-zero sense amplifier as an actual
+//!   offset-cancelling circuit.
+//! * [`noise`] — the `kT/C` sampling-noise floor under the margins.
+//! * [`chip`] — the Fig. 11 16 kb Monte-Carlo experiment (threshold and
+//!   operational variants).
+//! * [`powerloss`] — the §I nonvolatility fault-injection experiment.
+//! * [`reliability`] — per-read endurance/disturb/exposure budgets.
+//! * [`temperature`] — margin derating across die temperature.
+//! * [`differential`] — the 2T-2MTJ complementary-cell baseline.
+//!
+//! # Quick start
+//!
+//! ```
+//! use stt_array::CellSpec;
+//! use stt_sense::{DesignPoint, NondestructiveScheme, SenseScheme};
+//! use stt_units::Amps;
+//!
+//! // The paper's typical device and design point (α = 0.5, I_R2 = I_max).
+//! let cell = CellSpec::date2010_chip().nominal_cell();
+//! let design = DesignPoint::date2010(&cell);
+//! let scheme = NondestructiveScheme::new(design.nondestructive);
+//!
+//! // Both stored values are recovered, with positive margins, and the cell
+//! // is never written.
+//! let margins = scheme.margins(&cell);
+//! assert!(margins.margin0.get() > 0.0 && margins.margin1.get() > 0.0);
+//! assert!(!scheme.is_destructive());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amplifier;
+pub mod autozero;
+pub mod chip;
+pub mod design;
+pub mod differential;
+pub mod margins;
+pub mod netlist;
+pub mod noise;
+pub mod powerloss;
+pub mod reliability;
+pub mod robustness;
+pub mod scheme;
+pub mod temperature;
+pub mod timing;
+
+pub use amplifier::SenseAmplifier;
+pub use autozero::{AutoZeroNetlist, AutoZeroOutcome};
+pub use chip::{BitMargins, ChipExperiment, ChipResult, OperationalResult, SchemeTally};
+pub use differential::{
+    differential_experiment, ComplementaryPair, DifferentialResult, DifferentialScheme,
+};
+pub use design::{
+    ConventionalDesign, DesignPoint, DestructiveDesign, NondestructiveDesign,
+};
+pub use margins::{Perturbations, SenseMargins};
+pub use netlist::{
+    DestructiveTransientRead, DestructiveTransientResult, MtjLaw, TransientRead,
+    TransientReadResult,
+};
+pub use noise::{ktc_sigma, minimum_sampling_cap, read_noise_sigma, read_snr};
+pub use powerloss::{PowerLossExperiment, PowerLossResult};
+pub use reliability::{reliability_budgets, ReliabilityBudget, PAPER_ENDURANCE_CYCLES};
+pub use robustness::{RobustnessSummary, ValidRange};
+pub use temperature::{TemperaturePoint, TemperatureSweep};
+pub use scheme::{
+    ConventionalScheme, DestructiveScheme, NondestructiveScheme, ReadOutcome, SchemeKind,
+    SenseScheme,
+};
+pub use timing::{ChipTiming, ControlSignal, ControlTimeline, SignalLevel};

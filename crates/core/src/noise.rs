@@ -1,0 +1,143 @@
+//! Sampling noise: the `kT/C` floor under the sense margins.
+//!
+//! The nondestructive scheme stores `V_BL1` on capacitor C1; opening SLT1
+//! freezes thermal noise of variance `k_B·T/C` onto it. With the paper's
+//! ~25 fF sample capacitor that is ≈ 0.4 mV rms — comfortably under the
+//! ≈ 9 mV margin, but only one order of magnitude: shrink C1 to save area
+//! and the noise floor eats the margin. This module quantifies that
+//! constraint (and its temperature scaling), complementing the device-side
+//! analyses.
+
+use stt_units::{Farads, Volts};
+
+use crate::amplifier::SenseAmplifier;
+use crate::margins::SenseMargins;
+
+/// Boltzmann constant (J/K).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// RMS voltage noise frozen onto a sampling capacitor: `σ = √(k_B·T/C)`.
+///
+/// # Panics
+///
+/// Panics if the capacitance or temperature is non-positive.
+#[must_use]
+pub fn ktc_sigma(capacitance: Farads, t_kelvin: f64) -> Volts {
+    assert!(capacitance.get() > 0.0, "capacitance must be positive");
+    assert!(t_kelvin > 0.0, "temperature must be positive");
+    Volts::new((BOLTZMANN * t_kelvin / capacitance.get()).sqrt())
+}
+
+/// Total rms uncertainty of one compare: the SA's residual offset σ and the
+/// sampling noise of C1, added in quadrature.
+#[must_use]
+pub fn read_noise_sigma(sa: &SenseAmplifier, c1: Farads, t_kelvin: f64) -> Volts {
+    let sampling = ktc_sigma(c1, t_kelvin).get();
+    let offset = sa.offset_sigma().get();
+    Volts::new(offset.hypot(sampling))
+}
+
+/// The worst-case margin expressed in units of the total read noise σ —
+/// the "SNR" of the read. Above ~6 the per-read error rate is negligible
+/// (Φ(−6) ≈ 10⁻⁹); below ~4 the scheme starts misreading tail events.
+#[must_use]
+pub fn read_snr(margins: &SenseMargins, sa: &SenseAmplifier, c1: Farads, t_kelvin: f64) -> f64 {
+    margins.min().get() / read_noise_sigma(sa, c1, t_kelvin).get()
+}
+
+/// The smallest sampling capacitor that keeps the read SNR at or above
+/// `target_snr` for the given margins and amplifier.
+///
+/// Returns `None` when even an infinite capacitor cannot reach the target
+/// (the SA offset alone already exceeds `margin/target`).
+#[must_use]
+pub fn minimum_sampling_cap(
+    margins: &SenseMargins,
+    sa: &SenseAmplifier,
+    t_kelvin: f64,
+    target_snr: f64,
+) -> Option<Farads> {
+    let budget = margins.min().get() / target_snr;
+    let offset = sa.offset_sigma().get();
+    let sampling_budget_sq = budget * budget - offset * offset;
+    if sampling_budget_sq <= 0.0 {
+        return None;
+    }
+    Some(Farads::new(BOLTZMANN * t_kelvin / sampling_budget_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignPoint;
+    use crate::margins::Perturbations;
+    use stt_array::CellSpec;
+
+    #[test]
+    fn ktc_known_value() {
+        // 25 fF at 300 K: √(1.38e-23·300/25e-15) ≈ 0.407 mV.
+        let sigma = ktc_sigma(Farads::from_femto(25.0), 300.0);
+        assert!((sigma.get() - 0.407e-3).abs() < 5e-6, "σ = {sigma}");
+        // Scaling laws: ∝ 1/√C, ∝ √T.
+        let quarter_cap = ktc_sigma(Farads::from_femto(6.25), 300.0);
+        assert!((quarter_cap.get() / sigma.get() - 2.0).abs() < 1e-9);
+        let hot = ktc_sigma(Farads::from_femto(25.0), 400.0);
+        assert!((hot.get() / sigma.get() - (400.0f64 / 300.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn papers_sampling_cap_gives_adequate_snr() {
+        let cell = CellSpec::date2010_chip().nominal_cell();
+        let design = DesignPoint::date2010(&cell);
+        let margins = design.nondestructive.margins(&cell, &Perturbations::NONE);
+        let sa = SenseAmplifier::auto_zero();
+        let snr = read_snr(&margins, &sa, Farads::from_femto(25.0), 300.0);
+        assert!(snr > 15.0, "25 fF C1 must give a clean read: SNR {snr}");
+    }
+
+    #[test]
+    fn tiny_sampling_cap_destroys_the_read() {
+        let cell = CellSpec::date2010_chip().nominal_cell();
+        let design = DesignPoint::date2010(&cell);
+        let margins = design.nondestructive.margins(&cell, &Perturbations::NONE);
+        let sa = SenseAmplifier::auto_zero();
+        let snr = read_snr(&margins, &sa, Farads::from_femto(0.5), 300.0);
+        assert!(snr < 4.0, "0.5 fF C1 must be noise-dominated: SNR {snr}");
+    }
+
+    #[test]
+    fn minimum_cap_round_trips_the_snr_target() {
+        let cell = CellSpec::date2010_chip().nominal_cell();
+        let design = DesignPoint::date2010(&cell);
+        let margins = design.nondestructive.margins(&cell, &Perturbations::NONE);
+        let sa = SenseAmplifier::auto_zero();
+        let c_min = minimum_sampling_cap(&margins, &sa, 300.0, 6.0).expect("achievable");
+        let snr = read_snr(&margins, &sa, c_min, 300.0);
+        assert!((snr - 6.0).abs() < 1e-9, "round trip SNR {snr}");
+        // The paper's 25 fF sits above the 6σ minimum.
+        assert!(c_min < Farads::from_femto(25.0), "minimum cap {c_min}");
+    }
+
+    #[test]
+    fn unachievable_snr_is_reported() {
+        let cell = CellSpec::date2010_chip().nominal_cell();
+        let design = DesignPoint::date2010(&cell);
+        let margins = design.nondestructive.margins(&cell, &Perturbations::NONE);
+        // A plain latch's 3 mV offset σ cannot give 9.3 mV / σ_total ≥ 6.
+        let plain = SenseAmplifier::plain_latch();
+        assert!(minimum_sampling_cap(&margins, &plain, 300.0, 6.0).is_none());
+    }
+
+    #[test]
+    fn destructive_margins_are_noise_immune_by_comparison() {
+        let cell = CellSpec::date2010_chip().nominal_cell();
+        let design = DesignPoint::date2010(&cell);
+        let sa = SenseAmplifier::auto_zero();
+        let destructive = design.destructive.margins(&cell, &Perturbations::NONE);
+        let nondestructive = design.nondestructive.margins(&cell, &Perturbations::NONE);
+        let c1 = Farads::from_femto(25.0);
+        assert!(
+            read_snr(&destructive, &sa, c1, 300.0) > 5.0 * read_snr(&nondestructive, &sa, c1, 300.0)
+        );
+    }
+}

@@ -1,0 +1,742 @@
+//! Circuit description: nodes, elements and the netlist builder.
+//!
+//! A [`Circuit`] is built imperatively — create nodes, then connect elements
+//! between them — mirroring how the paper's Fig. 3/5 sensing circuits are
+//! drawn: bit-line, sample capacitors, switch transistors, the voltage
+//! divider, the 1T1J cell.
+
+use std::fmt;
+use std::sync::Arc;
+
+use stt_units::{Farads, Ohms, Seconds};
+
+use crate::waveform::Waveform;
+
+/// A circuit node. `Node::GROUND` is the reference (0 V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub(crate) usize);
+
+impl Node {
+    /// The ground / reference node.
+    pub const GROUND: Node = Node(0);
+
+    /// The internal index of this node (0 = ground).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// `true` for the ground node.
+    #[must_use]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ground() {
+            write!(f, "gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Identifier of a voltage source (indexes its MNA branch current).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceId(pub(crate) usize);
+
+/// A two-terminal nonlinear device law: `I(V)` and its derivative.
+///
+/// Implemented by the sensing crate to drop MTJ bias-dependent resistance
+/// into a netlist. Laws must be odd-symmetric (`I(−V) = −I(V)`) if the
+/// element can see either polarity, and `conductance` must return `dI/dV`
+/// consistent with `current` for Newton convergence.
+pub trait DeviceLaw: Send + Sync + fmt::Debug {
+    /// Device current for a terminal voltage `v` (volts → amperes).
+    fn current(&self, v: f64) -> f64;
+    /// Differential conductance `dI/dV` at `v` (siemens).
+    fn conductance(&self, v: f64) -> f64;
+}
+
+/// Level-1 (square-law) NMOS parameters.
+///
+/// Sufficient for the access and switch transistors here: the paper operates
+/// them deep in the linear region, and what matters to the sensing analysis
+/// is the on-resistance and its slight current dependence (`ΔR_T`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetParams {
+    /// Threshold voltage (V).
+    pub vt: f64,
+    /// Transconductance factor `k = µ·Cox·W/L` (A/V²).
+    pub k: f64,
+    /// Channel-length modulation (1/V); 0 disables it.
+    pub lambda: f64,
+}
+
+impl MosfetParams {
+    /// Creates level-1 parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is non-positive or `lambda` negative.
+    #[must_use]
+    pub fn new(vt: f64, k: f64, lambda: f64) -> Self {
+        assert!(k > 0.0, "transconductance factor must be positive");
+        assert!(lambda >= 0.0, "channel-length modulation must be non-negative");
+        Self { vt, k, lambda }
+    }
+
+    /// Parameters tuned so that with `vgs` on the gate the device shows the
+    /// requested linear-region on-resistance at small `vds`.
+    ///
+    /// In deep triode `R_on ≈ 1 / (k · (V_GS − V_T))`, so
+    /// `k = 1 / (R_on · (V_GS − V_T))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vgs <= vt` or `r_on` is non-positive.
+    #[must_use]
+    pub fn with_on_resistance(r_on: Ohms, vgs: f64, vt: f64) -> Self {
+        assert!(r_on.get() > 0.0, "on-resistance must be positive");
+        assert!(vgs > vt, "gate drive must exceed threshold");
+        Self::new(vt, 1.0 / (r_on.get() * (vgs - vt)), 0.0)
+    }
+}
+
+/// A time-scheduled ideal switch state: `true` = closed (on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchSchedule {
+    initial: bool,
+    /// `(time, state)` events, strictly ascending in time.
+    events: Vec<(Seconds, bool)>,
+}
+
+impl SwitchSchedule {
+    /// A switch that never changes state.
+    #[must_use]
+    pub fn always(state: bool) -> Self {
+        Self {
+            initial: state,
+            events: Vec::new(),
+        }
+    }
+
+    /// A switch with an initial state and a list of `(time, state)` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if event times are not strictly ascending.
+    #[must_use]
+    pub fn new(initial: bool, events: Vec<(Seconds, bool)>) -> Self {
+        for pair in events.windows(2) {
+            assert!(
+                pair[1].0 > pair[0].0,
+                "switch event times must be strictly ascending"
+            );
+        }
+        Self { initial, events }
+    }
+
+    /// A switch closed exactly during `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= to`.
+    #[must_use]
+    pub fn closed_during(from: Seconds, to: Seconds) -> Self {
+        assert!(from < to, "window must be non-empty");
+        Self::new(false, vec![(from, true), (to, false)])
+    }
+
+    /// The switch state at time `t`.
+    #[must_use]
+    pub fn state_at(&self, t: Seconds) -> bool {
+        let applied = self.events.partition_point(|(time, _)| *time <= t);
+        if applied == 0 {
+            self.initial
+        } else {
+            self.events[applied - 1].1
+        }
+    }
+
+    /// The event times at which the state changes (used by the transient
+    /// engine to align time steps with switching instants).
+    #[must_use]
+    pub fn event_times(&self) -> Vec<Seconds> {
+        self.events.iter().map(|(time, _)| *time).collect()
+    }
+}
+
+/// One netlist element.
+#[derive(Debug, Clone)]
+pub(crate) enum Element {
+    Resistor {
+        a: Node,
+        b: Node,
+        ohms: f64,
+    },
+    Capacitor {
+        a: Node,
+        b: Node,
+        farads: f64,
+        /// Forced initial voltage `v(a) − v(b)` at `t = 0`, overriding
+        /// whatever the chosen initial-state policy would produce.
+        ic: Option<f64>,
+    },
+    VoltageSource {
+        pos: Node,
+        neg: Node,
+        wave: Waveform,
+        branch: usize,
+    },
+    CurrentSource {
+        /// Current `wave` is injected *into* `pos` (returned from `neg`).
+        pos: Node,
+        neg: Node,
+        wave: Waveform,
+    },
+    Switch {
+        a: Node,
+        b: Node,
+        r_on: f64,
+        r_off: f64,
+        schedule: SwitchSchedule,
+    },
+    Mosfet {
+        drain: Node,
+        gate: Node,
+        source: Node,
+        params: MosfetParams,
+    },
+    Nonlinear {
+        a: Node,
+        b: Node,
+        law: Arc<dyn DeviceLaw>,
+    },
+    Vcvs {
+        out_pos: Node,
+        out_neg: Node,
+        in_pos: Node,
+        in_neg: Node,
+        gain: f64,
+        branch: usize,
+    },
+}
+
+/// A netlist under construction (and the input to the analyses).
+///
+/// # Examples
+///
+/// A resistive divider from a 1 V supply:
+///
+/// ```
+/// use stt_mna::{Circuit, Node, Waveform};
+/// use stt_units::{Ohms, Seconds};
+///
+/// let mut circuit = Circuit::new();
+/// let top = circuit.node("top");
+/// let mid = circuit.node("mid");
+/// circuit.voltage_source(top, Node::GROUND, Waveform::Dc(1.0));
+/// circuit.resistor(top, mid, Ohms::from_kilo(1.0));
+/// circuit.resistor(mid, Node::GROUND, Ohms::from_kilo(1.0));
+/// let op = circuit.dc_operating_point(Seconds::ZERO).expect("solvable");
+/// assert!((op.voltage(mid) - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    pub(crate) elements: Vec<Element>,
+    pub(crate) vsource_count: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit (ground pre-exists).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            node_names: vec!["gnd".to_string()],
+            elements: Vec::new(),
+            vsource_count: 0,
+        }
+    }
+
+    /// Creates a named node and returns its handle.
+    pub fn node(&mut self, name: &str) -> Node {
+        self.node_names.push(name.to_string());
+        Node(self.node_names.len() - 1)
+    }
+
+    /// Number of nodes, including ground.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The name a node was created with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    #[must_use]
+    pub fn node_name(&self, node: Node) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Looks a node up by name.
+    #[must_use]
+    pub fn find_node(&self, name: &str) -> Option<Node> {
+        self.node_names
+            .iter()
+            .position(|candidate| candidate == name)
+            .map(Node)
+    }
+
+    /// Number of elements in the netlist.
+    #[must_use]
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    fn check_node(&self, node: Node) {
+        assert!(
+            node.0 < self.node_names.len(),
+            "node {node} does not belong to this circuit"
+        );
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is non-positive or a node is foreign.
+    pub fn resistor(&mut self, a: Node, b: Node, ohms: Ohms) {
+        self.check_node(a);
+        self.check_node(b);
+        assert!(ohms.get() > 0.0, "resistance must be positive");
+        self.elements.push(Element::Resistor {
+            a,
+            b,
+            ohms: ohms.get(),
+        });
+    }
+
+    /// Adds a capacitor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is non-positive or a node is foreign.
+    pub fn capacitor(&mut self, a: Node, b: Node, farads: Farads) {
+        self.check_node(a);
+        self.check_node(b);
+        assert!(farads.get() > 0.0, "capacitance must be positive");
+        self.elements.push(Element::Capacitor {
+            a,
+            b,
+            farads: farads.get(),
+            ic: None,
+        });
+    }
+
+    /// Adds a capacitor with a forced initial voltage `v(a) − v(b)` at
+    /// `t = 0` (like SPICE's `.IC` with `UIC`): the transient starts from
+    /// this capacitor state regardless of the initial-state policy. Used to
+    /// chain multi-phase analyses — e.g. carrying the sampled `V_BL1` on C1
+    /// into the second phase of a destructive self-reference read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is non-positive or a node is foreign.
+    pub fn capacitor_with_ic(&mut self, a: Node, b: Node, farads: Farads, ic: f64) {
+        self.check_node(a);
+        self.check_node(b);
+        assert!(farads.get() > 0.0, "capacitance must be positive");
+        self.elements.push(Element::Capacitor {
+            a,
+            b,
+            farads: farads.get(),
+            ic: Some(ic),
+        });
+    }
+
+    /// Adds an independent voltage source; `wave` is in volts.
+    ///
+    /// Returns the source's id, usable to read its branch current from
+    /// analysis results.
+    pub fn voltage_source(&mut self, pos: Node, neg: Node, wave: Waveform) -> SourceId {
+        self.check_node(pos);
+        self.check_node(neg);
+        let branch = self.vsource_count;
+        self.vsource_count += 1;
+        self.elements.push(Element::VoltageSource {
+            pos,
+            neg,
+            wave,
+            branch,
+        });
+        SourceId(branch)
+    }
+
+    /// Adds an independent current source; `wave` (amperes) is injected into
+    /// `pos` and returned from `neg`.
+    pub fn current_source(&mut self, pos: Node, neg: Node, wave: Waveform) {
+        self.check_node(pos);
+        self.check_node(neg);
+        self.elements.push(Element::CurrentSource { pos, neg, wave });
+    }
+
+    /// Adds a scheduled ideal switch with the given on/off resistances.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < r_on < r_off`.
+    pub fn switch(
+        &mut self,
+        a: Node,
+        b: Node,
+        r_on: Ohms,
+        r_off: Ohms,
+        schedule: SwitchSchedule,
+    ) {
+        self.check_node(a);
+        self.check_node(b);
+        assert!(
+            r_on.get() > 0.0 && r_on < r_off,
+            "switch needs 0 < r_on < r_off"
+        );
+        self.elements.push(Element::Switch {
+            a,
+            b,
+            r_on: r_on.get(),
+            r_off: r_off.get(),
+            schedule,
+        });
+    }
+
+    /// Adds a level-1 NMOS transistor.
+    pub fn mosfet(&mut self, drain: Node, gate: Node, source: Node, params: MosfetParams) {
+        self.check_node(drain);
+        self.check_node(gate);
+        self.check_node(source);
+        self.elements.push(Element::Mosfet {
+            drain,
+            gate,
+            source,
+            params,
+        });
+    }
+
+    /// Adds a two-terminal nonlinear device obeying `law`, with current
+    /// flowing `a → b` for positive terminal voltage `v_a − v_b`.
+    pub fn nonlinear(&mut self, a: Node, b: Node, law: Arc<dyn DeviceLaw>) {
+        self.check_node(a);
+        self.check_node(b);
+        self.elements.push(Element::Nonlinear { a, b, law });
+    }
+
+    /// Adds a voltage-controlled voltage source (an ideal differential
+    /// amplifier): `v(out_pos) − v(out_neg) = gain · (v(in_pos) − v(in_neg))`.
+    ///
+    /// The control inputs draw no current. Returns the id of the output
+    /// branch (its current is readable from analysis results like a voltage
+    /// source's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is not finite or any node is foreign.
+    pub fn vcvs(
+        &mut self,
+        out_pos: Node,
+        out_neg: Node,
+        in_pos: Node,
+        in_neg: Node,
+        gain: f64,
+    ) -> SourceId {
+        self.check_node(out_pos);
+        self.check_node(out_neg);
+        self.check_node(in_pos);
+        self.check_node(in_neg);
+        assert!(gain.is_finite(), "VCVS gain must be finite");
+        let branch = self.vsource_count;
+        self.vsource_count += 1;
+        self.elements.push(Element::Vcvs {
+            out_pos,
+            out_neg,
+            in_pos,
+            in_neg,
+            gain,
+            branch,
+        });
+        SourceId(branch)
+    }
+
+    /// Renders the netlist in a SPICE-like textual form, one element per
+    /// line — the first thing to reach for when a simulation misbehaves.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stt_mna::{Circuit, Node, Waveform};
+    /// use stt_units::Ohms;
+    ///
+    /// let mut circuit = Circuit::new();
+    /// let a = circuit.node("bl");
+    /// circuit.voltage_source(a, Node::GROUND, Waveform::Dc(1.2));
+    /// circuit.resistor(a, Node::GROUND, Ohms::from_kilo(1.0));
+    /// let listing = circuit.to_netlist_string();
+    /// assert!(listing.contains("V0 bl gnd"));
+    /// assert!(listing.contains("R1 bl gnd 1000"));
+    /// ```
+    #[must_use]
+    pub fn to_netlist_string(&self) -> String {
+        use std::fmt::Write as _;
+        let name = |node: Node| self.node_names[node.0].clone();
+        let mut out = String::new();
+        for (index, element) in self.elements.iter().enumerate() {
+            match element {
+                Element::Resistor { a, b, ohms } => {
+                    let _ = writeln!(out, "R{index} {} {} {ohms}", name(*a), name(*b));
+                }
+                Element::Capacitor { a, b, farads, ic } => {
+                    let _ = write!(out, "C{index} {} {} {farads:e}", name(*a), name(*b));
+                    if let Some(ic) = ic {
+                        let _ = write!(out, " IC={ic}");
+                    }
+                    out.push('\n');
+                }
+                Element::VoltageSource { pos, neg, wave, .. } => {
+                    let _ = writeln!(out, "V{index} {} {} {wave:?}", name(*pos), name(*neg));
+                }
+                Element::CurrentSource { pos, neg, wave } => {
+                    let _ = writeln!(out, "I{index} {} {} {wave:?}", name(*pos), name(*neg));
+                }
+                Element::Switch {
+                    a,
+                    b,
+                    r_on,
+                    r_off,
+                    schedule,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "S{index} {} {} Ron={r_on} Roff={r_off} events={}",
+                        name(*a),
+                        name(*b),
+                        schedule.event_times().len()
+                    );
+                }
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    params,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "M{index} {} {} {} NMOS Vt={} K={:e}",
+                        name(*drain),
+                        name(*gate),
+                        name(*source),
+                        params.vt,
+                        params.k
+                    );
+                }
+                Element::Nonlinear { a, b, law } => {
+                    let _ = writeln!(out, "N{index} {} {} {law:?}", name(*a), name(*b));
+                }
+                Element::Vcvs {
+                    out_pos,
+                    out_neg,
+                    in_pos,
+                    in_neg,
+                    gain,
+                    ..
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "E{index} {} {} {} {} gain={gain}",
+                        name(*out_pos),
+                        name(*out_neg),
+                        name(*in_pos),
+                        name(*in_neg)
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// All switch event times, sorted and deduplicated — the transient
+    /// engine aligns its step grid to these.
+    #[must_use]
+    pub fn switch_event_times(&self) -> Vec<Seconds> {
+        let mut times: Vec<Seconds> = self
+            .elements
+            .iter()
+            .filter_map(|element| match element {
+                Element::Switch { schedule, .. } => Some(schedule.event_times()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("switch times are finite"));
+        times.dedup();
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nanos(t: f64) -> Seconds {
+        Seconds::from_nano(t)
+    }
+
+    #[test]
+    fn nodes_are_named_and_findable() {
+        let mut circuit = Circuit::new();
+        let bl = circuit.node("bl");
+        let c1 = circuit.node("c1_top");
+        assert_eq!(circuit.node_count(), 3);
+        assert_eq!(circuit.node_name(bl), "bl");
+        assert_eq!(circuit.find_node("c1_top"), Some(c1));
+        assert_eq!(circuit.find_node("gnd"), Some(Node::GROUND));
+        assert_eq!(circuit.find_node("missing"), None);
+        assert_eq!(format!("{bl}"), "n1");
+        assert_eq!(format!("{}", Node::GROUND), "gnd");
+    }
+
+    #[test]
+    fn switch_schedule_state_transitions() {
+        let schedule = SwitchSchedule::new(
+            false,
+            vec![(nanos(2.0), true), (nanos(5.0), false), (nanos(7.0), true)],
+        );
+        assert!(!schedule.state_at(nanos(0.0)));
+        assert!(!schedule.state_at(nanos(1.999)));
+        assert!(schedule.state_at(nanos(2.0)));
+        assert!(schedule.state_at(nanos(4.9)));
+        assert!(!schedule.state_at(nanos(5.0)));
+        assert!(schedule.state_at(nanos(100.0)));
+        assert_eq!(schedule.event_times().len(), 3);
+    }
+
+    #[test]
+    fn closed_during_window() {
+        let schedule = SwitchSchedule::closed_during(nanos(1.0), nanos(3.0));
+        assert!(!schedule.state_at(nanos(0.5)));
+        assert!(schedule.state_at(nanos(2.0)));
+        assert!(!schedule.state_at(nanos(3.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn schedule_rejects_out_of_order_events() {
+        let _ = SwitchSchedule::new(false, vec![(nanos(5.0), true), (nanos(2.0), false)]);
+    }
+
+    #[test]
+    fn on_resistance_parameterisation() {
+        // R_on = 917 Ω at Vgs = 1.2 V, Vt = 0.4 V ⇒ k = 1/(917·0.8).
+        let params = MosfetParams::with_on_resistance(Ohms::new(917.0), 1.2, 0.4);
+        assert!((params.k - 1.0 / (917.0 * 0.8)).abs() < 1e-15);
+        assert_eq!(params.vt, 0.4);
+    }
+
+    #[test]
+    fn event_times_collected_across_switches() {
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        let b = circuit.node("b");
+        circuit.switch(
+            a,
+            b,
+            Ohms::new(100.0),
+            Ohms::from_mega(1.0),
+            SwitchSchedule::closed_during(nanos(1.0), nanos(4.0)),
+        );
+        circuit.switch(
+            a,
+            Node::GROUND,
+            Ohms::new(100.0),
+            Ohms::from_mega(1.0),
+            SwitchSchedule::closed_during(nanos(4.0), nanos(6.0)),
+        );
+        let times = circuit.switch_event_times();
+        assert_eq!(
+            times,
+            vec![nanos(1.0), nanos(4.0), nanos(6.0)],
+            "sorted and deduplicated"
+        );
+    }
+
+    #[test]
+    fn netlist_listing_covers_every_element_kind() {
+        use crate::waveform::Waveform;
+        use std::sync::Arc;
+        use stt_units::Farads;
+
+        #[derive(Debug)]
+        struct Linear;
+        impl DeviceLaw for Linear {
+            fn current(&self, v: f64) -> f64 {
+                v * 1e-3
+            }
+            fn conductance(&self, _v: f64) -> f64 {
+                1e-3
+            }
+        }
+
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        let b = circuit.node("b");
+        circuit.voltage_source(a, Node::GROUND, Waveform::Dc(1.0));
+        circuit.resistor(a, b, Ohms::new(42.0));
+        circuit.capacitor_with_ic(b, Node::GROUND, Farads::from_pico(1.0), 0.3);
+        circuit.current_source(a, b, Waveform::Dc(1e-6));
+        circuit.switch(
+            a,
+            b,
+            Ohms::new(10.0),
+            Ohms::from_mega(1.0),
+            SwitchSchedule::closed_during(nanos(1.0), nanos(2.0)),
+        );
+        circuit.mosfet(a, b, Node::GROUND, MosfetParams::new(0.4, 1e-3, 0.0));
+        circuit.nonlinear(a, b, std::sync::Arc::new(Linear));
+        circuit.vcvs(b, Node::GROUND, a, Node::GROUND, 10.0);
+        let _ = Arc::new(());
+
+        let listing = circuit.to_netlist_string();
+        assert_eq!(listing.lines().count(), 8);
+        for prefix in ["V0", "R1", "C2", "I3", "S4", "M5", "N6", "E7"] {
+            assert!(
+                listing.lines().any(|line| line.starts_with(prefix)),
+                "missing {prefix} in:\n{listing}"
+            );
+        }
+        assert!(listing.contains("IC=0.3"));
+        assert!(listing.contains("gain=10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn rejects_non_positive_resistor() {
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        circuit.resistor(a, Node::GROUND, Ohms::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn rejects_foreign_node() {
+        let mut donor = Circuit::new();
+        let foreign = donor.node("a");
+        let _ = donor.node("b");
+        let mut circuit = Circuit::new();
+        // `foreign` has index 1 which exists… but index 2 does not.
+        let also_foreign = Node(2);
+        circuit.resistor(foreign, also_foreign, Ohms::new(1.0));
+    }
+}

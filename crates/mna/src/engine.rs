@@ -1,0 +1,1588 @@
+//! The MNA analysis engine: DC operating point and transient simulation.
+//!
+//! Formulation: unknowns are the non-ground node voltages plus one branch
+//! current per voltage source. Linear elements stamp conductances; nonlinear
+//! elements (MOSFETs, [`DeviceLaw`](crate::circuit::DeviceLaw) two-terminals) are linearised around the
+//! current Newton iterate; capacitors become companion models (backward
+//! Euler or trapezoidal) during transient analysis and are open in DC.
+//!
+//! A `GMIN` conductance from every node to ground keeps systems with
+//! momentarily floating nodes (open switches feeding sample capacitors —
+//! exactly the paper's circuits) numerically solvable.
+
+use std::fmt;
+
+use stt_units::{Seconds, Volts};
+
+use crate::circuit::{Circuit, Element, MosfetParams, Node, SourceId};
+use crate::matrix::{Matrix, SingularMatrixError};
+
+/// Leak conductance to ground on every node (siemens).
+pub(crate) const GMIN: f64 = 1e-12;
+/// Maximum Newton iterations per solve point.
+const MAX_NEWTON: usize = 200;
+/// Largest per-iteration voltage update (volts) — damping for the square-law
+/// MOSFET model.
+const MAX_STEP: f64 = 0.5;
+/// Absolute Newton convergence tolerance on voltages (volts).
+const TOL_ABS: f64 = 1e-9;
+
+/// Errors from the DC or transient analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The stamped system was singular (typically a truly floating subcircuit
+    /// or an all-voltage-source loop).
+    Singular {
+        /// The underlying factorisation failure.
+        source: SingularMatrixError,
+        /// Simulated time at which it occurred.
+        time: Seconds,
+    },
+    /// Newton iteration failed to converge.
+    NonConvergent {
+        /// Simulated time at which it occurred.
+        time: Seconds,
+        /// Residual max-norm voltage change at the final iteration.
+        residual: f64,
+    },
+    /// Invalid analysis options.
+    InvalidOptions(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Singular { source, time } => {
+                write!(f, "singular MNA system at t = {time}: {source}")
+            }
+            AnalysisError::NonConvergent { time, residual } => write!(
+                f,
+                "newton iteration did not converge at t = {time} (residual {residual:.3e} V)"
+            ),
+            AnalysisError::InvalidOptions(message) => {
+                write!(f, "invalid analysis options: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Singular { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Integration method for capacitor companions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First-order implicit; strongly damped, robust across switch events.
+    #[default]
+    BackwardEuler,
+    /// Second-order implicit; more accurate on smooth intervals but can ring
+    /// on hard discontinuities.
+    Trapezoidal,
+}
+
+/// Transient analysis options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranOptions {
+    /// End time of the simulation (starts at 0).
+    pub t_stop: Seconds,
+    /// Uniform base time step (switch events are inserted additionally).
+    pub dt: Seconds,
+    /// Capacitor integration method.
+    pub integrator: Integrator,
+    /// Start from the DC operating point at `t = 0` (otherwise zero state).
+    pub start_from_dc: bool,
+}
+
+impl TranOptions {
+    /// Creates options with the default integrator, starting from DC.
+    #[must_use]
+    pub fn new(t_stop: Seconds, dt: Seconds) -> Self {
+        Self {
+            t_stop,
+            dt,
+            integrator: Integrator::default(),
+            start_from_dc: true,
+        }
+    }
+
+    /// Selects the integration method.
+    #[must_use]
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Starts from an all-zero state instead of the DC operating point.
+    #[must_use]
+    pub fn from_zero_state(mut self) -> Self {
+        self.start_from_dc = false;
+        self
+    }
+}
+
+/// Options for the adaptive-step transient
+/// ([`Circuit::transient_adaptive`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveTranOptions {
+    /// End time of the simulation (starts at 0).
+    pub t_stop: Seconds,
+    /// Smallest allowed step (also the resolution of switch-event landing).
+    pub dt_min: Seconds,
+    /// Largest allowed step.
+    pub dt_max: Seconds,
+    /// Per-step local-truncation-error tolerance on node voltages (volts).
+    pub lte_tolerance: f64,
+    /// Start from the DC operating point at `t = 0` (otherwise zero state).
+    pub start_from_dc: bool,
+}
+
+impl AdaptiveTranOptions {
+    /// Creates adaptive options with a 1 µV error tolerance, starting from
+    /// DC.
+    #[must_use]
+    pub fn new(t_stop: Seconds, dt_min: Seconds, dt_max: Seconds) -> Self {
+        Self {
+            t_stop,
+            dt_min,
+            dt_max,
+            lte_tolerance: 1e-6,
+            start_from_dc: true,
+        }
+    }
+
+    /// Sets the per-step voltage error tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, lte_tolerance: f64) -> Self {
+        self.lte_tolerance = lte_tolerance;
+        self
+    }
+
+    /// Starts from an all-zero state instead of the DC operating point.
+    #[must_use]
+    pub fn from_zero_state(mut self) -> Self {
+        self.start_from_dc = false;
+        self
+    }
+}
+
+/// Result of a DC operating-point analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcResult {
+    /// Node voltages indexed by node index (ground included as 0.0).
+    voltages: Vec<f64>,
+    /// Branch currents per voltage source.
+    source_currents: Vec<f64>,
+}
+
+impl DcResult {
+    /// Voltage at `node` in volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the analysed circuit.
+    #[must_use]
+    pub fn voltage(&self, node: Node) -> f64 {
+        self.voltages[node.index()]
+    }
+
+    /// Voltage at `node` as a typed quantity.
+    #[must_use]
+    pub fn voltage_typed(&self, node: Node) -> Volts {
+        Volts::new(self.voltage(node))
+    }
+
+    /// Current through voltage source `id` (positive flowing from its `pos`
+    /// terminal through the source to `neg`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to the analysed circuit.
+    #[must_use]
+    pub fn source_current(&self, id: SourceId) -> f64 {
+        self.source_currents[id.0]
+    }
+}
+
+/// Result of a transient analysis: every node voltage at every accepted
+/// time point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranResult {
+    times: Vec<f64>,
+    /// `traces[node][step]`.
+    traces: Vec<Vec<f64>>,
+    /// `source_traces[source][step]`.
+    source_traces: Vec<Vec<f64>>,
+}
+
+impl TranResult {
+    /// The accepted time points in seconds.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The voltage trace of `node` (one sample per time point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the analysed circuit.
+    #[must_use]
+    pub fn voltage(&self, node: Node) -> &[f64] {
+        &self.traces[node.index()]
+    }
+
+    /// The branch-current trace of voltage source `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to the analysed circuit.
+    #[must_use]
+    pub fn source_current(&self, id: SourceId) -> &[f64] {
+        &self.source_traces[id.0]
+    }
+
+    /// Linear interpolation of `node`'s voltage at an arbitrary time.
+    ///
+    /// Clamps to the first/last sample outside the simulated range.
+    #[must_use]
+    pub fn voltage_at(&self, node: Node, t: Seconds) -> f64 {
+        let trace = self.voltage(node);
+        let t = t.get();
+        if t <= self.times[0] {
+            return trace[0];
+        }
+        if t >= *self.times.last().expect("non-empty transient") {
+            return *trace.last().expect("non-empty transient");
+        }
+        let upper = self.times.partition_point(|&time| time < t);
+        let (t0, t1) = (self.times[upper - 1], self.times[upper]);
+        let (v0, v1) = (trace[upper - 1], trace[upper]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// The first time at which `node` crosses `level` in the given direction,
+    /// with linear interpolation between samples.
+    #[must_use]
+    pub fn crossing_time(&self, node: Node, level: f64, rising: bool) -> Option<Seconds> {
+        let trace = self.voltage(node);
+        for k in 1..trace.len() {
+            let (v0, v1) = (trace[k - 1], trace[k]);
+            let crossed = if rising {
+                v0 < level && v1 >= level
+            } else {
+                v0 > level && v1 <= level
+            };
+            if crossed {
+                let t0 = self.times[k - 1];
+                let t1 = self.times[k];
+                let fraction = if (v1 - v0).abs() < f64::MIN_POSITIVE {
+                    0.0
+                } else {
+                    (level - v0) / (v1 - v0)
+                };
+                return Some(Seconds::new(t0 + fraction * (t1 - t0)));
+            }
+        }
+        None
+    }
+
+    /// Number of accepted time points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when no time points were accepted (never the case for a
+    /// successful analysis, which records at least `t = 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// Per-capacitor dynamic state carried between transient steps.
+#[derive(Debug, Clone, Copy)]
+struct CapState {
+    v: f64,
+    i: f64,
+}
+
+impl Circuit {
+    fn dim(&self) -> usize {
+        (self.node_count() - 1) + self.vsource_count
+    }
+
+    pub(crate) fn node_row(node: Node) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    fn branch_row(&self, branch: usize) -> usize {
+        (self.node_count() - 1) + branch
+    }
+
+    /// Computes the DC operating point with sources evaluated at time `t`
+    /// (capacitors open).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] if the system is singular or Newton fails
+    /// to converge.
+    pub fn dc_operating_point(&self, t: Seconds) -> Result<DcResult, AnalysisError> {
+        let guess = vec![0.0; self.dim()];
+        let solution = self.solve_point(t, &guess, None, Integrator::BackwardEuler)?;
+        Ok(self.package_dc(&solution))
+    }
+
+    fn package_dc(&self, solution: &[f64]) -> DcResult {
+        let nodes = self.node_count();
+        let mut voltages = vec![0.0; nodes];
+        voltages[1..nodes].copy_from_slice(&solution[..(nodes - 1)]);
+        let source_currents = (0..self.vsource_count)
+            .map(|branch| solution[self.branch_row(branch)])
+            .collect();
+        DcResult {
+            voltages,
+            source_currents,
+        }
+    }
+
+    /// Runs a transient analysis.
+    ///
+    /// The time grid is the uniform `dt` grid plus every switch event time,
+    /// so scheduled switching is honoured exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] on invalid options, singular systems or
+    /// Newton non-convergence at any time point.
+    pub fn transient(&self, options: &TranOptions) -> Result<TranResult, AnalysisError> {
+        if options.t_stop.get() <= 0.0 {
+            return Err(AnalysisError::InvalidOptions(
+                "t_stop must be positive".to_string(),
+            ));
+        }
+        if options.dt.get() <= 0.0 || options.dt > options.t_stop {
+            return Err(AnalysisError::InvalidOptions(
+                "dt must be positive and no larger than t_stop".to_string(),
+            ));
+        }
+
+        // Build the time grid: uniform steps + switch events, deduplicated.
+        let steps = (options.t_stop / options.dt).ceil() as usize;
+        let mut grid: Vec<f64> = (0..=steps)
+            .map(|k| (options.t_stop.get() * k as f64 / steps as f64).min(options.t_stop.get()))
+            .collect();
+        for event in self.switch_event_times() {
+            if event.get() > 0.0 && event < options.t_stop {
+                grid.push(event.get());
+            }
+        }
+        grid.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        grid.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+
+        // Initial state.
+        let mut solution = if options.start_from_dc {
+            let op = self.dc_operating_point(Seconds::ZERO)?;
+            let mut x = vec![0.0; self.dim()];
+            x[..(self.node_count() - 1)].copy_from_slice(&op.voltages[1..self.node_count()]);
+            for branch in 0..self.vsource_count {
+                x[self.branch_row(branch)] = op.source_currents[branch];
+            }
+            x
+        } else {
+            vec![0.0; self.dim()]
+        };
+
+        let mut cap_states = self.initial_cap_states(&solution);
+
+        let nodes = self.node_count();
+        let mut traces: Vec<Vec<f64>> = vec![Vec::with_capacity(grid.len()); nodes];
+        let mut source_traces: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(grid.len()); self.vsource_count];
+        let record = |x: &[f64],
+                          traces: &mut Vec<Vec<f64>>,
+                          source_traces: &mut Vec<Vec<f64>>| {
+            traces[0].push(0.0);
+            for index in 1..nodes {
+                traces[index].push(x[index - 1]);
+            }
+            for branch in 0..self.vsource_count {
+                source_traces[branch].push(x[(nodes - 1) + branch]);
+            }
+        };
+        record(&solution, &mut traces, &mut source_traces);
+
+        let mut previous_time = grid[0];
+        for (step, &time) in grid[1..].iter().enumerate() {
+            let h = time - previous_time;
+            debug_assert!(h > 0.0);
+            let t = Seconds::new(time);
+            // Trapezoidal needs a consistent capacitor-current history; the
+            // initial state does not provide one, so the first step always
+            // integrates with backward Euler (the classic startup rule).
+            let integrator = if step == 0 {
+                Integrator::BackwardEuler
+            } else {
+                options.integrator
+            };
+            solution = self.solve_point(t, &solution, Some((&cap_states, h)), integrator)?;
+            self.advance_cap_states(&solution, &mut cap_states, integrator, h);
+            record(&solution, &mut traces, &mut source_traces);
+            previous_time = time;
+        }
+
+        Ok(TranResult {
+            times: grid,
+            traces,
+            source_traces,
+        })
+    }
+
+    /// Runs an adaptive-step transient with step-doubling local-truncation
+    /// error control (backward Euler throughout — robust across switch
+    /// events, with Richardson extrapolation recovering second-order
+    /// accuracy on the accepted states).
+    ///
+    /// Each candidate step of size `h` is computed twice: once directly and
+    /// once as two half steps. The difference estimates the local error; a
+    /// step is accepted when it is below `options.lte_tolerance`, and the
+    /// step size follows the usual `(tol/err)^½` controller within
+    /// `[dt_min, dt_max]`. Steps never straddle a switch event or `t_stop`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] on invalid options, singular systems or
+    /// Newton non-convergence at any attempted point.
+    pub fn transient_adaptive(
+        &self,
+        options: &AdaptiveTranOptions,
+    ) -> Result<TranResult, AnalysisError> {
+        if options.t_stop.get() <= 0.0 {
+            return Err(AnalysisError::InvalidOptions(
+                "t_stop must be positive".to_string(),
+            ));
+        }
+        if options.dt_min.get() <= 0.0
+            || options.dt_min > options.dt_max
+            || options.dt_max > options.t_stop
+        {
+            return Err(AnalysisError::InvalidOptions(
+                "need 0 < dt_min ≤ dt_max ≤ t_stop".to_string(),
+            ));
+        }
+        if options.lte_tolerance <= 0.0 {
+            return Err(AnalysisError::InvalidOptions(
+                "lte_tolerance must be positive".to_string(),
+            ));
+        }
+
+        // Breakpoints the stepper must land on exactly.
+        let mut breakpoints: Vec<f64> = self
+            .switch_event_times()
+            .into_iter()
+            .map(Seconds::get)
+            .filter(|&event| event > 0.0 && event < options.t_stop.get())
+            .collect();
+        breakpoints.push(options.t_stop.get());
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+
+        // Initial state (same policy as the fixed-step transient).
+        let mut solution = if options.start_from_dc {
+            let op = self.dc_operating_point(Seconds::ZERO)?;
+            let mut x = vec![0.0; self.dim()];
+            x[..(self.node_count() - 1)].copy_from_slice(&op.voltages[1..self.node_count()]);
+            for branch in 0..self.vsource_count {
+                x[self.branch_row(branch)] = op.source_currents[branch];
+            }
+            x
+        } else {
+            vec![0.0; self.dim()]
+        };
+        let mut cap_states = self.initial_cap_states(&solution);
+
+        let nodes = self.node_count();
+        let mut times = vec![0.0];
+        let mut traces: Vec<Vec<f64>> = vec![Vec::new(); nodes];
+        let mut source_traces: Vec<Vec<f64>> = vec![Vec::new(); self.vsource_count];
+        let record = |x: &[f64],
+                      traces: &mut Vec<Vec<f64>>,
+                      source_traces: &mut Vec<Vec<f64>>| {
+            traces[0].push(0.0);
+            for index in 1..nodes {
+                traces[index].push(x[index - 1]);
+            }
+            for branch in 0..self.vsource_count {
+                source_traces[branch].push(x[(nodes - 1) + branch]);
+            }
+        };
+        record(&solution, &mut traces, &mut source_traces);
+
+        let voltage_entries = self.node_count() - 1;
+        let mut t = 0.0;
+        let mut h = options.dt_min.max(options.dt_max * 0.01).get();
+        let mut next_breakpoint = 0usize;
+        // Generous cap: dt_min bounds the step count, ×8 for rejections.
+        let max_iterations = (options.t_stop.get() / options.dt_min.get()).ceil() as usize * 8;
+        let mut guard = 0usize;
+        while t < options.t_stop.get() - 1e-18 {
+            guard += 1;
+            if guard > max_iterations {
+                return Err(AnalysisError::NonConvergent {
+                    time: Seconds::new(t),
+                    residual: f64::INFINITY,
+                });
+            }
+            // Clip the step to the next breakpoint.
+            while breakpoints[next_breakpoint] <= t + 1e-18 {
+                next_breakpoint += 1;
+            }
+            let limit = breakpoints[next_breakpoint];
+            let mut step = h.min(limit - t);
+            // Avoid leaving a sliver below dt_min before the breakpoint.
+            if limit - (t + step) < options.dt_min.get() * 0.5 {
+                step = limit - t;
+            }
+
+            // Full step.
+            let t_full = Seconds::new(t + step);
+            let full = self.solve_point(
+                t_full,
+                &solution,
+                Some((&cap_states, step)),
+                Integrator::BackwardEuler,
+            )?;
+            // Two half steps on cloned capacitor state.
+            let mut half_states = cap_states.clone();
+            let t_mid = Seconds::new(t + 0.5 * step);
+            let mid = self.solve_point(
+                t_mid,
+                &solution,
+                Some((&half_states, 0.5 * step)),
+                Integrator::BackwardEuler,
+            )?;
+            self.advance_cap_states(&mid, &mut half_states, Integrator::BackwardEuler, 0.5 * step);
+            let half = self.solve_point(
+                t_full,
+                &mid,
+                Some((&half_states, 0.5 * step)),
+                Integrator::BackwardEuler,
+            )?;
+
+            let mut error = 0.0f64;
+            for index in 0..voltage_entries {
+                error = error.max((full[index] - half[index]).abs());
+            }
+
+            if error <= options.lte_tolerance || step <= options.dt_min.get() * (1.0 + 1e-9) {
+                // Accept: Richardson-extrapolate the voltages (2x_half −
+                // x_full kills the first-order error term), then advance
+                // the true capacitor state with the two half steps.
+                self.advance_cap_states(
+                    &half,
+                    &mut half_states,
+                    Integrator::BackwardEuler,
+                    0.5 * step,
+                );
+                cap_states = half_states;
+                solution = half
+                    .iter()
+                    .zip(&full)
+                    .map(|(h_v, f_v)| 2.0 * h_v - f_v)
+                    .collect();
+                t += step;
+                times.push(t);
+                record(&solution, &mut traces, &mut source_traces);
+                // Grow/shrink for the next step (first-order controller).
+                let factor = if error > 0.0 {
+                    (0.8 * (options.lte_tolerance / error).sqrt()).clamp(0.2, 2.0)
+                } else {
+                    2.0
+                };
+                h = (step * factor).clamp(options.dt_min.get(), options.dt_max.get());
+            } else {
+                // Reject and retry with half the step.
+                h = (0.5 * step).max(options.dt_min.get());
+            }
+        }
+
+        Ok(TranResult {
+            times,
+            traces,
+            source_traces,
+        })
+    }
+
+    fn initial_cap_states(&self, solution: &[f64]) -> Vec<CapState> {
+        self.elements
+            .iter()
+            .filter_map(|element| match element {
+                Element::Capacitor { a, b, ic, .. } => {
+                    let v = ic.unwrap_or_else(|| {
+                        let va = Self::node_row(*a).map_or(0.0, |row| solution[row]);
+                        let vb = Self::node_row(*b).map_or(0.0, |row| solution[row]);
+                        va - vb
+                    });
+                    Some(CapState { v, i: 0.0 })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn advance_cap_states(
+        &self,
+        solution: &[f64],
+        states: &mut [CapState],
+        integrator: Integrator,
+        h: f64,
+    ) {
+        let mut cap_index = 0;
+        for element in &self.elements {
+            if let Element::Capacitor { a, b, farads, .. } = element {
+                let va = Self::node_row(*a).map_or(0.0, |row| solution[row]);
+                let vb = Self::node_row(*b).map_or(0.0, |row| solution[row]);
+                let v_new = va - vb;
+                let state = &mut states[cap_index];
+                state.i = match integrator {
+                    Integrator::BackwardEuler => farads / h * (v_new - state.v),
+                    Integrator::Trapezoidal => 2.0 * farads / h * (v_new - state.v) - state.i,
+                };
+                state.v = v_new;
+                cap_index += 1;
+            }
+        }
+    }
+
+    /// Solves one (possibly nonlinear) analysis point by Newton iteration.
+    ///
+    /// `cap` is `Some((states, h))` during transient steps and `None` for DC
+    /// (capacitors open).
+    fn solve_point(
+        &self,
+        t: Seconds,
+        guess: &[f64],
+        cap: Option<(&[CapState], f64)>,
+        integrator: Integrator,
+    ) -> Result<Vec<f64>, AnalysisError> {
+        let dim = self.dim();
+        let mut x = guess.to_vec();
+        let mut matrix = Matrix::zeros(dim, dim);
+        let mut rhs = vec![0.0; dim];
+
+        if !self.has_nonlinear() {
+            // A linear system needs exactly one solve.
+            self.stamp(&mut matrix, &mut rhs, &x, t, cap, integrator);
+            return matrix
+                .solve(&rhs)
+                .map_err(|source| AnalysisError::Singular { source, time: t });
+        }
+
+        for _iteration in 0..MAX_NEWTON {
+            matrix.clear();
+            rhs.fill(0.0);
+            self.stamp(&mut matrix, &mut rhs, &x, t, cap, integrator);
+            let next = matrix
+                .solve(&rhs)
+                .map_err(|source| AnalysisError::Singular { source, time: t })?;
+
+            // Damped update: clamp each voltage unknown's move per
+            // iteration so the square-law MOSFET linearisation cannot
+            // overshoot into a bogus operating region. Clamping per entry
+            // (not scaling the whole vector) lets well-behaved unknowns —
+            // e.g. a source-driven gate — reach their values while a
+            // momentarily ill-conditioned node is reined in.
+            let voltage_entries = self.node_count() - 1;
+            let mut max_delta = 0.0f64;
+            for index in 0..dim {
+                let delta = next[index] - x[index];
+                if index < voltage_entries {
+                    max_delta = max_delta.max(delta.abs());
+                    x[index] += delta.clamp(-MAX_STEP, MAX_STEP);
+                } else {
+                    // Branch currents follow the (clamped) voltages freely.
+                    x[index] = next[index];
+                }
+            }
+            if max_delta < TOL_ABS {
+                return Ok(x);
+            }
+        }
+        // Measure the final residual for the error report.
+        matrix.clear();
+        rhs.fill(0.0);
+        self.stamp(&mut matrix, &mut rhs, &x, t, cap, integrator);
+        let residual = match matrix.solve(&rhs) {
+            Ok(next) => x
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+            Err(_) => f64::INFINITY,
+        };
+        Err(AnalysisError::NonConvergent { time: t, residual })
+    }
+
+    fn has_nonlinear(&self) -> bool {
+        self.elements.iter().any(|element| {
+            matches!(
+                element,
+                Element::Mosfet { .. } | Element::Nonlinear { .. }
+            )
+        })
+    }
+
+    /// Stamps all elements into `matrix`/`rhs`, linearising nonlinear ones
+    /// around the iterate `x`.
+    fn stamp(
+        &self,
+        matrix: &mut Matrix,
+        rhs: &mut [f64],
+        x: &[f64],
+        t: Seconds,
+        cap: Option<(&[CapState], f64)>,
+        integrator: Integrator,
+    ) {
+        let voltage_of = |node: Node, x: &[f64]| -> f64 {
+            Self::node_row(node).map_or(0.0, |row| x[row])
+        };
+        let stamp_conductance = |matrix: &mut Matrix, a: Node, b: Node, g: f64| {
+            if let Some(row_a) = Self::node_row(a) {
+                matrix.stamp(row_a, row_a, g);
+                if let Some(row_b) = Self::node_row(b) {
+                    matrix.stamp(row_a, row_b, -g);
+                    matrix.stamp(row_b, row_a, -g);
+                }
+            }
+            if let Some(row_b) = Self::node_row(b) {
+                matrix.stamp(row_b, row_b, g);
+            }
+        };
+        let stamp_current_into = |rhs: &mut [f64], pos: Node, neg: Node, i: f64| {
+            if let Some(row) = Self::node_row(pos) {
+                rhs[row] += i;
+            }
+            if let Some(row) = Self::node_row(neg) {
+                rhs[row] -= i;
+            }
+        };
+
+        // GMIN from every non-ground node to ground.
+        for row in 0..(self.node_count() - 1) {
+            matrix.stamp(row, row, GMIN);
+        }
+
+        let mut cap_index = 0;
+        for element in &self.elements {
+            match element {
+                Element::Resistor { a, b, ohms } => {
+                    stamp_conductance(matrix, *a, *b, 1.0 / ohms);
+                }
+                Element::Switch {
+                    a,
+                    b,
+                    r_on,
+                    r_off,
+                    schedule,
+                } => {
+                    let resistance = if schedule.state_at(t) { *r_on } else { *r_off };
+                    stamp_conductance(matrix, *a, *b, 1.0 / resistance);
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    if let Some((states, h)) = cap {
+                        let state = states[cap_index];
+                        let (g_eq, i_hist) = match integrator {
+                            Integrator::BackwardEuler => {
+                                let g = farads / h;
+                                (g, g * state.v)
+                            }
+                            Integrator::Trapezoidal => {
+                                let g = 2.0 * farads / h;
+                                (g, g * state.v + state.i)
+                            }
+                        };
+                        stamp_conductance(matrix, *a, *b, g_eq);
+                        // History current drives the cap towards its past
+                        // voltage: inject into `a`, return from `b`.
+                        stamp_current_into(rhs, *a, *b, i_hist);
+                    }
+                    cap_index += 1;
+                }
+                Element::VoltageSource {
+                    pos,
+                    neg,
+                    wave,
+                    branch,
+                } => {
+                    let branch_row = self.branch_row(*branch);
+                    if let Some(row) = Self::node_row(*pos) {
+                        matrix.stamp(row, branch_row, 1.0);
+                        matrix.stamp(branch_row, row, 1.0);
+                    }
+                    if let Some(row) = Self::node_row(*neg) {
+                        matrix.stamp(row, branch_row, -1.0);
+                        matrix.stamp(branch_row, row, -1.0);
+                    }
+                    rhs[branch_row] += wave.value_at(t);
+                }
+                Element::CurrentSource { pos, neg, wave } => {
+                    stamp_current_into(rhs, *pos, *neg, wave.value_at(t));
+                }
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    params,
+                } => {
+                    stamp_mosfet(
+                        matrix,
+                        rhs,
+                        *drain,
+                        *gate,
+                        *source,
+                        params,
+                        voltage_of(*drain, x),
+                        voltage_of(*gate, x),
+                        voltage_of(*source, x),
+                    );
+                }
+                Element::Vcvs {
+                    out_pos,
+                    out_neg,
+                    in_pos,
+                    in_neg,
+                    gain,
+                    branch,
+                } => {
+                    let branch_row = self.branch_row(*branch);
+                    if let Some(row) = Self::node_row(*out_pos) {
+                        matrix.stamp(row, branch_row, 1.0);
+                        matrix.stamp(branch_row, row, 1.0);
+                    }
+                    if let Some(row) = Self::node_row(*out_neg) {
+                        matrix.stamp(row, branch_row, -1.0);
+                        matrix.stamp(branch_row, row, -1.0);
+                    }
+                    // Constraint: v_out+ − v_out− − gain·(v_in+ − v_in−) = 0.
+                    if let Some(row) = Self::node_row(*in_pos) {
+                        matrix.stamp(branch_row, row, -gain);
+                    }
+                    if let Some(row) = Self::node_row(*in_neg) {
+                        matrix.stamp(branch_row, row, *gain);
+                    }
+                }
+                Element::Nonlinear { a, b, law } => {
+                    let v = voltage_of(*a, x) - voltage_of(*b, x);
+                    let i = law.current(v);
+                    let g = law.conductance(v).max(GMIN);
+                    let i_eq = i - g * v;
+                    stamp_conductance(matrix, *a, *b, g);
+                    // The linearised excess current leaves `a`: move it to
+                    // the RHS with opposite sign.
+                    stamp_current_into(rhs, *a, *b, -i_eq);
+                }
+            }
+        }
+    }
+}
+
+/// Stamps a level-1 NMOS linearised around the iterate voltages.
+#[allow(clippy::too_many_arguments)]
+/// The small-signal linearisation of a level-1 NMOS around a bias point:
+/// the effective (possibly swapped) drain/source orientation, the drain
+/// current, and the `gm`/`gds` conductances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct MosfetLinearisation {
+    /// `true` when `v_d < v_s` and the terminals act swapped.
+    pub swapped: bool,
+    /// Drain current flowing (effective) drain → source.
+    pub i_d: f64,
+    /// Transconductance `∂I/∂V_GS`.
+    pub gm: f64,
+    /// Output conductance `∂I/∂V_DS`.
+    pub gds: f64,
+    /// Effective `V_GS` (measured from the lower terminal).
+    pub vgs: f64,
+    /// Effective `V_DS` (non-negative).
+    pub vds: f64,
+}
+
+/// Linearises a level-1 NMOS at the given terminal voltages.
+pub(crate) fn mosfet_linearisation(
+    params: &MosfetParams,
+    v_d: f64,
+    v_g: f64,
+    v_s: f64,
+) -> MosfetLinearisation {
+    // The level-1 model is symmetric: if v_ds < 0 the physical source is the
+    // `drain` terminal. Swap internally; direction is handled by the swap.
+    let (vd, vs, swapped) = if v_d >= v_s {
+        (v_d, v_s, false)
+    } else {
+        (v_s, v_d, true)
+    };
+    let vgs = v_g - vs;
+    let vds = vd - vs;
+    let vov = vgs - params.vt;
+
+    let (i_d, gm, gds) = if vov <= 0.0 {
+        // Cutoff: tiny leak keeps the Jacobian nonsingular.
+        (vds * GMIN, 0.0, GMIN)
+    } else if vds < vov {
+        // Triode.
+        let i = params.k * (vov * vds - 0.5 * vds * vds);
+        let gm = params.k * vds;
+        let gds = params.k * (vov - vds);
+        (i, gm, gds.max(GMIN))
+    } else {
+        // Saturation with channel-length modulation.
+        let i0 = 0.5 * params.k * vov * vov;
+        let i = i0 * (1.0 + params.lambda * vds);
+        let gm = params.k * vov * (1.0 + params.lambda * vds);
+        let gds = (i0 * params.lambda).max(GMIN);
+        (i, gm, gds)
+    };
+    MosfetLinearisation {
+        swapped,
+        i_d,
+        gm,
+        gds,
+        vgs,
+        vds,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stamp_mosfet(
+    matrix: &mut Matrix,
+    rhs: &mut [f64],
+    drain: Node,
+    gate: Node,
+    source: Node,
+    params: &MosfetParams,
+    v_d: f64,
+    v_g: f64,
+    v_s: f64,
+) {
+    let lin = mosfet_linearisation(params, v_d, v_g, v_s);
+    let (d, s) = if lin.swapped {
+        (source, drain)
+    } else {
+        (drain, source)
+    };
+    let (i_d, gm, gds, vgs, vds) = (lin.i_d, lin.gm, lin.gds, lin.vgs, lin.vds);
+
+    // Linearised drain current: I ≈ I_eq + gm·v_gs + gds·v_ds.
+    let i_eq = i_d - gm * vgs - gds * vds;
+
+    let row = Circuit::node_row;
+    // KCL at the (effective) drain: +I leaves it.
+    if let Some(row_d) = row(d) {
+        if let Some(row_g) = row(gate) {
+            matrix.stamp(row_d, row_g, gm);
+        }
+        matrix.stamp(row_d, row_d, gds);
+        if let Some(row_s) = row(s) {
+            matrix.stamp(row_d, row_s, -(gm + gds));
+        }
+        rhs[row_d] -= i_eq;
+    }
+    // KCL at the (effective) source: −I.
+    if let Some(row_s) = row(s) {
+        if let Some(row_g) = row(gate) {
+            matrix.stamp(row_s, row_g, -gm);
+        }
+        if let Some(row_d) = row(d) {
+            matrix.stamp(row_s, row_d, -gds);
+        }
+        matrix.stamp(row_s, row_s, gm + gds);
+        rhs[row_s] += i_eq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SwitchSchedule;
+    use crate::waveform::Waveform;
+    use std::sync::Arc;
+    use stt_units::{Farads, Ohms};
+
+    fn nanos(t: f64) -> Seconds {
+        Seconds::from_nano(t)
+    }
+
+    #[test]
+    fn resistive_divider_dc() {
+        let mut circuit = Circuit::new();
+        let top = circuit.node("top");
+        let mid = circuit.node("mid");
+        let source = circuit.voltage_source(top, Node::GROUND, Waveform::Dc(2.0));
+        circuit.resistor(top, mid, Ohms::from_kilo(1.0));
+        circuit.resistor(mid, Node::GROUND, Ohms::from_kilo(3.0));
+        let op = circuit.dc_operating_point(Seconds::ZERO).expect("linear");
+        assert!((op.voltage(mid) - 1.5).abs() < 1e-6, "GMIN leak stays tiny");
+        assert_eq!(op.voltage(Node::GROUND), 0.0);
+        // 2 V across 4 kΩ: 0.5 mA flows out of the + terminal, so the branch
+        // current (pos → through source → neg) is −0.5 mA.
+        assert!((op.source_current(source) + 0.5e-3).abs() < 1e-9);
+        assert!((op.voltage_typed(mid).get() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut circuit = Circuit::new();
+        let out = circuit.node("out");
+        circuit.current_source(out, Node::GROUND, Waveform::Dc(200e-6));
+        circuit.resistor(out, Node::GROUND, Ohms::new(2500.0));
+        let op = circuit.dc_operating_point(Seconds::ZERO).expect("linear");
+        assert!((op.voltage(out) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_is_held_by_gmin() {
+        let mut circuit = Circuit::new();
+        let floating = circuit.node("floating");
+        let driven = circuit.node("driven");
+        circuit.voltage_source(driven, Node::GROUND, Waveform::Dc(1.0));
+        circuit.resistor(driven, Node::GROUND, Ohms::from_kilo(1.0));
+        // `floating` has no connection at all: GMIN pins it to ground.
+        let op = circuit.dc_operating_point(Seconds::ZERO).expect("gmin");
+        assert!(op.voltage(floating).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_charge_curve_matches_analytic() {
+        let mut circuit = Circuit::new();
+        let input = circuit.node("in");
+        let output = circuit.node("out");
+        circuit.voltage_source(
+            input,
+            Node::GROUND,
+            Waveform::pulse(0.0, 1.0, Seconds::ZERO, nanos(0.001), nanos(0.001), nanos(1000.0)),
+        );
+        circuit.resistor(input, output, Ohms::from_kilo(1.0));
+        circuit.capacitor(output, Node::GROUND, Farads::from_pico(1.0));
+        let result = circuit
+            .transient(&TranOptions::new(nanos(5.0), nanos(0.005)))
+            .expect("transient");
+        // Compare against 1 − exp(−t/τ) at several times (τ = 1 ns).
+        for t_ns in [0.5, 1.0, 2.0, 4.0] {
+            let simulated = result.voltage_at(output, nanos(t_ns));
+            let analytic = 1.0 - (-t_ns).exp();
+            assert!(
+                (simulated - analytic).abs() < 0.01,
+                "at {t_ns} ns: simulated {simulated}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler() {
+        // Smooth problem: RC charging from zero state towards a DC source.
+        // v(t) = 1 − e^{−t/τ}; both integrators see no discontinuity, so
+        // trapezoidal's second order must beat backward Euler's first.
+        let build = || {
+            let mut circuit = Circuit::new();
+            let input = circuit.node("in");
+            let output = circuit.node("out");
+            circuit.voltage_source(input, Node::GROUND, Waveform::Dc(1.0));
+            circuit.resistor(input, output, Ohms::from_kilo(1.0));
+            circuit.capacitor(output, Node::GROUND, Farads::from_pico(1.0));
+            (circuit, output)
+        };
+        let coarse = nanos(0.1); // 10 steps per time constant
+        let (circuit, out) = build();
+        let be = circuit
+            .transient(&TranOptions::new(nanos(3.0), coarse).from_zero_state())
+            .expect("be");
+        let (circuit, _) = build();
+        let trap = circuit
+            .transient(
+                &TranOptions::new(nanos(3.0), coarse)
+                    .with_integrator(Integrator::Trapezoidal)
+                    .from_zero_state(),
+            )
+            .expect("trap");
+        let analytic = |t_ns: f64| 1.0 - (-t_ns).exp();
+        let be_err = (be.voltage_at(out, nanos(1.0)) - analytic(1.0)).abs();
+        let trap_err = (trap.voltage_at(out, nanos(1.0)) - analytic(1.0)).abs();
+        assert!(
+            trap_err < be_err / 5.0,
+            "trap {trap_err} should clearly beat BE {be_err}"
+        );
+    }
+
+    #[test]
+    fn switch_samples_voltage_onto_capacitor() {
+        // The core sample-and-hold idiom of the paper's sensing circuits.
+        let mut circuit = Circuit::new();
+        let bl = circuit.node("bl");
+        let hold = circuit.node("hold");
+        circuit.current_source(bl, Node::GROUND, Waveform::Dc(100e-6));
+        circuit.resistor(bl, Node::GROUND, Ohms::from_kilo(3.0));
+        circuit.switch(
+            bl,
+            hold,
+            Ohms::new(200.0),
+            Ohms::from_mega(1000.0),
+            SwitchSchedule::closed_during(nanos(1.0), nanos(6.0)),
+        );
+        circuit.capacitor(hold, Node::GROUND, Farads::from_femto(25.0));
+        let result = circuit
+            .transient(&TranOptions::new(nanos(10.0), nanos(0.01)).from_zero_state())
+            .expect("transient");
+        // Before the switch closes the cap is empty.
+        assert!(result.voltage_at(hold, nanos(0.9)).abs() < 1e-3);
+        // While closed it charges to the bit-line voltage (0.3 V).
+        let sampled = result.voltage_at(hold, nanos(5.9));
+        assert!((sampled - 0.3).abs() < 1e-3, "sampled {sampled}");
+        // After opening, the value holds (GMIN droop is negligible at 10 ns).
+        let held = result.voltage_at(hold, nanos(10.0));
+        assert!((held - sampled).abs() < 1e-4, "held {held} vs {sampled}");
+    }
+
+    #[test]
+    fn mosfet_linear_region_resistance() {
+        // Access-transistor configuration: gate at 1.2 V, drain fed by a
+        // small current, source grounded. Expect V_DS ≈ I·R_on with
+        // R_on = 1/(k·(Vgs−Vt)).
+        let mut circuit = Circuit::new();
+        let drain = circuit.node("drain");
+        let gate = circuit.node("gate");
+        circuit.voltage_source(gate, Node::GROUND, Waveform::Dc(1.2));
+        circuit.current_source(drain, Node::GROUND, Waveform::Dc(10e-6));
+        let params = MosfetParams::with_on_resistance(Ohms::new(917.0), 1.2, 0.4);
+        circuit.mosfet(drain, gate, Node::GROUND, params);
+        let op = circuit.dc_operating_point(Seconds::ZERO).expect("newton");
+        let v_ds = op.voltage(drain);
+        let r_eff = v_ds / 10e-6;
+        // Deep triode: the quadratic term makes R slightly above R_on.
+        assert!((r_eff - 917.0).abs() < 25.0, "effective resistance {r_eff}");
+    }
+
+    #[test]
+    fn mosfet_saturation_current() {
+        let mut circuit = Circuit::new();
+        let drain = circuit.node("drain");
+        let gate = circuit.node("gate");
+        let supply = circuit.node("vdd");
+        circuit.voltage_source(gate, Node::GROUND, Waveform::Dc(1.0));
+        let vdd = circuit.voltage_source(supply, Node::GROUND, Waveform::Dc(1.8));
+        circuit.resistor(supply, drain, Ohms::new(100.0));
+        let params = MosfetParams::new(0.4, 1e-3, 0.0);
+        circuit.mosfet(drain, gate, Node::GROUND, params);
+        let op = circuit.dc_operating_point(Seconds::ZERO).expect("newton");
+        // Vov = 0.6; Id = k/2·Vov² = 180 µA; drop over 100 Ω = 18 mV, so
+        // Vds = 1.782 V ≫ Vov: saturation confirmed.
+        let i_d = -op.source_current(vdd);
+        assert!((i_d - 180e-6).abs() < 1e-6, "drain current {i_d}");
+        assert!((op.voltage(drain) - 1.782).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mosfet_cutoff_blocks() {
+        let mut circuit = Circuit::new();
+        let drain = circuit.node("drain");
+        let gate = circuit.node("gate");
+        circuit.voltage_source(gate, Node::GROUND, Waveform::Dc(0.0));
+        circuit.current_source(drain, Node::GROUND, Waveform::Dc(1e-9));
+        circuit.mosfet(drain, gate, Node::GROUND, MosfetParams::new(0.4, 1e-3, 0.0));
+        // Also give the node a big resistor so it cannot float to infinity.
+        circuit.resistor(drain, Node::GROUND, Ohms::from_mega(100.0));
+        let op = circuit.dc_operating_point(Seconds::ZERO).expect("newton");
+        // Nearly all current takes the 100 MΩ path: the device is off.
+        assert!(op.voltage(drain) > 0.04, "cut-off device conducts");
+    }
+
+    #[test]
+    fn nonlinear_device_law_converges() {
+        /// A diode-ish quadratic law: I = g1·v + g2·v·|v|.
+        #[derive(Debug)]
+        struct Quadratic;
+        impl crate::circuit::DeviceLaw for Quadratic {
+            fn current(&self, v: f64) -> f64 {
+                1e-3 * v + 5e-3 * v * v.abs()
+            }
+            fn conductance(&self, v: f64) -> f64 {
+                1e-3 + 10e-3 * v.abs()
+            }
+        }
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        circuit.current_source(a, Node::GROUND, Waveform::Dc(1e-3));
+        circuit.nonlinear(a, Node::GROUND, Arc::new(Quadratic));
+        let op = circuit.dc_operating_point(Seconds::ZERO).expect("newton");
+        let v = op.voltage(a);
+        // Check the solved voltage satisfies I(v) = 1 mA.
+        let residual = (1e-3 * v + 5e-3 * v * v.abs()) - 1e-3;
+        assert!(residual.abs() < 1e-9, "KCL residual {residual}");
+        // And the law is odd-symmetric: reversing the source flips v.
+        let mut reversed = Circuit::new();
+        let b = reversed.node("b");
+        reversed.current_source(Node::GROUND, b, Waveform::Dc(1e-3));
+        reversed.nonlinear(b, Node::GROUND, Arc::new(Quadratic));
+        let op2 = reversed.dc_operating_point(Seconds::ZERO).expect("newton");
+        assert!((op2.voltage(b) + v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_grid_includes_switch_events() {
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        circuit.resistor(a, Node::GROUND, Ohms::from_kilo(1.0));
+        circuit.switch(
+            a,
+            Node::GROUND,
+            Ohms::new(10.0),
+            Ohms::from_mega(1.0),
+            // Event deliberately off the uniform 1 ns grid.
+            SwitchSchedule::closed_during(Seconds::new(1.2345e-9), nanos(3.0)),
+        );
+        circuit.current_source(a, Node::GROUND, Waveform::Dc(1e-6));
+        let result = circuit
+            .transient(&TranOptions::new(nanos(5.0), nanos(1.0)))
+            .expect("transient");
+        assert!(
+            result
+                .times()
+                .iter()
+                .any(|&t| (t - 1.2345e-9).abs() < 1e-18),
+            "switch event time must be on the grid"
+        );
+    }
+
+    #[test]
+    fn crossing_time_interpolates() {
+        let mut circuit = Circuit::new();
+        let input = circuit.node("in");
+        let output = circuit.node("out");
+        circuit.voltage_source(
+            input,
+            Node::GROUND,
+            Waveform::pulse(0.0, 1.0, Seconds::ZERO, nanos(0.001), nanos(0.001), nanos(100.0)),
+        );
+        circuit.resistor(input, output, Ohms::from_kilo(1.0));
+        circuit.capacitor(output, Node::GROUND, Farads::from_pico(1.0));
+        let result = circuit
+            .transient(&TranOptions::new(nanos(5.0), nanos(0.01)))
+            .expect("transient");
+        // v(t) = 1 − e^{−t/1ns} crosses 0.5 at t = ln 2 ≈ 0.693 ns.
+        let crossing = result
+            .crossing_time(output, 0.5, true)
+            .expect("crosses 0.5");
+        assert!(
+            (crossing.get() - 0.693e-9).abs() < 0.01e-9,
+            "crossing at {crossing}"
+        );
+        assert!(result.crossing_time(output, 2.0, true).is_none());
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        circuit.resistor(a, Node::GROUND, Ohms::new(1.0));
+        let err = circuit
+            .transient(&TranOptions::new(Seconds::ZERO, nanos(1.0)))
+            .expect_err("zero t_stop");
+        assert!(matches!(err, AnalysisError::InvalidOptions(_)));
+        let err = circuit
+            .transient(&TranOptions::new(nanos(1.0), nanos(2.0)))
+            .expect_err("dt > t_stop");
+        assert!(err.to_string().contains("dt"));
+    }
+
+    #[test]
+    fn start_from_dc_avoids_initial_transient() {
+        // A cap already charged through a resistor ladder: starting from DC
+        // the output must be flat from t = 0.
+        let mut circuit = Circuit::new();
+        let top = circuit.node("top");
+        let mid = circuit.node("mid");
+        circuit.voltage_source(top, Node::GROUND, Waveform::Dc(1.0));
+        circuit.resistor(top, mid, Ohms::from_kilo(1.0));
+        circuit.resistor(mid, Node::GROUND, Ohms::from_kilo(1.0));
+        circuit.capacitor(mid, Node::GROUND, Farads::from_pico(10.0));
+        let result = circuit
+            .transient(&TranOptions::new(nanos(20.0), nanos(0.1)))
+            .expect("transient");
+        for &v in result.voltage(mid) {
+            assert!((v - 0.5).abs() < 1e-6, "flat-line violated: {v}");
+        }
+    }
+
+    #[test]
+    fn vcvs_amplifies_differentially() {
+        let mut circuit = Circuit::new();
+        let in_p = circuit.node("in_p");
+        let in_n = circuit.node("in_n");
+        let out = circuit.node("out");
+        circuit.voltage_source(in_p, Node::GROUND, Waveform::Dc(0.503));
+        circuit.voltage_source(in_n, Node::GROUND, Waveform::Dc(0.500));
+        circuit.vcvs(out, Node::GROUND, in_p, in_n, 100.0);
+        // A load on the ideal output does not change its voltage.
+        circuit.resistor(out, Node::GROUND, Ohms::from_kilo(1.0));
+        let op = circuit.dc_operating_point(Seconds::ZERO).expect("vcvs");
+        assert!((op.voltage(out) - 0.3).abs() < 1e-9, "out {}", op.voltage(out));
+    }
+
+    #[test]
+    fn vcvs_output_branch_current_is_reported() {
+        let mut circuit = Circuit::new();
+        let in_p = circuit.node("in_p");
+        let out = circuit.node("out");
+        circuit.voltage_source(in_p, Node::GROUND, Waveform::Dc(1.0));
+        let amp = circuit.vcvs(out, Node::GROUND, in_p, Node::GROUND, 2.0);
+        circuit.resistor(out, Node::GROUND, Ohms::from_kilo(1.0));
+        let op = circuit.dc_operating_point(Seconds::ZERO).expect("vcvs");
+        // 2 V across 1 kΩ: the VCVS sources 2 mA, so its branch current
+        // (pos → through source) is −2 mA.
+        assert!((op.source_current(amp) + 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vcvs_in_unity_feedback_follows() {
+        // out = A(in − out) ⇒ out = in·A/(1+A): the auto-zero idiom.
+        let mut circuit = Circuit::new();
+        let input = circuit.node("in");
+        let out = circuit.node("out");
+        circuit.voltage_source(input, Node::GROUND, Waveform::Dc(0.7));
+        circuit.vcvs(out, Node::GROUND, input, out, 1000.0);
+        let op = circuit.dc_operating_point(Seconds::ZERO).expect("follower");
+        let expected = 0.7 * 1000.0 / 1001.0;
+        assert!((op.voltage(out) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_initial_condition_is_honoured() {
+        // A pre-charged cap discharging through a resistor: v(t) = v0·e^{−t/τ}.
+        let mut circuit = Circuit::new();
+        let top = circuit.node("top");
+        circuit.capacitor_with_ic(top, Node::GROUND, Farads::from_pico(1.0), 1.0);
+        circuit.resistor(top, Node::GROUND, Ohms::from_kilo(1.0));
+        let result = circuit
+            .transient(&TranOptions::new(nanos(3.0), nanos(0.005)).from_zero_state())
+            .expect("transient");
+        for t_ns in [0.5, 1.0, 2.0] {
+            let simulated = result.voltage_at(top, nanos(t_ns));
+            let analytic = (-t_ns).exp();
+            assert!(
+                (simulated - analytic).abs() < 0.01,
+                "at {t_ns} ns: {simulated} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacitor_ic_overrides_dc_start() {
+        // Even when the transient starts from the DC operating point, an
+        // explicit IC wins (SPICE UIC semantics): the node must start at the
+        // forced value, not the DC solution.
+        let mut circuit = Circuit::new();
+        let top = circuit.node("top");
+        let supply = circuit.node("vdd");
+        circuit.voltage_source(supply, Node::GROUND, Waveform::Dc(1.0));
+        circuit.resistor(supply, top, Ohms::from_kilo(1.0));
+        circuit.capacitor_with_ic(top, Node::GROUND, Farads::from_pico(1.0), 0.2);
+        let result = circuit
+            .transient(&TranOptions::new(nanos(5.0), nanos(0.005)))
+            .expect("transient");
+        // The first step after t=0 must be near 0.2 V (the IC), then charge
+        // towards 1 V.
+        let early = result.voltage_at(top, nanos(0.02));
+        assert!((early - 0.2).abs() < 0.02, "early {early}");
+        let late = result.voltage_at(top, nanos(5.0));
+        assert!(late > 0.95, "late {late}");
+    }
+
+    #[test]
+    fn adaptive_rc_matches_analytic() {
+        let mut circuit = Circuit::new();
+        let input = circuit.node("in");
+        let output = circuit.node("out");
+        circuit.voltage_source(input, Node::GROUND, Waveform::Dc(1.0));
+        circuit.resistor(input, output, Ohms::from_kilo(1.0));
+        circuit.capacitor(output, Node::GROUND, Farads::from_pico(1.0));
+        let options = AdaptiveTranOptions::new(nanos(5.0), nanos(0.001), nanos(0.5))
+            .with_tolerance(1e-5)
+            .from_zero_state();
+        let result = circuit.transient_adaptive(&options).expect("adaptive");
+        for t_ns in [0.3, 1.0, 2.5, 4.5] {
+            let simulated = result.voltage_at(output, nanos(t_ns));
+            let analytic = 1.0 - (-t_ns).exp();
+            // Interpolation between the (coarse) accepted points dominates
+            // the probe error, not the integration itself.
+            assert!(
+                (simulated - analytic).abs() < 2e-3,
+                "at {t_ns} ns: {simulated} vs {analytic}"
+            );
+        }
+        // The step controller must have grown past the initial step: far
+        // fewer points than a fixed fine grid would need for this accuracy.
+        assert!(
+            result.len() < 400,
+            "adaptive run took {} points; expected growth to coarse steps",
+            result.len()
+        );
+        assert!(
+            (result.times().last().copied().expect("points") - 5e-9).abs() < 1e-18,
+            "must end exactly at t_stop"
+        );
+    }
+
+    #[test]
+    fn adaptive_concentrates_points_where_the_signal_moves() {
+        // An RC driven by a late pulse: the stepper should spend its points
+        // around the edges, not on the flat 20 ns head.
+        let mut circuit = Circuit::new();
+        let input = circuit.node("in");
+        let output = circuit.node("out");
+        circuit.voltage_source(
+            input,
+            Node::GROUND,
+            Waveform::pulse(0.0, 1.0, nanos(20.0), nanos(0.5), nanos(0.5), nanos(5.0)),
+        );
+        circuit.resistor(input, output, Ohms::from_kilo(1.0));
+        circuit.capacitor(output, Node::GROUND, Farads::from_pico(1.0));
+        let options = AdaptiveTranOptions::new(nanos(40.0), nanos(0.002), nanos(2.0))
+            .with_tolerance(1e-5)
+            .from_zero_state();
+        let result = circuit.transient_adaptive(&options).expect("adaptive");
+        let head_points = result.times().iter().filter(|&&t| t < 19e-9).count();
+        let edge_points = result
+            .times()
+            .iter()
+            .filter(|&&t| (20e-9..27e-9).contains(&t))
+            .count();
+        assert!(
+            edge_points > 2 * head_points,
+            "edges {edge_points} vs head {head_points}"
+        );
+        // Accuracy on the plateau: v(25 ns) = 1 − e^{−4.5} after the ramp
+        // ends at 20.5 ns (τ = 1 ns).
+        let plateau = result.voltage_at(output, nanos(25.0));
+        let analytic = 1.0 - (-4.5f64).exp();
+        assert!((plateau - analytic).abs() < 5e-3, "plateau {plateau} vs {analytic}");
+    }
+
+    #[test]
+    fn adaptive_lands_on_switch_events() {
+        let mut circuit = Circuit::new();
+        let bl = circuit.node("bl");
+        let hold = circuit.node("hold");
+        circuit.current_source(bl, Node::GROUND, Waveform::Dc(100e-6));
+        circuit.resistor(bl, Node::GROUND, Ohms::from_kilo(3.0));
+        circuit.switch(
+            bl,
+            hold,
+            Ohms::new(200.0),
+            Ohms::from_mega(1000.0),
+            SwitchSchedule::closed_during(Seconds::new(1.7321e-9), nanos(6.0)),
+        );
+        circuit.capacitor(hold, Node::GROUND, Farads::from_femto(25.0));
+        let options = AdaptiveTranOptions::new(nanos(10.0), nanos(0.002), nanos(1.0))
+            .with_tolerance(1e-5)
+            .from_zero_state();
+        let result = circuit.transient_adaptive(&options).expect("adaptive");
+        assert!(
+            result
+                .times()
+                .iter()
+                .any(|&t| (t - 1.7321e-9).abs() < 1e-15),
+            "must land exactly on the switch closing time"
+        );
+        // And the sample-hold still works.
+        let held = result.voltage_at(hold, nanos(10.0));
+        assert!((held - 0.3).abs() < 1e-3, "held {held}");
+    }
+
+    #[test]
+    fn adaptive_agrees_with_fixed_step() {
+        let build = || {
+            let mut circuit = Circuit::new();
+            let input = circuit.node("in");
+            let output = circuit.node("out");
+            circuit.voltage_source(
+                input,
+                Node::GROUND,
+                Waveform::pwl(vec![
+                    (Seconds::ZERO, 0.0),
+                    (nanos(1.0), 0.8),
+                    (nanos(3.0), 0.2),
+                    (nanos(6.0), 1.0),
+                ]),
+            );
+            circuit.resistor(input, output, Ohms::from_kilo(2.0));
+            circuit.capacitor(output, Node::GROUND, Farads::from_pico(0.5));
+            (circuit, output)
+        };
+        let (circuit, out) = build();
+        let fixed = circuit
+            .transient(&TranOptions::new(nanos(8.0), nanos(0.001)).from_zero_state())
+            .expect("fixed");
+        let (circuit, _) = build();
+        let adaptive = circuit
+            .transient_adaptive(
+                &AdaptiveTranOptions::new(nanos(8.0), nanos(0.001), nanos(0.5))
+                    .with_tolerance(1e-6)
+                    .from_zero_state(),
+            )
+            .expect("adaptive");
+        for t_ns in [0.5, 2.0, 4.0, 7.5] {
+            let a = adaptive.voltage_at(out, nanos(t_ns));
+            let f = fixed.voltage_at(out, nanos(t_ns));
+            assert!((a - f).abs() < 1e-3, "at {t_ns} ns: adaptive {a} vs fixed {f}");
+        }
+        assert!(
+            adaptive.len() < fixed.len() / 2,
+            "adaptive {} points vs fixed {}",
+            adaptive.len(),
+            fixed.len()
+        );
+    }
+
+    #[test]
+    fn adaptive_rejects_bad_options() {
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        circuit.resistor(a, Node::GROUND, Ohms::new(1.0));
+        let err = circuit
+            .transient_adaptive(&AdaptiveTranOptions::new(nanos(1.0), nanos(2.0), nanos(0.5)))
+            .expect_err("dt_min > dt_max");
+        assert!(matches!(err, AnalysisError::InvalidOptions(_)));
+        let err = circuit
+            .transient_adaptive(
+                &AdaptiveTranOptions::new(nanos(1.0), nanos(0.01), nanos(0.5))
+                    .with_tolerance(-1.0),
+            )
+            .expect_err("negative tolerance");
+        assert!(err.to_string().contains("lte_tolerance"));
+    }
+
+    #[test]
+    fn error_display_formats() {
+        let singular = AnalysisError::Singular {
+            source: crate::matrix::SingularMatrixError { column: 2 },
+            time: nanos(1.0),
+        };
+        assert!(singular.to_string().contains("singular"));
+        assert!(std::error::Error::source(&singular).is_some());
+        let non_convergent = AnalysisError::NonConvergent {
+            time: nanos(2.0),
+            residual: 0.1,
+        };
+        assert!(non_convergent.to_string().contains("converge"));
+        assert!(std::error::Error::source(&non_convergent).is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! Fitting the linear roll-off calibration from measured-style data.
+//!
+//! The paper's analysis consumes the `(R_{H,L}(0), ΔR_{H,L}max)` abstraction
+//! of a measured R–I sweep (Fig. 2 → Table I). This module performs that
+//! reduction: ordinary least squares of `R = R₀ − slope·|I|` per state,
+//! producing a [`LinearRolloff`] plus fit diagnostics — so a user can drop
+//! their own device measurements into every analysis in the workspace.
+
+use std::fmt;
+
+use stt_units::{Amps, Ohms};
+
+use crate::curve::{IvSweep, TabulatedCurve};
+use crate::model::LinearRolloff;
+
+/// Why a fit could not produce a physical calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitRolloffError {
+    /// Fewer than two samples for a state.
+    TooFewSamples {
+        /// `"high"` or `"low"`.
+        state: &'static str,
+        /// Samples provided.
+        count: usize,
+    },
+    /// All sample currents of a state coincide: the slope is undefined.
+    DegenerateCurrents {
+        /// `"high"` or `"low"`.
+        state: &'static str,
+    },
+    /// The fitted parameters violate device physics (e.g. the fitted high
+    /// state sits below the low state, or a roll-off is negative).
+    NonPhysical(String),
+}
+
+impl fmt::Display for FitRolloffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitRolloffError::TooFewSamples { state, count } => {
+                write!(f, "{state}-state fit needs at least two samples, got {count}")
+            }
+            FitRolloffError::DegenerateCurrents { state } => {
+                write!(f, "{state}-state samples share one current; slope undefined")
+            }
+            FitRolloffError::NonPhysical(message) => {
+                write!(f, "fitted parameters are not physical: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitRolloffError {}
+
+/// A fitted calibration plus goodness-of-fit diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloffFit {
+    /// The fitted linear roll-off model.
+    pub model: LinearRolloff,
+    /// Coefficient of determination of the high-state fit.
+    pub r_squared_high: f64,
+    /// Coefficient of determination of the low-state fit.
+    pub r_squared_low: f64,
+}
+
+/// Least-squares line through `(|I|, R)` samples; returns
+/// `(r0, slope, r_squared)` for `R ≈ r0 − slope·|I|`.
+fn fit_state(
+    samples: &[(Amps, Ohms)],
+    state: &'static str,
+) -> Result<(f64, f64, f64), FitRolloffError> {
+    if samples.len() < 2 {
+        return Err(FitRolloffError::TooFewSamples {
+            state,
+            count: samples.len(),
+        });
+    }
+    let n = samples.len() as f64;
+    let mean_i = samples.iter().map(|(i, _)| i.abs().get()).sum::<f64>() / n;
+    let mean_r = samples.iter().map(|(_, r)| r.get()).sum::<f64>() / n;
+    let mut sii = 0.0;
+    let mut sir = 0.0;
+    let mut srr = 0.0;
+    for (i, r) in samples {
+        let di = i.abs().get() - mean_i;
+        let dr = r.get() - mean_r;
+        sii += di * di;
+        sir += di * dr;
+        srr += dr * dr;
+    }
+    if sii <= 0.0 {
+        return Err(FitRolloffError::DegenerateCurrents { state });
+    }
+    let slope = -sir / sii; // R falls with current: report the drop rate.
+    let r0 = mean_r + slope * mean_i;
+    let r_squared = if srr == 0.0 { 1.0 } else { (sir * sir) / (sii * srr) };
+    Ok((r0, slope, r_squared))
+}
+
+/// Fits a [`LinearRolloff`] from per-state `(I, R)` samples, evaluating the
+/// maximum roll-offs at `i_max`.
+///
+/// # Errors
+///
+/// Returns [`FitRolloffError`] when a state has too few or degenerate
+/// samples, or the fitted parameters violate `R_H(0) > R_L(0) > 0` /
+/// non-negative roll-offs smaller than the zero-bias resistance.
+pub fn fit_linear_rolloff(
+    high: &[(Amps, Ohms)],
+    low: &[(Amps, Ohms)],
+    i_max: Amps,
+) -> Result<RolloffFit, FitRolloffError> {
+    let (r_high0, slope_high, r_squared_high) = fit_state(high, "high")?;
+    let (r_low0, slope_low, r_squared_low) = fit_state(low, "low")?;
+
+    if r_low0 <= 0.0 {
+        return Err(FitRolloffError::NonPhysical(format!(
+            "fitted R_L(0) = {r_low0:.1} Ω is non-positive"
+        )));
+    }
+    if r_high0 <= r_low0 {
+        return Err(FitRolloffError::NonPhysical(format!(
+            "fitted R_H(0) = {r_high0:.1} Ω does not exceed R_L(0) = {r_low0:.1} Ω"
+        )));
+    }
+    // Negative slopes (resistance *growing* with current) are unphysical
+    // for these junctions but can emerge from noise; clamp at zero so a
+    // flat state fits cleanly, and reject only gross violations.
+    let dr_high = (slope_high * i_max.get()).max(0.0);
+    let dr_low = (slope_low * i_max.get()).max(0.0);
+    if dr_high >= r_high0 || dr_low >= r_low0 {
+        return Err(FitRolloffError::NonPhysical(
+            "fitted roll-off exceeds the zero-bias resistance".to_string(),
+        ));
+    }
+    Ok(RolloffFit {
+        model: LinearRolloff::new(
+            Ohms::new(r_low0),
+            Ohms::new(r_high0),
+            Ohms::new(dr_low),
+            Ohms::new(dr_high),
+            i_max,
+        ),
+        r_squared_high,
+        r_squared_low,
+    })
+}
+
+/// Fits from a [`TabulatedCurve`] (e.g. imported measurement data).
+///
+/// # Errors
+///
+/// Same conditions as [`fit_linear_rolloff`].
+pub fn fit_from_curve(curve: &TabulatedCurve, i_max: Amps) -> Result<RolloffFit, FitRolloffError> {
+    fit_linear_rolloff(curve.high_samples(), curve.low_samples(), i_max)
+}
+
+/// Fits from a full bipolar [`IvSweep`].
+///
+/// # Errors
+///
+/// Same conditions as [`fit_linear_rolloff`].
+pub fn fit_from_sweep(sweep: &IvSweep, i_max: Amps) -> Result<RolloffFit, FitRolloffError> {
+    let high: Vec<(Amps, Ohms)> = sweep.iter().map(|p| (p.current, p.r_high)).collect();
+    let low: Vec<(Amps, Ohms)> = sweep.iter().map(|p| (p.current, p.r_low)).collect();
+    fit_linear_rolloff(&high, &low, i_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MtjSpec;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn i_max() -> Amps {
+        Amps::from_micro(200.0)
+    }
+
+    #[test]
+    fn round_trips_the_exact_model() {
+        let truth = MtjSpec::date2010_typical().resistance;
+        let table = TabulatedCurve::from_model(&truth, i_max(), 20);
+        let fit = fit_from_curve(&table, i_max()).expect("clean data fits");
+        assert!((fit.model.r_low0() - truth.r_low0()).abs().get() < 1e-6);
+        assert!((fit.model.r_high0() - truth.r_high0()).abs().get() < 1e-6);
+        assert!((fit.model.dr_high_max() - truth.dr_high_max()).abs().get() < 1e-6);
+        assert!(fit.r_squared_high > 1.0 - 1e-12);
+        assert!(fit.r_squared_low > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn recovers_model_from_noisy_measurements() {
+        let truth = MtjSpec::date2010_typical().resistance;
+        let mut rng = StdRng::seed_from_u64(7);
+        let noisy = TabulatedCurve::from_model_noisy(&truth, i_max(), 60, 0.01, &mut rng);
+        let fit = fit_from_curve(&noisy, i_max()).expect("noisy data fits");
+        let rel = |fitted: Ohms, exact: Ohms| (fitted / exact - 1.0).abs();
+        assert!(rel(fit.model.r_low0(), truth.r_low0()) < 0.02);
+        assert!(rel(fit.model.r_high0(), truth.r_high0()) < 0.02);
+        // The roll-off is a *difference* of noisy quantities: looser bound.
+        assert!(rel(fit.model.dr_high_max(), truth.dr_high_max()) < 0.5);
+        assert!(fit.r_squared_high > 0.5);
+    }
+
+    #[test]
+    fn fits_bipolar_sweeps() {
+        let truth = MtjSpec::date2010_typical().resistance;
+        let sweep = IvSweep::sample(&truth, i_max(), 40);
+        let fit = fit_from_sweep(&sweep, i_max()).expect("sweep fits");
+        assert!((fit.model.r_high0() - truth.r_high0()).abs().get() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_too_few_samples() {
+        let err = fit_linear_rolloff(
+            &[(Amps::ZERO, Ohms::new(3000.0))],
+            &[(Amps::ZERO, Ohms::new(1500.0)), (i_max(), Ohms::new(1400.0))],
+            i_max(),
+        )
+        .expect_err("one sample cannot fit");
+        assert!(matches!(err, FitRolloffError::TooFewSamples { state: "high", .. }));
+        assert!(err.to_string().contains("two samples"));
+    }
+
+    #[test]
+    fn rejects_degenerate_currents() {
+        let same = Amps::from_micro(100.0);
+        let err = fit_linear_rolloff(
+            &[(same, Ohms::new(3000.0)), (same, Ohms::new(2990.0))],
+            &[(Amps::ZERO, Ohms::new(1500.0)), (i_max(), Ohms::new(1400.0))],
+            i_max(),
+        )
+        .expect_err("no current spread");
+        assert!(matches!(err, FitRolloffError::DegenerateCurrents { state: "high" }));
+    }
+
+    #[test]
+    fn rejects_inverted_states() {
+        let err = fit_linear_rolloff(
+            &[(Amps::ZERO, Ohms::new(1000.0)), (i_max(), Ohms::new(950.0))],
+            &[(Amps::ZERO, Ohms::new(1500.0)), (i_max(), Ohms::new(1400.0))],
+            i_max(),
+        )
+        .expect_err("high below low");
+        assert!(matches!(err, FitRolloffError::NonPhysical(_)));
+        assert!(err.to_string().contains("does not exceed"));
+    }
+
+    #[test]
+    fn clamps_noise_induced_negative_rolloff() {
+        // A perfectly flat low state with a hair of upward noise must fit
+        // as zero roll-off, not error out.
+        let fit = fit_linear_rolloff(
+            &[(Amps::ZERO, Ohms::new(3000.0)), (i_max(), Ohms::new(2400.0))],
+            &[(Amps::ZERO, Ohms::new(1500.0)), (i_max(), Ohms::new(1500.1))],
+            i_max(),
+        )
+        .expect("flat state fits");
+        assert_eq!(fit.model.dr_low_max(), Ohms::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fit_round_trips_arbitrary_devices(
+            r_low in 500.0f64..5000.0,
+            tmr in 0.3f64..2.0,
+            dr_low_frac in 0.0f64..0.2,
+            dr_high_frac in 0.05f64..0.4,
+        ) {
+            let r_high = r_low * (1.0 + tmr);
+            let truth = LinearRolloff::new(
+                Ohms::new(r_low),
+                Ohms::new(r_high),
+                Ohms::new(r_low * dr_low_frac),
+                Ohms::new(r_high * dr_high_frac),
+                i_max(),
+            );
+            let table = TabulatedCurve::from_model(&truth, i_max(), 12);
+            let fit = fit_from_curve(&table, i_max()).expect("exact data");
+            prop_assert!((fit.model.r_low0() / truth.r_low0() - 1.0).abs() < 1e-9);
+            prop_assert!((fit.model.r_high0() / truth.r_high0() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Design-space exploration: where should β, α and I_max sit?
+//!
+//! Reproduces the paper's design reasoning as a sweep you can read:
+//!
+//! 1. the sense-margin-vs-β curves (Fig. 6) with the valid windows,
+//! 2. the robustness summary (Table II),
+//! 3. the future-work claim that margins grow with the allowed read
+//!    current I_max (§V),
+//! 4. the test-stage β trim against a sampled cell population.
+//!
+//! Run with: `cargo run --release --example design_sweep`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stt_array::CellSpec;
+use stt_sense::robustness::{beta_sweep, robustness_summary};
+use stt_sense::{NondestructiveDesign, Perturbations};
+use stt_units::Amps;
+
+fn main() {
+    let spec = CellSpec::date2010_chip();
+    let cell = spec.nominal_cell();
+    let i_max = Amps::from_micro(200.0);
+    let alpha = 0.5;
+
+    // 1. Fig. 6: margins vs β.
+    println!("sense margins vs current ratio β (I_R2 = {i_max}, α = {alpha}):");
+    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "β", "SM0-destr", "SM1-destr", "SM0-nondes", "SM1-nondes");
+    for point in beta_sweep(&cell, i_max, alpha, 1.0, 3.0, 16) {
+        println!(
+            "{:>6.2} {:>12} {:>12} {:>12} {:>12}",
+            point.beta,
+            point.destructive.margin0,
+            point.destructive.margin1,
+            point.nondestructive.margin0,
+            point.nondestructive.margin1,
+        );
+    }
+
+    // 2. Table II.
+    let summary = robustness_summary(&cell, i_max, alpha);
+    println!("\nrobustness summary (Table II):");
+    println!(
+        "  valid β:    destructive [{:.2}, {:.2}]   nondestructive [{:.2}, {:.2}]",
+        summary.destructive_beta.low,
+        summary.destructive_beta.high,
+        summary.nondestructive_beta.low,
+        summary.nondestructive_beta.high,
+    );
+    println!(
+        "  ΔR_T (Ω):   destructive [{:+.0}, {:+.0}]   nondestructive [{:+.0}, {:+.0}]",
+        summary.destructive_delta_rt.low,
+        summary.destructive_delta_rt.high,
+        summary.nondestructive_delta_rt.low,
+        summary.nondestructive_delta_rt.high,
+    );
+    println!(
+        "  Δr:         destructive N/A            nondestructive [{:+.2} %, {:+.2} %]",
+        summary.nondestructive_alpha_deviation.low * 100.0,
+        summary.nondestructive_alpha_deviation.high * 100.0,
+    );
+
+    // 3. §V: margins grow with I_max.
+    println!("\nnondestructive margin vs read-current budget (the paper's future-work lever):");
+    for microamps in [50.0, 100.0, 150.0, 200.0, 300.0, 400.0] {
+        let budget = Amps::from_micro(microamps);
+        let design = NondestructiveDesign::optimize(&cell, budget, alpha);
+        let margins = design.margins(&cell, &Perturbations::NONE);
+        println!(
+            "  I_max = {:>7} → β* = {:.3}, equal margin = {}",
+            budget,
+            design.beta(),
+            margins.min(),
+        );
+    }
+
+    // 4. β trim over a sampled population.
+    let mut rng = StdRng::seed_from_u64(5);
+    let sample: Vec<_> = (0..256).map(|_| spec.sample_cell(&mut rng)).collect();
+    let nominal = NondestructiveDesign::optimize(&cell, i_max, alpha);
+    let trimmed = NondestructiveDesign::trimmed(&sample, i_max, alpha);
+    let worst = |design: &NondestructiveDesign| {
+        sample
+            .iter()
+            .map(|cell| design.margins(cell, &Perturbations::NONE).min().get())
+            .fold(f64::INFINITY, f64::min)
+    };
+    println!(
+        "\ntest-stage β trim over 256 sampled bits:\n  nominal β* = {:.3} → worst-case margin {:.2} mV\n  trimmed β  = {:.3} → worst-case margin {:.2} mV",
+        nominal.beta(),
+        worst(&nominal) * 1e3,
+        trimmed.beta(),
+        worst(&trimmed) * 1e3,
+    );
+}

@@ -1,0 +1,114 @@
+//! Bring-your-own-device workflow: calibrate the sensing design from a
+//! measured R–I sweep.
+//!
+//! 1. Synthesize a "measurement" (a noisy tabulated R–I sweep, standing in
+//!    for your instrument data).
+//! 2. Fit the linear roll-off calibration (`R(0)`, `ΔR_max` per state) from
+//!    it, with goodness-of-fit diagnostics.
+//! 3. Derive the nondestructive design point (β*, margins) on the fitted
+//!    device and compare against the ground truth.
+//! 4. Derate the design across die temperature with the thermal model.
+//!
+//! Run with: `cargo run --release --example device_fit`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stt_array::{AccessTransistor, Cell, CellSpec};
+use stt_mtj::{fit_from_curve, MtjSpec, TabulatedCurve, ThermalModel};
+use stt_sense::{NondestructiveDesign, Perturbations, TemperatureSweep};
+use stt_units::Amps;
+
+fn main() {
+    let i_max = Amps::from_micro(200.0);
+
+    // 1. A noisy "measurement" of the true device (1 % instrument noise).
+    let truth = MtjSpec::date2010_typical();
+    let mut rng = StdRng::seed_from_u64(42);
+    let measurement =
+        TabulatedCurve::from_model_noisy(&truth.resistance, i_max, 60, 0.01, &mut rng);
+    println!(
+        "synthesised {}-point measurement of the typical device (1 % noise)",
+        measurement.high_samples().len() + measurement.low_samples().len()
+    );
+
+    // 2. Fit.
+    let fit = match fit_from_curve(&measurement, i_max) {
+        Ok(fit) => fit,
+        Err(error) => {
+            eprintln!("fit failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "\nfitted calibration (R² high {:.4}, low {:.4}):",
+        fit.r_squared_high, fit.r_squared_low
+    );
+    println!(
+        "  R_L(0) = {}  (truth {})",
+        fit.model.r_low0(),
+        truth.resistance.r_low0()
+    );
+    println!(
+        "  R_H(0) = {}  (truth {})",
+        fit.model.r_high0(),
+        truth.resistance.r_high0()
+    );
+    println!(
+        "  ΔR_Hmax = {}  (truth {})",
+        fit.model.dr_high_max(),
+        truth.resistance.dr_high_max()
+    );
+    println!(
+        "  ΔR_Lmax = {}  (truth {})",
+        fit.model.dr_low_max(),
+        truth.resistance.dr_low_max()
+    );
+
+    // 3. Design on the fitted device vs the truth.
+    let fitted_spec = MtjSpec {
+        resistance: fit.model,
+        switching: truth.switching,
+    };
+    let transistor = AccessTransistor::date2010_typical();
+    let fitted_cell = Cell::new(fitted_spec.clone().into_device(), transistor);
+    let true_cell = Cell::new(truth.clone().into_device(), transistor);
+    let fitted_design = NondestructiveDesign::optimize(&fitted_cell, i_max, 0.5);
+    let true_design = NondestructiveDesign::optimize(&true_cell, i_max, 0.5);
+    println!(
+        "\nderived design: β* = {:.3} on the fit vs {:.3} on the truth",
+        fitted_design.beta(),
+        true_design.beta()
+    );
+    println!(
+        "equal margin:   {} on the fit vs {} on the truth",
+        fitted_design.margins(&fitted_cell, &Perturbations::NONE).min(),
+        true_design.margins(&true_cell, &Perturbations::NONE).min()
+    );
+    // Cross-check: the fitted design still reads the *true* device.
+    let cross = fitted_design.margins(&true_cell, &Perturbations::NONE);
+    assert!(cross.both_positive(), "fitted design must work on the truth");
+    println!(
+        "cross-check:    fitted design on the true device → margins {} / {}",
+        cross.margin0, cross.margin1
+    );
+
+    // 4. Temperature derating of the fitted design.
+    let mut cell_spec = CellSpec::date2010_chip();
+    cell_spec.mtj = fitted_spec;
+    let points = TemperatureSweep::date2010().run(
+        &cell_spec,
+        &ThermalModel::date2010_mgo(),
+        &[273.0, 300.0, 358.0, 398.0],
+    );
+    println!("\ntemperature derating of the fitted device:");
+    println!("  T (K)   TMR     safe I_max   margin@derated");
+    for point in points {
+        println!(
+            "  {:>5.0}   {:>4.0} %  {:>10}   {}",
+            point.t_kelvin,
+            point.tmr * 100.0,
+            point.i_max_safe,
+            point.margin_derated,
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Nonvolatility under power failure (the paper's §I argument).
+//!
+//! A destructive self-reference read holds the stored bit *outside* the
+//! cell between the erase and the write-back; an outage in that window
+//! destroys the data. The nondestructive scheme never writes, so any outage
+//! is harmless. This example interrupts reads at random instants and counts
+//! the casualties.
+//!
+//! Run with: `cargo run --release --example power_loss`
+
+use stt_sense::{PowerLossExperiment, SchemeKind};
+
+fn main() {
+    let mut experiment = PowerLossExperiment::date2010(7);
+    experiment.trials = 4096;
+    println!(
+        "interrupting {} reads per scheme at uniformly random step boundaries…",
+        experiment.trials
+    );
+    let result = experiment.run();
+
+    println!("\nper-read vulnerability window (data held outside the cell):");
+    println!(
+        "  destructive self-reference:    {}",
+        result.destructive_vulnerable
+    );
+    println!(
+        "  nondestructive self-reference: {}",
+        result.nondestructive_vulnerable
+    );
+
+    println!("\ndata lost to the outage:");
+    println!(
+        "  destructive self-reference:    {} / {} reads ({:.1} %)",
+        result.destructive.failures(),
+        result.destructive.total(),
+        result.destructive.failure_rate() * 100.0
+    );
+    println!(
+        "  nondestructive self-reference: {} / {} reads ({:.1} %)",
+        result.nondestructive.failures(),
+        result.nondestructive.total(),
+        result.nondestructive.failure_rate() * 100.0
+    );
+
+    assert!(result.destructive.failures() > 0);
+    assert_eq!(result.nondestructive.failures(), 0);
+    println!(
+        "\n⇒ every destructive read exposes the stored bit for {}; eliminating\n\
+         \u{2007} the erase and write-back ({}) keeps STT-RAM genuinely nonvolatile.",
+        result.destructive_vulnerable,
+        SchemeKind::Nondestructive,
+    );
+}

@@ -1,0 +1,218 @@
+//! Cross-crate integration: device physics → cells → arrays → sensing.
+//!
+//! These tests exercise the whole stack end-to-end the way a downstream
+//! user would: sample a varied array, derive design points, and check that
+//! the sensing schemes behave as the paper claims across model variants,
+//! data patterns and disturbances.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stt_array::{Address, ArraySpec, Cell, CellSpec};
+use stt_mtj::{MtjSpec, ResistanceState};
+use stt_sense::robustness::{
+    allowable_delta_rt_destructive, allowable_delta_rt_nondestructive,
+};
+use stt_sense::{
+    ConventionalScheme, DesignPoint, DestructiveScheme, NondestructiveDesign,
+    NondestructiveScheme, Perturbations, SenseScheme,
+};
+use stt_units::{Amps, Ohms};
+
+fn nominal() -> (Cell, DesignPoint) {
+    let cell = CellSpec::date2010_chip().nominal_cell();
+    let design = DesignPoint::date2010(&cell);
+    (cell, design)
+}
+
+#[test]
+fn full_array_readout_with_all_three_schemes() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut array = ArraySpec::small_test_array().sample(&mut rng);
+    let (_, design) = nominal();
+    array.fill_with(|addr| (addr.row * 7 + addr.col * 3) % 2 == 0);
+
+    let conventional = ConventionalScheme::new(design.conventional);
+    let destructive = DestructiveScheme::new(design.destructive);
+    let nondestructive = NondestructiveScheme::new(design.nondestructive);
+
+    let mut conventional_errors = 0;
+    for addr in array.addresses().collect::<Vec<_>>() {
+        let expected = array.read_state(addr).bit();
+        // Nondestructive read first (it cannot change the state).
+        let outcome = nondestructive.execute(&array, addr, &mut rng);
+        assert_eq!(outcome.bit, expected, "nondestructive misread at {addr}");
+        // Conventional read (may legitimately fail on outlier cells).
+        if conventional.read(array.cell(addr), &mut rng).bit != expected {
+            conventional_errors += 1;
+        }
+        // Destructive read mutates and must restore.
+        let outcome = destructive.execute(&mut array, addr, &mut rng);
+        assert_eq!(outcome.bit, expected, "destructive misread at {addr}");
+        assert_eq!(array.read_state(addr).bit(), expected, "write-back failed at {addr}");
+    }
+    // On a 64-bit sample, conventional errors are possible but must stay
+    // rare at the calibrated variation.
+    assert!(conventional_errors <= 5, "{conventional_errors} conventional errors");
+}
+
+#[test]
+fn sensing_works_on_all_three_resistance_models() {
+    // Linear roll-off, physical conductance model, tabulated curve: the
+    // scheme is model-agnostic as long as the roll-off asymmetry holds.
+    let spec = CellSpec::date2010_chip();
+    let transistor = *spec.nominal_cell().transistor();
+    let devices = [
+        MtjSpec::date2010_typical().into_device(),
+        MtjSpec::date2010_typical().into_physical_device(),
+        MtjSpec::date2010_typical().into_tabulated_device(64),
+    ];
+    let mut rng = StdRng::seed_from_u64(3);
+    for (index, device) in devices.into_iter().enumerate() {
+        let mut cell = Cell::new(device, transistor);
+        let design =
+            NondestructiveDesign::optimize(&cell, Amps::from_micro(200.0), 0.5);
+        let scheme = NondestructiveScheme::new(design);
+        for bit in [false, true] {
+            cell.set_state(ResistanceState::from_bit(bit));
+            let outcome = scheme.read(&cell, &mut rng);
+            assert!(outcome.correct, "model {index} misread bit {bit}");
+        }
+        let margins = scheme.margins(&cell);
+        assert!(margins.min().get() > 4e-3, "model {index} margin {}", margins.min());
+    }
+}
+
+#[test]
+fn beta_derived_on_one_model_transfers_to_the_others() {
+    // Ablation (DESIGN.md §8): β* solved on the linear model must still
+    // read correctly when the physical model is the truth.
+    let spec = CellSpec::date2010_chip();
+    let transistor = *spec.nominal_cell().transistor();
+    let linear_cell = Cell::new(MtjSpec::date2010_typical().into_device(), transistor);
+    let design = NondestructiveDesign::optimize(&linear_cell, Amps::from_micro(200.0), 0.5);
+    let mut physical_cell = Cell::new(
+        MtjSpec::date2010_typical().into_physical_device(),
+        transistor,
+    );
+    let mut rng = StdRng::seed_from_u64(4);
+    let scheme = NondestructiveScheme::new(design);
+    for bit in [false, true] {
+        physical_cell.set_state(ResistanceState::from_bit(bit));
+        assert!(scheme.read(&physical_cell, &mut rng).correct);
+    }
+}
+
+#[test]
+fn unselected_cell_leakage_does_not_flip_reads() {
+    // Reads through the bit-line model (127 leaking neighbours) still land
+    // on the right side of the divider comparison.
+    let mut rng = StdRng::seed_from_u64(5);
+    let array = ArraySpec::date2010_chip().sample(&mut rng);
+    let (_, design) = nominal();
+    let addr = Address::new(64, 100);
+    let i1 = design.nondestructive.i_r1;
+    let i2 = design.nondestructive.i_r2;
+    let alpha = design.nondestructive.alpha;
+    for state in [ResistanceState::Parallel, ResistanceState::AntiParallel] {
+        let v1 = array.bitline_voltage_for(addr, state, i1);
+        let v2 = array.bitline_voltage_for(addr, state, i2);
+        let differential = v1.get() - alpha * v2.get();
+        match state {
+            ResistanceState::AntiParallel => {
+                assert!(differential > 0.0, "leakage flipped a stored 1")
+            }
+            ResistanceState::Parallel => {
+                assert!(differential < 0.0, "leakage flipped a stored 0")
+            }
+        }
+    }
+}
+
+#[test]
+fn delta_rt_windows_scale_with_margin() {
+    // The ΔR_T tolerance of each scheme is its margin divided by the
+    // second-read current sensitivity — so the destructive window must be
+    // wider by roughly the margin ratio.
+    let (cell, design) = nominal();
+    let destructive_window = allowable_delta_rt_destructive(&cell, &design.destructive);
+    let nondestructive_window =
+        allowable_delta_rt_nondestructive(&cell, &design.nondestructive);
+    let destructive_margin = design
+        .destructive
+        .margins(&cell, &Perturbations::NONE)
+        .min()
+        .get();
+    let nondestructive_margin = design
+        .nondestructive
+        .margins(&cell, &Perturbations::NONE)
+        .min()
+        .get();
+    let window_ratio = destructive_window.high / nondestructive_window.high;
+    let margin_ratio = destructive_margin / nondestructive_margin;
+    // Margin sensitivity to ΔR_T is I_R2 for the destructive scheme but
+    // α·I_R2 for the nondestructive one (the shift is divided down), so the
+    // window ratio is the margin ratio scaled by α = 0.5.
+    let alpha = design.nondestructive.alpha;
+    assert!(
+        (window_ratio / (margin_ratio * alpha) - 1.0).abs() < 0.05,
+        "window ratio {window_ratio} vs α-scaled margin ratio {}",
+        margin_ratio * alpha
+    );
+}
+
+#[test]
+fn perturbed_reads_fail_exactly_outside_the_window() {
+    let (mut cell, design) = nominal();
+    let window = allowable_delta_rt_nondestructive(&cell, &design.nondestructive);
+    let scheme = NondestructiveScheme::new(design.nondestructive)
+        .with_amplifier(stt_sense::SenseAmplifier::ideal());
+    let mut rng = StdRng::seed_from_u64(6);
+    for (delta, should_pass) in [
+        (Ohms::new(window.high * 0.9), true),
+        (Ohms::new(window.high * 1.1), false),
+        (Ohms::new(window.low * 0.9), true),
+        (Ohms::new(window.low * 1.1), false),
+    ] {
+        let perturb = Perturbations::with_delta_r_t(delta);
+        let margins = design.nondestructive.margins(&cell, &perturb);
+        assert_eq!(
+            margins.both_positive(),
+            should_pass,
+            "ΔR_T = {delta} should_pass = {should_pass}"
+        );
+        // The failing side is the one the margin analysis predicts: a large
+        // positive ΔR_T flips stored 1s, a large negative one flips 0s.
+        if !should_pass {
+            let failing_state = if margins.margin1.get() < 0.0 {
+                ResistanceState::AntiParallel
+            } else {
+                ResistanceState::Parallel
+            };
+            cell.set_state(failing_state);
+            // Reconstruct the read with the perturbation by checking margin
+            // sign (the scheme API reads unperturbed cells).
+            assert!(margins.for_state(failing_state).get() < 0.0);
+            let _ = scheme.read(&cell, &mut rng);
+        }
+    }
+}
+
+#[test]
+fn read_disturb_budget_justifies_i_max() {
+    // The design pins I_R2 at 200 µA = 40 % of the 4 ns switching current;
+    // the switching model must agree that this is disturb-safe over a full
+    // 15 ns read but that substantially larger currents are not.
+    let (cell, design) = nominal();
+    let pulse = stt_units::Seconds::from_nano(15.0);
+    let at_design = cell
+        .device()
+        .read_disturb_probability(design.nondestructive.i_r2, pulse);
+    assert!(at_design < 1e-6, "design-point disturb {at_design}");
+    let at_switching = cell
+        .device()
+        .read_disturb_probability(Amps::from_micro(520.0), pulse);
+    assert!(
+        at_switching > 0.99,
+        "switching-level current must disturb: {at_switching}"
+    );
+}

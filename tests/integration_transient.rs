@@ -1,0 +1,197 @@
+//! Cross-crate integration: the MNA circuit level against the analytic
+//! level, and the bit-line loading (Elmore) claims of §V.
+
+use stt_array::{BitlineSpec, Cell, CellSpec};
+use stt_mtj::{ResistanceState, SampledMtj};
+use stt_sense::{DesignPoint, TransientRead};
+use stt_units::{Farads, Seconds};
+
+fn setup() -> (Cell, TransientRead) {
+    let cell = CellSpec::date2010_chip().nominal_cell();
+    let design = DesignPoint::date2010(&cell).nondestructive;
+    (cell, TransientRead::new(design))
+}
+
+#[test]
+fn transient_read_is_correct_for_varied_cells() {
+    // The circuit-level read must track per-bit variation just like the
+    // analytic one: common-mode shifts move both sampled voltages together.
+    let spec = CellSpec::date2010_chip();
+    let nominal = spec.nominal_cell();
+    let (_, reader) = setup();
+    for factor in [0.85, 1.0, 1.25] {
+        let varied = SampledMtj {
+            ra_factor: factor,
+            tmr_factor: 1.0,
+        };
+        let cell = Cell::new(spec.mtj.varied(&varied).into_device(), *nominal.transistor());
+        for state in [ResistanceState::Parallel, ResistanceState::AntiParallel] {
+            let result = reader.run(&cell, state).expect("transient converges");
+            assert_eq!(
+                result.bit,
+                state.bit(),
+                "factor {factor}, stored {state}: differential {}",
+                result.differential
+            );
+        }
+    }
+}
+
+#[test]
+fn coarser_timestep_still_resolves_the_read() {
+    let (cell, mut reader) = setup();
+    reader.dt = Seconds::from_pico(50.0);
+    let fine = setup().1.run(&cell, ResistanceState::AntiParallel).expect("fine");
+    let coarse = reader.run(&cell, ResistanceState::AntiParallel).expect("coarse");
+    assert_eq!(fine.bit, coarse.bit);
+    let drift = (fine.differential - coarse.differential).abs();
+    assert!(
+        drift.get() < 0.5e-3,
+        "5× coarser step moved the differential by {drift}"
+    );
+}
+
+#[test]
+fn divider_impedance_tradeoff() {
+    // The paper: the divider must be "significantly higher than that of
+    // STT-RAM memory cell" so its loading is negligible. Dropping it to
+    // 100 kΩ visibly perturbs the read; the shipped 20 MΩ does not.
+    let (cell, reader) = setup();
+    let baseline = reader
+        .run(&cell, ResistanceState::AntiParallel)
+        .expect("baseline");
+    let mut heavy = reader;
+    heavy.divider_total = stt_units::Ohms::from_kilo(100.0);
+    let loaded = heavy
+        .run(&cell, ResistanceState::AntiParallel)
+        .expect("loaded");
+    let shift = (loaded.differential - baseline.differential).abs();
+    assert!(
+        shift.get() > 1e-3,
+        "a 100 kΩ divider must visibly load the bit-line: {shift}"
+    );
+}
+
+#[test]
+fn elmore_delay_penalty_of_the_destructive_scheme() {
+    // §V: "Additional capacitor at the end of BL increases the RC delay …
+    // A high impedance voltage divider, however, does not change the Elmore
+    // delay of BL."
+    let bitline = BitlineSpec::date2010_chip();
+    let bare = bitline.elmore_delay();
+    // Conventional self-reference hangs C1 + C2 (2 × 25 fF) on the line.
+    let destructive = bitline.elmore_delay_with_load(Farads::from_femto(50.0));
+    // The nondestructive divider adds only its parasitic tap (< 1 fF).
+    let nondestructive = bitline.elmore_delay_with_load(Farads::from_femto(1.0));
+    assert!(destructive > nondestructive);
+    assert!(nondestructive < bare * 1.05, "divider is Elmore-neutral");
+    assert!(
+        destructive > bare * 1.4,
+        "C1/C2 dominate the wire: {destructive} vs bare {bare}"
+    );
+}
+
+#[test]
+fn transient_and_elmore_settle_within_the_read_window() {
+    // The 5 ns read phases must comfortably cover the circuit's settling:
+    // check the bit-line is within 1 % of its final first-read value 1 ns
+    // before the sampling switch opens.
+    let (cell, reader) = setup();
+    let result = reader
+        .run(&cell, ResistanceState::AntiParallel)
+        .expect("transient converges");
+    let timing = reader.timing;
+    let t_end = timing.decode + timing.read_settle;
+    let settled = result.tran.voltage_at(result.bl, t_end - Seconds::from_nano(0.05));
+    let earlier = result.tran.voltage_at(result.bl, t_end - Seconds::from_nano(1.0));
+    let relative = ((settled - earlier) / settled).abs();
+    assert!(relative < 0.01, "bit-line still moving at sample time: {relative}");
+}
+
+#[test]
+fn ac_pole_predicts_transient_settling() {
+    // Cross-validation of the two analyses: a bit-line modelled as the
+    // cell resistance driving the line capacitance has a single pole at
+    // f_c = 1/(2πRC); the transient's 1 % settling time must match
+    // ln(100)·τ with τ = 1/(2π·f_c).
+    use stt_mna::{log_frequency_grid, Circuit, Node, TranOptions, Waveform};
+    use stt_units::Ohms;
+
+    let r_cell = Ohms::new(3367.0); // R_L + R_T at I_max
+    let c_line = Farads::from_femto(192.0);
+
+    let mut circuit = Circuit::new();
+    let drive = circuit.node("drive");
+    let bl = circuit.node("bl");
+    let source = circuit.voltage_source(drive, Node::GROUND, Waveform::Dc(1.0));
+    circuit.resistor(drive, bl, r_cell);
+    circuit.capacitor(bl, Node::GROUND, c_line);
+
+    // Frequency domain.
+    let sweep = circuit
+        .ac_sweep(source, &log_frequency_grid(1e6, 1e12, 30), Seconds::ZERO)
+        .expect("ac");
+    let f_c = sweep.corner_frequency(bl).expect("single pole");
+    let tau_from_ac = 1.0 / (2.0 * std::f64::consts::PI * f_c);
+
+    // Time domain.
+    let tran = circuit
+        .transient(
+            &TranOptions::new(Seconds::from_nano(10.0), Seconds::from_pico(2.0))
+                .from_zero_state(),
+        )
+        .expect("transient");
+    let t_99 = tran
+        .crossing_time(bl, 0.99, true)
+        .expect("settles")
+        .get();
+
+    let predicted = 100f64.ln() * tau_from_ac;
+    assert!(
+        (t_99 / predicted - 1.0).abs() < 0.05,
+        "transient t99 {t_99} vs AC-predicted {predicted}"
+    );
+    // And both agree with the analytic RC.
+    let tau_analytic = r_cell.get() * c_line.get();
+    assert!((tau_from_ac / tau_analytic - 1.0).abs() < 0.05);
+}
+
+#[test]
+fn destructive_loading_halves_the_bitline_bandwidth() {
+    // The §V claim in the frequency domain: hanging C1∥C2 (50 fF) on a
+    // 192 fF bit-line cuts its pole frequency by the capacitance ratio.
+    use stt_mna::{log_frequency_grid, Circuit, Node, Waveform};
+    use stt_units::Ohms;
+
+    let build = |extra_cap: Option<Farads>| {
+        let mut circuit = Circuit::new();
+        let drive = circuit.node("drive");
+        let bl = circuit.node("bl");
+        let source = circuit.voltage_source(drive, Node::GROUND, Waveform::Dc(1.0));
+        circuit.resistor(drive, bl, Ohms::new(3367.0));
+        circuit.capacitor(bl, Node::GROUND, Farads::from_femto(192.0));
+        if let Some(cap) = extra_cap {
+            circuit.capacitor(bl, Node::GROUND, cap);
+        }
+        (circuit, source, bl)
+    };
+    let grid = log_frequency_grid(1e6, 1e12, 30);
+    let (bare_circuit, source, bl) = build(None);
+    let bare = bare_circuit
+        .ac_sweep(source, &grid, Seconds::ZERO)
+        .expect("ac")
+        .corner_frequency(bl)
+        .expect("pole");
+    let (loaded_circuit, source, bl) = build(Some(Farads::from_femto(50.0)));
+    let loaded = loaded_circuit
+        .ac_sweep(source, &grid, Seconds::ZERO)
+        .expect("ac")
+        .corner_frequency(bl)
+        .expect("pole");
+    let ratio = bare / loaded;
+    let expected = (192.0 + 50.0) / 192.0;
+    assert!(
+        (ratio / expected - 1.0).abs() < 0.05,
+        "bandwidth ratio {ratio} vs capacitance ratio {expected}"
+    );
+}
