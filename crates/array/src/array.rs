@@ -187,7 +187,8 @@ impl Array {
     ///
     /// Panics if the address is out of range.
     pub fn write_bit(&mut self, addr: Address, bit: bool) {
-        self.cell_mut(addr).set_state(ResistanceState::from_bit(bit));
+        self.cell_mut(addr)
+            .set_state(ResistanceState::from_bit(bit));
     }
 
     /// Physical write: drives the configured write pulse through the cell
@@ -298,7 +299,10 @@ mod tests {
     fn checkerboard_pattern_round_trips() {
         let mut array = small_array(1);
         array.fill_with(|addr| (addr.row + addr.col) % 2 == 0);
-        assert_eq!(array.count_matching(|addr| (addr.row + addr.col) % 2 == 0), 64);
+        assert_eq!(
+            array.count_matching(|addr| (addr.row + addr.col) % 2 == 0),
+            64
+        );
         assert!(array.read_state(Address::new(0, 0)).bit());
         assert!(!array.read_state(Address::new(0, 1)).bit());
     }
@@ -309,7 +313,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for addr in array.addresses().collect::<Vec<_>>() {
             let bit = addr.row % 2 == 0;
-            assert!(array.write_bit_pulsed(addr, bit, &mut rng), "write at {addr}");
+            assert!(
+                array.write_bit_pulsed(addr, bit, &mut rng),
+                "write at {addr}"
+            );
             assert_eq!(array.read_state(addr).bit(), bit);
         }
     }

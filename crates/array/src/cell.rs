@@ -33,7 +33,10 @@ impl AccessTransistor {
     /// Panics if the resistance is non-positive or the coefficient negative.
     #[must_use]
     pub fn new(r_nominal: Ohms, current_coefficient: f64) -> Self {
-        assert!(r_nominal.get() > 0.0, "transistor resistance must be positive");
+        assert!(
+            r_nominal.get() > 0.0,
+            "transistor resistance must be positive"
+        );
         assert!(
             current_coefficient >= 0.0,
             "current coefficient must be non-negative"

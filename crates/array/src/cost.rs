@@ -180,10 +180,34 @@ mod tests {
     #[test]
     fn operation_rolls_up() {
         let op = OperationCost::new(vec![
-            Phase::new(PhaseKind::Decode, "decode", nanos(1.0), micro_amps(50.0), Volts::new(1.2)),
-            Phase::new(PhaseKind::Read, "read1", nanos(5.0), micro_amps(94.0), Volts::new(1.2)),
-            Phase::new(PhaseKind::Read, "read2", nanos(5.0), micro_amps(200.0), Volts::new(1.2)),
-            Phase::new(PhaseKind::Sense, "sense", nanos(2.0), micro_amps(20.0), Volts::new(1.2)),
+            Phase::new(
+                PhaseKind::Decode,
+                "decode",
+                nanos(1.0),
+                micro_amps(50.0),
+                Volts::new(1.2),
+            ),
+            Phase::new(
+                PhaseKind::Read,
+                "read1",
+                nanos(5.0),
+                micro_amps(94.0),
+                Volts::new(1.2),
+            ),
+            Phase::new(
+                PhaseKind::Read,
+                "read2",
+                nanos(5.0),
+                micro_amps(200.0),
+                Volts::new(1.2),
+            ),
+            Phase::new(
+                PhaseKind::Sense,
+                "sense",
+                nanos(2.0),
+                micro_amps(20.0),
+                Volts::new(1.2),
+            ),
         ]);
         assert!((op.latency().get() - 13e-9).abs() < 1e-20);
         assert!((op.time_in(PhaseKind::Read).get() - 10e-9).abs() < 1e-20);

@@ -55,7 +55,11 @@ impl CellGeometry {
     #[must_use]
     pub fn date2010_2t2mtj() -> Self {
         let base = Self::date2010_1t1j();
-        Self::new(base.feature_nm, 2.0 * base.cell_area_f2, base.periphery_overhead)
+        Self::new(
+            base.feature_nm,
+            2.0 * base.cell_area_f2,
+            base.periphery_overhead,
+        )
     }
 
     /// Area of one cell in square micrometres.
@@ -110,9 +114,7 @@ mod tests {
         let double = CellGeometry::date2010_2t2mtj();
         let ratio = single.density_mbit_per_mm2() / double.density_mbit_per_mm2();
         assert!((ratio - 2.0).abs() < 1e-9);
-        assert!(
-            (double.macro_area_mm2(16384) / single.macro_area_mm2(16384) - 2.0).abs() < 1e-9
-        );
+        assert!((double.macro_area_mm2(16384) / single.macro_area_mm2(16384) - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -47,6 +47,6 @@ pub use array::{Address, Array, ArraySpec};
 pub use bitline::BitlineSpec;
 pub use cell::{AccessTransistor, Cell, CellSpec};
 pub use cost::{OperationCost, Phase, PhaseKind};
-pub use fault::{PowerFailure, PowerFailureOutcome};
+pub use fault::{run_with_power_failure, OperationStep, PowerFailure, PowerFailureOutcome};
 pub use geometry::CellGeometry;
 pub use wordline::WordlineSpec;

@@ -90,7 +90,10 @@ impl WordlineSpec {
     #[must_use]
     pub fn decoder_stages(&self, rows: usize) -> usize {
         assert!(rows >= 2, "a decoder needs at least two rows");
-        assert!(self.decoder_fan_in >= 2, "decoder fan-in must be at least 2");
+        assert!(
+            self.decoder_fan_in >= 2,
+            "decoder fan-in must be at least 2"
+        );
         let mut stages = 0;
         let mut resolved = 1usize;
         while resolved < rows {

@@ -20,7 +20,7 @@ fn bench_devices(c: &mut Criterion) {
         ("conductance", &physical),
         ("tabulated", &tabulated),
     ] {
-        c.bench_function(&format!("resistance/{name}"), |b| {
+        c.bench_function(format!("resistance/{name}"), |b| {
             b.iter(|| {
                 std::hint::black_box(
                     device.resistance(ResistanceState::AntiParallel, std::hint::black_box(i)),

@@ -24,7 +24,7 @@ fn bench_mna(c: &mut Criterion) {
     for n in [8usize, 32, 64] {
         let matrix = dense_test_matrix(n);
         let rhs: Vec<f64> = (0..n).map(|k| k as f64).collect();
-        c.bench_function(&format!("lu/factor_solve_{n}x{n}"), |b| {
+        c.bench_function(format!("lu/factor_solve_{n}x{n}"), |b| {
             b.iter(|| {
                 let lu = LuFactors::factor(std::hint::black_box(matrix.clone())).expect("solve");
                 std::hint::black_box(lu.solve(&rhs).expect("solve"))
@@ -58,9 +58,8 @@ fn bench_mna(c: &mut Criterion) {
     rc.voltage_source(input, Node::GROUND, Waveform::Dc(1.0));
     rc.resistor(input, output, Ohms::from_kilo(1.0));
     rc.capacitor(output, Node::GROUND, Farads::from_pico(1.0));
-    let options =
-        stt_mna::TranOptions::new(Seconds::from_nano(10.0), Seconds::from_pico(10.0))
-            .from_zero_state();
+    let options = stt_mna::TranOptions::new(Seconds::from_nano(10.0), Seconds::from_pico(10.0))
+        .from_zero_state();
     c.bench_function("transient/rc_1000_steps", |b| {
         b.iter(|| std::hint::black_box(rc.transient(&options).expect("transient")))
     });

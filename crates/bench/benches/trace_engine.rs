@@ -1,0 +1,66 @@
+//! Wall-clock cost of the traffic engine: per-scheme service rate and the
+//! serial-vs-parallel dispatch of a multi-bank controller.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, SamplingMode, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stt_ctrl::{Controller, ControllerConfig, Dispatch, Trace, Workload};
+use stt_sense::SchemeKind;
+
+const OPS: usize = 2_000;
+const BANKS: usize = 4;
+
+fn trace_for(config: &ControllerConfig) -> Trace {
+    Workload::Uniform { read_fraction: 0.7 }.generate(
+        config.footprint(),
+        OPS,
+        &mut StdRng::seed_from_u64(42),
+    )
+}
+
+/// Transactions served per second, one small-bank controller per scheme.
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_engine/scheme");
+    group.sampling_mode(SamplingMode::Flat);
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+    for kind in SchemeKind::ALL {
+        let config = ControllerConfig::small(kind, BANKS);
+        let trace = trace_for(&config);
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter_batched(
+                || Controller::new(config.clone()),
+                |mut controller| {
+                    std::hint::black_box(controller.run(&trace, Dispatch::Serial));
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Serial vs one-thread-per-bank dispatch on paper-scale banks.
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_engine/dispatch");
+    group.sampling_mode(SamplingMode::Flat);
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+    let config = ControllerConfig::date2010(SchemeKind::Nondestructive, BANKS);
+    let trace = trace_for(&config);
+    for dispatch in [Dispatch::Serial, Dispatch::Parallel] {
+        group.bench_function(format!("{dispatch:?}"), |b| {
+            b.iter_batched(
+                || Controller::new(config.clone()),
+                |mut controller| {
+                    std::hint::black_box(controller.run(&trace, dispatch));
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_dispatch);
+criterion_main!(benches);

@@ -189,7 +189,8 @@ fn main() {
                 let path = Path::new(dir).join(format!("{}.csv", experiment.id));
                 std::fs::create_dir_all(dir).expect("create csv directory");
                 let mut file = std::fs::File::create(&path).expect("create csv file");
-                file.write_all(table.to_csv().as_bytes()).expect("write csv");
+                file.write_all(table.to_csv().as_bytes())
+                    .expect("write csv");
                 println!("(csv written to {})", path.display());
             }
         }

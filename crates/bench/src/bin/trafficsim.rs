@@ -1,0 +1,169 @@
+//! `trafficsim` — sweep the stt-ctrl engine over scheme × bank count ×
+//! workload and write the telemetry to `results/traffic.csv`.
+//!
+//! Every sweep point is served twice — serially and with one worker thread
+//! per bank — and the two telemetry sets are asserted **equal** before the
+//! row is recorded, so the CSV doubles as a determinism proof for the
+//! engine's parallel dispatch.
+//!
+//! ```text
+//! trafficsim [--ops <per-config>] [--csv <dir>]
+//! ```
+
+use std::io::Write as _;
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stt_ctrl::{Controller, ControllerConfig, Dispatch, Telemetry, Workload};
+use stt_sense::SchemeKind;
+use stt_stats::Table;
+
+/// Banks swept per scheme/workload.
+const BANK_COUNTS: [usize; 3] = [1, 4, 8];
+/// Default transactions per sweep point; 3 schemes × 3 bank counts ×
+/// 3 workloads × 4000 = 108 000 transactions per full sweep.
+const DEFAULT_OPS: usize = 4_000;
+/// Master seed for bank sampling and traffic generation.
+const SEED: u64 = 2010;
+
+fn scheme_label(kind: SchemeKind) -> &'static str {
+    match kind {
+        SchemeKind::Conventional => "conventional",
+        SchemeKind::Destructive => "destructive",
+        SchemeKind::Nondestructive => "nondestructive",
+    }
+}
+
+fn sweep(ops_per_config: usize) -> Table {
+    let mut table = Table::new([
+        "scheme",
+        "workload",
+        "banks",
+        "transactions",
+        "reads",
+        "writes",
+        "read_retries",
+        "unconfident_reads",
+        "misreads",
+        "misread_rate",
+        "write_retries",
+        "write_failures",
+        "audit_corrupted_bits",
+        "mean_read_ns",
+        "max_read_ns",
+        "busy_us",
+        "energy_nj",
+    ]);
+    let mut total_transactions = 0u64;
+    for kind in SchemeKind::ALL {
+        for workload in Workload::ALL {
+            for banks in BANK_COUNTS {
+                let config = ControllerConfig::date2010(kind, banks).with_seed(SEED);
+                let trace = workload.generate(
+                    config.footprint(),
+                    ops_per_config,
+                    &mut StdRng::seed_from_u64(SEED ^ banks as u64),
+                );
+                let serial = Controller::new(config.clone()).run(&trace, Dispatch::Serial);
+                let parallel = Controller::new(config).run(&trace, Dispatch::Parallel);
+                assert_eq!(
+                    serial,
+                    parallel,
+                    "{kind}/{}/{banks}: parallel dispatch diverged from serial",
+                    workload.name()
+                );
+                total_transactions += parallel.transactions();
+                push_row(&mut table, kind, workload, banks, &parallel);
+                let totals = parallel.aggregate();
+                println!(
+                    "{:<15} {:<12} {banks} bank(s): {} txns, {} misreads, \
+                     mean read {:.1} ns  [serial == parallel ✓]",
+                    scheme_label(kind),
+                    workload.name(),
+                    parallel.transactions(),
+                    totals.misreads,
+                    totals.read_latency_ns.mean()
+                );
+            }
+        }
+    }
+    println!("\nswept {total_transactions} transactions total");
+    // The default sweep is the acceptance gate; a deliberately small
+    // `--ops` run (quick smoke) is exempt from the floor.
+    if ops_per_config >= DEFAULT_OPS {
+        assert!(
+            total_transactions >= 100_000,
+            "sweep must cover at least 100k transactions, got {total_transactions}"
+        );
+    }
+    table
+}
+
+fn push_row(
+    table: &mut Table,
+    kind: SchemeKind,
+    workload: Workload,
+    banks: usize,
+    telemetry: &Telemetry,
+) {
+    let totals = telemetry.aggregate();
+    table.push_row([
+        scheme_label(kind).to_string(),
+        workload.name().to_string(),
+        banks.to_string(),
+        telemetry.transactions().to_string(),
+        totals.reads.to_string(),
+        totals.writes.to_string(),
+        totals.read_retries.to_string(),
+        totals.unconfident_reads.to_string(),
+        totals.misreads.to_string(),
+        format!("{:.6}", totals.misread_rate()),
+        totals.write_retries.to_string(),
+        totals.write_failures.to_string(),
+        telemetry.audit_corrupted_bits.to_string(),
+        format!("{:.2}", totals.read_latency_ns.mean()),
+        format!("{:.2}", totals.read_latency_ns.max()),
+        format!("{:.3}", totals.busy_time.get() * 1e6),
+        format!("{:.3}", totals.energy.get() * 1e9),
+    ]);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ops = DEFAULT_OPS;
+    let mut csv_dir = String::from("results");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--ops" => {
+                ops = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--ops needs a positive integer");
+            }
+            "--csv" => {
+                csv_dir = iter.next().expect("--csv needs a directory").clone();
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: trafficsim [--ops N] [--csv DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "trafficsim: {} schemes × {:?} banks × {} workloads, {ops} transactions each\n",
+        SchemeKind::ALL.len(),
+        BANK_COUNTS,
+        Workload::ALL.len()
+    );
+    let table = sweep(ops);
+
+    std::fs::create_dir_all(&csv_dir).expect("create results directory");
+    let path = Path::new(&csv_dir).join("traffic.csv");
+    let mut file = std::fs::File::create(&path).expect("create traffic.csv");
+    table.write_csv(&mut file).expect("write traffic.csv");
+    file.flush().expect("flush traffic.csv");
+    println!("wrote {}", path.display());
+}

@@ -4,8 +4,8 @@
 
 use stt_array::{BitlineSpec, CellGeometry, CellSpec, PhaseKind};
 use stt_mtj::ThermalModel;
-use stt_sense::robustness::alpha_choice_sweep;
 use stt_sense::differential_experiment;
+use stt_sense::robustness::alpha_choice_sweep;
 use stt_sense::{
     reliability_budgets, AutoZeroNetlist, ChipExperiment, ChipTiming, NondestructiveDesign,
     Perturbations, PowerLossExperiment, SchemeKind, TemperatureSweep, PAPER_ENDURANCE_CYCLES,
@@ -111,9 +111,18 @@ pub fn elmore() -> Table {
     let bare = bitline.elmore_delay();
     let configs: [(&str, Farads); 4] = [
         ("bare 128-cell line", Farads::from_femto(0.001)),
-        ("+ divider tap (nondestructive, ~1 fF)", Farads::from_femto(1.0)),
-        ("+ C1 (destructive 1st read, 25 fF)", Farads::from_femto(25.0)),
-        ("+ C1 ∥ C2 (destructive 2nd read, 50 fF)", Farads::from_femto(50.0)),
+        (
+            "+ divider tap (nondestructive, ~1 fF)",
+            Farads::from_femto(1.0),
+        ),
+        (
+            "+ C1 (destructive 1st read, 25 fF)",
+            Farads::from_femto(25.0),
+        ),
+        (
+            "+ C1 ∥ C2 (destructive 2nd read, 50 fF)",
+            Farads::from_femto(50.0),
+        ),
     ];
     for (name, load) in configs {
         let delay = bitline.elmore_delay_with_load(load);
@@ -201,8 +210,12 @@ pub fn temperature() -> Table {
 #[must_use]
 pub fn reliability() -> Table {
     let (cell, design) = paper_setup();
-    let budgets =
-        reliability_budgets(&cell, &design, &ChipTiming::date2010(), PAPER_ENDURANCE_CYCLES);
+    let budgets = reliability_budgets(
+        &cell,
+        &design,
+        &ChipTiming::date2010(),
+        PAPER_ENDURANCE_CYCLES,
+    );
     let mut table = Table::new([
         "scheme",
         "writes/read",
@@ -258,7 +271,12 @@ pub fn autozero() -> Table {
         table.push_row([
             format!("{offset_mv:+.0}"),
             if plain.decision { "1 ✓" } else { "0 ✗" }.to_string(),
-            if auto_zeroed.decision { "1 ✓" } else { "0 ✗" }.to_string(),
+            if auto_zeroed.decision {
+                "1 ✓"
+            } else {
+                "0 ✗"
+            }
+            .to_string(),
             format!("{:+.1}", residual.get() * 1e6),
         ]);
     }
@@ -303,8 +321,7 @@ pub fn retention() -> Table {
                     reference.tau_dynamic(),
                 );
                 let tau = model.retention_mean_time().get();
-                let p_year = model
-                    .retention_failure_probability(stt_units::Seconds::new(year));
+                let p_year = model.retention_failure_probability(stt_units::Seconds::new(year));
                 [human(tau), format!("{:.2e}", p_year * chip_bits)]
             }))
             .collect();
@@ -383,7 +400,10 @@ pub fn differential() -> Table {
         area(&single),
         "1".to_string(),
         "2".to_string(),
-        mv(design.destructive.margins(&cell, &Perturbations::NONE).min()),
+        mv(design
+            .destructive
+            .margins(&cell, &Perturbations::NONE)
+            .min()),
         margins(SchemeKind::Destructive),
     ]);
     table.push_row([
@@ -392,7 +412,10 @@ pub fn differential() -> Table {
         area(&single),
         "1".to_string(),
         "0".to_string(),
-        mv(design.nondestructive.margins(&cell, &Perturbations::NONE).min()),
+        mv(design
+            .nondestructive
+            .margins(&cell, &Perturbations::NONE)
+            .min()),
         margins(SchemeKind::Nondestructive),
     ]);
     table.push_row([
@@ -537,7 +560,11 @@ mod tests {
         }
         // The paper-era Δ = 40 device loses kilobits per year even at room
         // temperature — a real design tension of that generation…
-        assert!(demo_losses[0] > 100.0, "Δ=40 yearly losses {}", demo_losses[0]);
+        assert!(
+            demo_losses[0] > 100.0,
+            "Δ=40 yearly losses {}",
+            demo_losses[0]
+        );
         // …while Δ = 60 keeps the whole chip intact at 300 K.
         let product_losses: f64 = table.rows()[0][4].parse().expect("losses");
         assert!(product_losses < 1e-2, "Δ=60 yearly losses {product_losses}");
@@ -547,11 +574,18 @@ mod tests {
     fn autozero_recovers_every_offset() {
         let table = autozero();
         for row in table.rows() {
-            assert!(row[2].contains('✓'), "auto-zero failed at offset {}", row[0]);
+            assert!(
+                row[2].contains('✓'),
+                "auto-zero failed at offset {}",
+                row[0]
+            );
         }
         // Plain latch fails once the offset exceeds the ~9 mV margin.
         let worst = table.rows().first().expect("rows");
-        assert!(worst[1].contains('✗'), "-20 mV offset must break the plain latch");
+        assert!(
+            worst[1].contains('✗'),
+            "-20 mV offset must break the plain latch"
+        );
     }
 
     #[test]

@@ -5,9 +5,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stt_mtj::{IvSweep, MtjSpec, ResistanceModel, ResistanceState, TabulatedCurve};
 use stt_sense::robustness::{
-    allowable_alpha_deviation, allowable_delta_rt_destructive,
-    allowable_delta_rt_nondestructive, alpha_deviation_sweep, beta_sweep, delta_rt_sweep,
-    valid_beta_destructive, valid_beta_nondestructive,
+    allowable_alpha_deviation, allowable_delta_rt_destructive, allowable_delta_rt_nondestructive,
+    alpha_deviation_sweep, beta_sweep, delta_rt_sweep, valid_beta_destructive,
+    valid_beta_nondestructive,
 };
 use stt_sense::{ChipExperiment, ChipTiming, SchemeKind, TransientRead};
 use stt_stats::Table;

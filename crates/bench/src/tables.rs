@@ -17,20 +17,45 @@ pub fn table1() -> Table {
     let device = cell.device();
     let mut table = Table::new(["parameter", "ours", "paper", "unit"]);
 
-    table.push_row(["R_L(0)", &format!("{:.0}", device.r_low(Amps::ZERO).get()), "(reconstructed 1525)", "Ω"]);
-    table.push_row(["R_H(0)", &format!("{:.0}", device.r_high(Amps::ZERO).get()), "(reconstructed 3050)", "Ω"]);
+    table.push_row([
+        "R_L(0)",
+        &format!("{:.0}", device.r_low(Amps::ZERO).get()),
+        "(reconstructed 1525)",
+        "Ω",
+    ]);
+    table.push_row([
+        "R_H(0)",
+        &format!("{:.0}", device.r_high(Amps::ZERO).get()),
+        "(reconstructed 3050)",
+        "Ω",
+    ]);
     let dr_h = device.r_high(Amps::ZERO) - device.r_high(i_max());
     let dr_l = device.r_low(Amps::ZERO) - device.r_low(i_max());
     table.push_row(["ΔR_Hmax", &format!("{:.0}", dr_h.get()), "600", "Ω"]);
     table.push_row(["ΔR_Lmax", &format!("{:.0}", dr_l.get()), "100", "Ω"]);
-    table.push_row(["R_T", &format!("{:.0}", cell.transistor().r_nominal().get()), "917", "Ω"]);
+    table.push_row([
+        "R_T",
+        &format!("{:.0}", cell.transistor().r_nominal().get()),
+        "917",
+        "Ω",
+    ]);
     table.push_row(["I_max (= I_R2)", &ua(i_max()), "200", "µA"]);
 
     // Conventional (destructive) self-reference derived values.
     let destructive = design.destructive;
     table.push_row(["— destructive self-reference —", "", "", ""]);
-    table.push_row(["R_H1", &format!("{:.1}", device.r_high(destructive.i_r1).get()), "-", "Ω"]);
-    table.push_row(["R_L1", &format!("{:.1}", device.r_low(destructive.i_r1).get()), "-", "Ω"]);
+    table.push_row([
+        "R_H1",
+        &format!("{:.1}", device.r_high(destructive.i_r1).get()),
+        "-",
+        "Ω",
+    ]);
+    table.push_row([
+        "R_L1",
+        &format!("{:.1}", device.r_low(destructive.i_r1).get()),
+        "-",
+        "Ω",
+    ]);
     table.push_row(["β*", &format!("{:.2}", destructive.beta()), "1.22", "-"]);
     let margins = destructive.margins(&cell, &Perturbations::NONE);
     table.push_row(["max sense margin", &mv(margins.min()), "76.6", "mV"]);
@@ -38,10 +63,30 @@ pub fn table1() -> Table {
     // Nondestructive self-reference derived values.
     let nondestructive = design.nondestructive;
     table.push_row(["— nondestructive self-reference —", "", "", ""]);
-    table.push_row(["R_H1", &format!("{:.1}", device.r_high(nondestructive.i_r1).get()), "-", "Ω"]);
-    table.push_row(["R_L1", &format!("{:.1}", device.r_low(nondestructive.i_r1).get()), "-", "Ω"]);
-    table.push_row(["R_H2", &format!("{:.1}", device.r_high(nondestructive.i_r2).get()), "-", "Ω"]);
-    table.push_row(["R_L2", &format!("{:.1}", device.r_low(nondestructive.i_r2).get()), "-", "Ω"]);
+    table.push_row([
+        "R_H1",
+        &format!("{:.1}", device.r_high(nondestructive.i_r1).get()),
+        "-",
+        "Ω",
+    ]);
+    table.push_row([
+        "R_L1",
+        &format!("{:.1}", device.r_low(nondestructive.i_r1).get()),
+        "-",
+        "Ω",
+    ]);
+    table.push_row([
+        "R_H2",
+        &format!("{:.1}", device.r_high(nondestructive.i_r2).get()),
+        "-",
+        "Ω",
+    ]);
+    table.push_row([
+        "R_L2",
+        &format!("{:.1}", device.r_low(nondestructive.i_r2).get()),
+        "-",
+        "Ω",
+    ]);
     table.push_row(["α", &format!("{:.2}", nondestructive.alpha), "0.50", "-"]);
     table.push_row(["β*", &format!("{:.2}", nondestructive.beta()), "2.13", "-"]);
     let margins = nondestructive.margins(&cell, &Perturbations::NONE);
@@ -94,7 +139,10 @@ pub fn table2() -> Table {
         "max Δr (%)".to_string(),
         "N/A".to_string(),
         "N/A".to_string(),
-        format!("{:+.2}", summary.nondestructive_alpha_deviation.high * 100.0),
+        format!(
+            "{:+.2}",
+            summary.nondestructive_alpha_deviation.high * 100.0
+        ),
         "+4.13".to_string(),
     ]);
     table.push_row([
@@ -128,8 +176,18 @@ mod tests {
         // Our solved betas are embedded in the CSV; sanity-extract them.
         let beta_rows: Vec<&str> = text.lines().filter(|l| l.starts_with("β*")).collect();
         assert_eq!(beta_rows.len(), 2);
-        let destructive: f64 = beta_rows[0].split(',').nth(1).expect("value").parse().expect("f64");
-        let nondestructive: f64 = beta_rows[1].split(',').nth(1).expect("value").parse().expect("f64");
+        let destructive: f64 = beta_rows[0]
+            .split(',')
+            .nth(1)
+            .expect("value")
+            .parse()
+            .expect("f64");
+        let nondestructive: f64 = beta_rows[1]
+            .split(',')
+            .nth(1)
+            .expect("value")
+            .parse()
+            .expect("f64");
         assert!((1.15..1.35).contains(&destructive));
         assert!((2.0..2.3).contains(&nondestructive));
     }

@@ -32,7 +32,10 @@ impl SenseAmplifier {
     /// Panics if either quantity is negative.
     #[must_use]
     pub fn new(offset_sigma: Volts, usable_threshold: Volts) -> Self {
-        assert!(offset_sigma.get() >= 0.0, "offset sigma must be non-negative");
+        assert!(
+            offset_sigma.get() >= 0.0,
+            "offset sigma must be non-negative"
+        );
         assert!(
             usable_threshold.get() >= 0.0,
             "usable threshold must be non-negative"

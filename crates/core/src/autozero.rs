@@ -227,9 +227,15 @@ mod tests {
         for offset_mv in [-20.0, -8.0, 8.0, 20.0] {
             let sa = AutoZeroNetlist::new().with_offset(Volts::from_milli(offset_mv));
             let outcome = sa.run(base + margin, base).expect("transient");
-            assert!(outcome.decision, "offset {offset_mv} mV flipped a +2 mV margin");
+            assert!(
+                outcome.decision,
+                "offset {offset_mv} mV flipped a +2 mV margin"
+            );
             let outcome = sa.run(base - margin, base).expect("transient");
-            assert!(!outcome.decision, "offset {offset_mv} mV flipped a −2 mV margin");
+            assert!(
+                !outcome.decision,
+                "offset {offset_mv} mV flipped a −2 mV margin"
+            );
         }
     }
 

@@ -145,12 +145,14 @@ impl ChipExperiment {
                  -> bool {
                     let sigma = read_noise_sigma(sa, c1, 300.0).get();
                     let mut correct = true;
-                    for (stored_one, margin) in
-                        [(false, margins.margin0), (true, margins.margin1)]
+                    for (stored_one, margin) in [(false, margins.margin0), (true, margins.margin1)]
                     {
                         let noise = sigma * stt_stats::dist::standard_normal(rng);
-                        let differential =
-                            if stored_one { margin.get() } else { -margin.get() };
+                        let differential = if stored_one {
+                            margin.get()
+                        } else {
+                            -margin.get()
+                        };
                         let decided_one = differential + noise > 0.0;
                         correct &= decided_one == stored_one;
                     }
@@ -175,9 +177,8 @@ impl ChipExperiment {
                 ]
             },
         );
-        let tally = |index: usize| -> YieldCount {
-            outcomes.iter().map(|bits| bits[index]).collect()
-        };
+        let tally =
+            |index: usize| -> YieldCount { outcomes.iter().map(|bits| bits[index]).collect() };
         OperationalResult {
             tallies: vec![
                 (SchemeKind::Conventional, tally(0)),
@@ -194,10 +195,8 @@ impl ChipExperiment {
         let nominal = self.array.cell.nominal_cell();
         let design = DesignPoint::for_limits(&nominal, self.i_max, self.alpha);
         let cell_spec = self.array.cell.clone();
-        let bits: Vec<BitMargins> = run_trials(
-            self.array.capacity_bits(),
-            self.seed,
-            move |rng, _index| {
+        let bits: Vec<BitMargins> =
+            run_trials(self.array.capacity_bits(), self.seed, move |rng, _index| {
                 let cell = cell_spec.sample_cell(rng);
                 BitMargins {
                     conventional: design.conventional.margins(&cell),
@@ -208,20 +207,37 @@ impl ChipExperiment {
                         .nondestructive
                         .margins(&cell, &crate::margins::Perturbations::NONE),
                 }
-            },
-        );
+            });
 
         let tally = |kind: SchemeKind, sa: &SenseAmplifier| -> SchemeTally {
+            // The per-bit tally fans out over scoped threads through the
+            // same helper as `stt_stats::mc::run_trials`; partial tallies
+            // merge in chunk order, so the result does not depend on thread
+            // count or scheduling.
+            const CHUNK: usize = 2048;
+            let chunks: Vec<&[BitMargins]> = bits.chunks(CHUNK).collect();
+            let partials = stt_stats::fill_indexed(chunks.len(), |index| {
+                let mut yields = YieldCount::new();
+                let mut margin0 = Summary::new();
+                let mut margin1 = Summary::new();
+                for bit in chunks[index] {
+                    let margins = bit.for_kind(kind);
+                    margin0.push(margins.margin0.get());
+                    margin1.push(margins.margin1.get());
+                    yields.record(
+                        sa.clears_threshold(margins.margin0)
+                            && sa.clears_threshold(margins.margin1),
+                    );
+                }
+                (yields, margin0, margin1)
+            });
             let mut yields = YieldCount::new();
             let mut margin0 = Summary::new();
             let mut margin1 = Summary::new();
-            for bit in &bits {
-                let margins = bit.for_kind(kind);
-                margin0.push(margins.margin0.get());
-                margin1.push(margins.margin1.get());
-                yields.record(
-                    sa.clears_threshold(margins.margin0) && sa.clears_threshold(margins.margin1),
-                );
+            for (partial_yields, partial_m0, partial_m1) in &partials {
+                yields.merge(partial_yields);
+                margin0.merge(partial_m0);
+                margin1.merge(partial_m1);
             }
             SchemeTally {
                 kind,
@@ -428,6 +444,9 @@ mod tests {
         let tight_rate = tight.tally(SchemeKind::Conventional).yields.failure_rate();
         let loose_rate = loose.tally(SchemeKind::Conventional).yields.failure_rate();
         assert!(tight_rate < loose_rate, "{tight_rate} vs {loose_rate}");
-        assert_eq!(tight_rate, 0.0, "2 % spread is harmless even conventionally");
+        assert_eq!(
+            tight_rate, 0.0,
+            "2 % spread is harmless even conventionally"
+        );
     }
 }

@@ -195,7 +195,10 @@ impl NondestructiveDesign {
     pub fn trimmed(sample: &[Cell], i_max: Amps, alpha: f64) -> Self {
         assert!(!sample.is_empty(), "trim needs a calibration sample");
         assert!(i_max.get() > 0.0, "maximum read current must be positive");
-        assert!(alpha > 0.0 && alpha < 1.0, "divider ratio must be in (0, 1)");
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "divider ratio must be in (0, 1)"
+        );
         let worst_margin = |beta: f64| -> f64 {
             let design = NondestructiveDesign {
                 i_r1: i_max / beta,
@@ -347,7 +350,10 @@ mod tests {
                     ra_factor: factors.ra_factor * die_shift,
                     tmr_factor: factors.tmr_factor,
                 };
-                Cell::new(spec.mtj.varied(&shifted).into_device(), *nominal.transistor())
+                Cell::new(
+                    spec.mtj.varied(&shifted).into_device(),
+                    *nominal.transistor(),
+                )
             })
             .collect();
 

@@ -44,9 +44,8 @@ impl ComplementaryPair {
     /// Panics if `rho` is outside `[0, 1]`.
     pub fn sample<R: Rng + ?Sized>(spec: &CellSpec, rho: f64, rng: &mut R) -> Self {
         let (data_factors, complement_factors) = spec.mtj_variation.sample_pair(rho, rng);
-        let transistor_factor = |rng: &mut R| {
-            (spec.transistor_sigma * stt_stats::dist::standard_normal(rng)).exp()
-        };
+        let transistor_factor =
+            |rng: &mut R| (spec.transistor_sigma * stt_stats::dist::standard_normal(rng)).exp();
         let data = Cell::new(
             spec.mtj.varied(&data_factors).into_device(),
             spec.transistor.scaled(transistor_factor(rng)),
@@ -92,17 +91,15 @@ impl DifferentialScheme {
     #[must_use]
     pub fn differential(&self, pair: &ComplementaryPair) -> Volts {
         let v_data = first_read_voltage(&pair.data, pair.data.state(), self.i_read);
-        let v_comp =
-            first_read_voltage(&pair.complement, pair.complement.state(), self.i_read);
+        let v_comp = first_read_voltage(&pair.complement, pair.complement.state(), self.i_read);
         v_data - v_comp
     }
 
     /// Sense margins of the pair for both stored values.
     #[must_use]
     pub fn margins(&self, pair: &ComplementaryPair) -> SenseMargins {
-        let read = |cell: &Cell, state: ResistanceState| {
-            first_read_voltage(cell, state, self.i_read)
-        };
+        let read =
+            |cell: &Cell, state: ResistanceState| first_read_voltage(cell, state, self.i_read);
         // Stored 1: data = AP, complement = P.
         let margin1 = read(&pair.data, ResistanceState::AntiParallel)
             - read(&pair.complement, ResistanceState::Parallel);
@@ -218,8 +215,7 @@ mod tests {
     #[test]
     fn differential_passes_the_chip_with_a_plain_latch() {
         let spec = CellSpec::date2010_chip();
-        let result =
-            differential_experiment(&spec, Amps::from_micro(200.0), 0.9, 16384, 2010);
+        let result = differential_experiment(&spec, Amps::from_micro(200.0), 0.9, 16384, 2010);
         assert_eq!(result.yields.failures(), 0);
         assert!(result.mean_margin.get() > 0.15);
     }

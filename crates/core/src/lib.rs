@@ -78,11 +78,9 @@ pub mod timing;
 pub use amplifier::SenseAmplifier;
 pub use autozero::{AutoZeroNetlist, AutoZeroOutcome};
 pub use chip::{BitMargins, ChipExperiment, ChipResult, OperationalResult, SchemeTally};
+pub use design::{ConventionalDesign, DesignPoint, DestructiveDesign, NondestructiveDesign};
 pub use differential::{
     differential_experiment, ComplementaryPair, DifferentialResult, DifferentialScheme,
-};
-pub use design::{
-    ConventionalDesign, DesignPoint, DestructiveDesign, NondestructiveDesign,
 };
 pub use margins::{Perturbations, SenseMargins};
 pub use netlist::{
@@ -93,9 +91,9 @@ pub use noise::{ktc_sigma, minimum_sampling_cap, read_noise_sigma, read_snr};
 pub use powerloss::{PowerLossExperiment, PowerLossResult};
 pub use reliability::{reliability_budgets, ReliabilityBudget, PAPER_ENDURANCE_CYCLES};
 pub use robustness::{RobustnessSummary, ValidRange};
-pub use temperature::{TemperaturePoint, TemperatureSweep};
 pub use scheme::{
     ConventionalScheme, DestructiveScheme, NondestructiveScheme, ReadOutcome, SchemeKind,
     SenseScheme,
 };
+pub use temperature::{TemperaturePoint, TemperatureSweep};
 pub use timing::{ChipTiming, ControlSignal, ControlTimeline, SignalLevel};

@@ -146,8 +146,12 @@ impl DestructiveDesign {
     pub fn margins(&self, cell: &Cell, perturb: &Perturbations) -> SenseMargins {
         // After the erase the cell is in the low state regardless of the
         // stored value, so the reference is always V_BL2(L).
-        let v_bl2 =
-            second_read_voltage(cell, ResistanceState::Parallel, self.i_r2, perturb.delta_r_t);
+        let v_bl2 = second_read_voltage(
+            cell,
+            ResistanceState::Parallel,
+            self.i_r2,
+            perturb.delta_r_t,
+        );
         let v_high1 = first_read_voltage(cell, ResistanceState::AntiParallel, self.i_r1);
         let v_low1 = first_read_voltage(cell, ResistanceState::Parallel, self.i_r1);
         SenseMargins {
@@ -270,10 +274,9 @@ mod tests {
         let cell = nominal_cell();
         let design = DesignPoint::date2010(&cell);
         let base = design.nondestructive.margins(&cell, &Perturbations::NONE);
-        let shifted = design.nondestructive.margins(
-            &cell,
-            &Perturbations::with_delta_r_t(Ohms::new(50.0)),
-        );
+        let shifted = design
+            .nondestructive
+            .margins(&cell, &Perturbations::with_delta_r_t(Ohms::new(50.0)));
         assert!(shifted.margin0 > base.margin0);
         assert!(shifted.margin1 < base.margin1);
     }

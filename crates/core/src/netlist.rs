@@ -14,8 +14,8 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use stt_array::Cell;
 use stt_mna::{
-    AnalysisError, Circuit, DeviceLaw, MosfetParams, Node, SwitchSchedule, TranOptions,
-    TranResult, Waveform,
+    AnalysisError, Circuit, DeviceLaw, MosfetParams, Node, SwitchSchedule, TranOptions, TranResult,
+    Waveform,
 };
 use stt_mtj::{MtjDevice, ResistanceModel, ResistanceState};
 use stt_units::{Amps, Farads, Ohms, Seconds, Volts};
@@ -179,14 +179,10 @@ impl TransientRead {
     /// effective resistances at the two read currents, so the closed-form
     /// margins see the same `R_T1`/`R_T2` the transient does.
     #[must_use]
-    pub fn analytic_margins_with_access_device(
-        &self,
-        cell: &Cell,
-    ) -> crate::margins::SenseMargins {
+    pub fn analytic_margins_with_access_device(&self, cell: &Cell) -> crate::margins::SenseMargins {
         let r_t1 = self.effective_transistor_resistance(cell, self.design.i_r1);
         let r_t2 = self.effective_transistor_resistance(cell, self.design.i_r2);
-        let slope =
-            (r_t2 - r_t1).get() / (self.design.i_r2 - self.design.i_r1).get();
+        let slope = (r_t2 - r_t1).get() / (self.design.i_r2 - self.design.i_r1).get();
         let r_at_zero = Ohms::new(r_t1.get() - slope * self.design.i_r1.get());
         let adapted = Cell::new(
             cell.device().clone(),
@@ -218,13 +214,9 @@ impl TransientRead {
         let total = t_read2_end + timing.sense + timing.latch;
 
         let (circuit, nodes) = self.build_circuit(cell, state);
-        let options = stt_mna::AdaptiveTranOptions::new(
-            total,
-            self.dt,
-            Seconds::from_nano(0.5),
-        )
-        .with_tolerance(lte_tolerance)
-        .from_zero_state();
+        let options = stt_mna::AdaptiveTranOptions::new(total, self.dt, Seconds::from_nano(0.5))
+            .with_tolerance(lte_tolerance)
+            .from_zero_state();
         let tran = circuit.transient_adaptive(&options)?;
 
         let t_sample = t_read2_end - Seconds::from_pico(50.0);
@@ -276,9 +268,7 @@ impl TransientRead {
             &stt_mna::log_frequency_grid(1e5, 1e12, 20),
             bias,
         )?;
-        Ok(sweep
-            .corner_frequency(nodes.v_bo)
-            .unwrap_or(f64::INFINITY))
+        Ok(sweep.corner_frequency(nodes.v_bo).unwrap_or(f64::INFINITY))
     }
 
     /// Builds the Fig. 5 netlist and returns the probe nodes.
@@ -358,14 +348,7 @@ impl TransientRead {
         circuit.resistor(div_top, v_bo, upper);
         circuit.resistor(v_bo, Node::GROUND, lower);
 
-        (
-            circuit,
-            Fig5Nodes {
-                bl,
-                c1_top,
-                v_bo,
-            },
-        )
+        (circuit, Fig5Nodes { bl, c1_top, v_bo })
     }
 
     /// Runs the Fig. 5 circuit for `cell` pinned to `state`.
@@ -504,7 +487,11 @@ impl DestructiveTransientRead {
             ]),
         );
         circuit.capacitor(bl, Node::GROUND, self.bl_cap);
-        circuit.nonlinear(bl, cell_mid, Arc::new(MtjLaw::new(cell.device().clone(), state)));
+        circuit.nonlinear(
+            bl,
+            cell_mid,
+            Arc::new(MtjLaw::new(cell.device().clone(), state)),
+        );
         circuit.voltage_source(
             wl,
             Node::GROUND,
@@ -540,9 +527,7 @@ impl DestructiveTransientRead {
         // 99 % settling time of the bit-line, measured from current-on.
         let final_v = tran.voltage_at(bl, sample_at);
         let threshold = 0.99 * final_v;
-        let crossed = tran
-            .crossing_time(bl, threshold, true)
-            .unwrap_or(total);
+        let crossed = tran.crossing_time(bl, threshold, true).unwrap_or(total);
         Ok(PhaseOutcome {
             sampled,
             settle: crossed - start,
@@ -779,11 +764,13 @@ mod tests {
         // twice as large — the reason the netlist boosts the word-line.
         let mut unboosted = reader;
         unboosted.wl_boost = Volts::new(1.2);
-        let delta_unboosted = (unboosted
-            .effective_transistor_resistance(&cell, design.i_r2)
+        let delta_unboosted = (unboosted.effective_transistor_resistance(&cell, design.i_r2)
             - unboosted.effective_transistor_resistance(&cell, design.i_r1))
         .get();
-        assert!(delta_unboosted > 1.5 * delta, "unboosted ΔR_T {delta_unboosted}");
+        assert!(
+            delta_unboosted > 1.5 * delta,
+            "unboosted ΔR_T {delta_unboosted}"
+        );
     }
 
     #[test]

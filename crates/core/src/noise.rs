@@ -137,7 +137,8 @@ mod tests {
         let nondestructive = design.nondestructive.margins(&cell, &Perturbations::NONE);
         let c1 = Farads::from_femto(25.0);
         assert!(
-            read_snr(&destructive, &sa, c1, 300.0) > 5.0 * read_snr(&nondestructive, &sa, c1, 300.0)
+            read_snr(&destructive, &sa, c1, 300.0)
+                > 5.0 * read_snr(&nondestructive, &sa, c1, 300.0)
         );
     }
 }

@@ -184,7 +184,10 @@ mod tests {
         assert_eq!(nondestructive, Seconds::ZERO);
         // Erase (5 ns) + read2 (6 ns) + sense (2 ns) + latch (1 ns) +
         // write back (5 ns) = 19 ns of exposure per read.
-        assert!((destructive.get() - 19e-9).abs() < 1e-12, "window {destructive}");
+        assert!(
+            (destructive.get() - 19e-9).abs() < 1e-12,
+            "window {destructive}"
+        );
     }
 
     #[test]

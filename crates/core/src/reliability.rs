@@ -104,8 +104,7 @@ fn budget_for(
             PhaseKind::Write => {
                 writes_per_read += 1;
                 write_seen = true;
-                write_error +=
-                    switching.write_error_rate(phase.current, timing.write_pulse);
+                write_error += switching.write_error_rate(phase.current, timing.write_pulse);
                 power_loss_window += phase.duration;
             }
             PhaseKind::Read => {
@@ -130,7 +129,11 @@ fn budget_for(
         writes_per_read,
         write_error_per_read: write_error,
         read_disturb_per_read: disturb,
-        expected_reads_to_disturb: if disturb > 0.0 { 1.0 / disturb } else { f64::INFINITY },
+        expected_reads_to_disturb: if disturb > 0.0 {
+            1.0 / disturb
+        } else {
+            f64::INFINITY
+        },
         endurance_limited_reads: if writes_per_read > 0 {
             endurance_cycles / f64::from(writes_per_read)
         } else {
@@ -148,7 +151,12 @@ mod tests {
     fn budgets() -> Vec<ReliabilityBudget> {
         let cell = CellSpec::date2010_chip().nominal_cell();
         let design = DesignPoint::date2010(&cell);
-        reliability_budgets(&cell, &design, &ChipTiming::date2010(), PAPER_ENDURANCE_CYCLES)
+        reliability_budgets(
+            &cell,
+            &design,
+            &ChipTiming::date2010(),
+            PAPER_ENDURANCE_CYCLES,
+        )
     }
 
     fn budget(kind: SchemeKind) -> ReliabilityBudget {

@@ -132,10 +132,18 @@ pub fn valid_beta_nondestructive(cell: &Cell, i_max: Amps, alpha: f64) -> ValidR
         i_r2: i_max,
         alpha,
     };
-    let margin0 =
-        |beta: f64| design(beta).margins(cell, &Perturbations::NONE).margin0.get();
-    let margin1 =
-        |beta: f64| design(beta).margins(cell, &Perturbations::NONE).margin1.get();
+    let margin0 = |beta: f64| {
+        design(beta)
+            .margins(cell, &Perturbations::NONE)
+            .margin0
+            .get()
+    };
+    let margin1 = |beta: f64| {
+        design(beta)
+            .margins(cell, &Perturbations::NONE)
+            .margin1
+            .get()
+    };
     ValidRange {
         low: bisect_zero(&margin0, 1.0, 8.0 / alpha),
         high: bisect_zero(&margin1, 1.0, 8.0 / alpha),
@@ -196,10 +204,7 @@ pub fn allowable_delta_rt_destructive(cell: &Cell, design: &DestructiveDesign) -
 /// The allowable `ΔR_T` window (in ohms) of the nondestructive scheme at
 /// its design point — Eq. (19).
 #[must_use]
-pub fn allowable_delta_rt_nondestructive(
-    cell: &Cell,
-    design: &NondestructiveDesign,
-) -> ValidRange {
+pub fn allowable_delta_rt_nondestructive(cell: &Cell, design: &NondestructiveDesign) -> ValidRange {
     linear_window(|delta: f64| {
         design.margins(cell, &Perturbations::with_delta_r_t(Ohms::new(delta)))
     })
@@ -449,11 +454,23 @@ mod tests {
         let destructive = valid_beta_destructive(&cell, I_MAX);
         let nondestructive = valid_beta_nondestructive(&cell, I_MAX, 0.5);
         // Destructive: valid from ~1 (Table II "Min β ~1").
-        assert!((destructive.low - 1.0).abs() < 0.05, "low {}", destructive.low);
-        assert!(destructive.high > 1.5 && destructive.high < 3.0, "high {}", destructive.high);
+        assert!(
+            (destructive.low - 1.0).abs() < 0.05,
+            "low {}",
+            destructive.low
+        );
+        assert!(
+            destructive.high > 1.5 && destructive.high < 3.0,
+            "high {}",
+            destructive.high
+        );
         // Nondestructive: a strictly tighter window at larger β
         // (Table II: min ≈ 2).
-        assert!((nondestructive.low - 2.0).abs() < 0.2, "low {}", nondestructive.low);
+        assert!(
+            (nondestructive.low - 2.0).abs() < 0.2,
+            "low {}",
+            nondestructive.low
+        );
         assert!(nondestructive.high > nondestructive.low);
         assert!(
             nondestructive.width() < destructive.width(),
@@ -472,14 +489,21 @@ mod tests {
         let cell = nominal_cell();
         let design = DesignPoint::date2010(&cell);
         let destructive = allowable_delta_rt_destructive(&cell, &design.destructive);
-        let nondestructive =
-            allowable_delta_rt_nondestructive(&cell, &design.nondestructive);
+        let nondestructive = allowable_delta_rt_nondestructive(&cell, &design.nondestructive);
         // Symmetric about zero at the equal-margin design point.
         assert!((destructive.low + destructive.high).abs() < 1.0);
         assert!((nondestructive.low + nondestructive.high).abs() < 1.0);
         // DESIGN.md §5: ≈ ±450 Ω (paper ±468 Ω) vs ≈ ±93 Ω (paper ±130 Ω).
-        assert!((400.0..520.0).contains(&destructive.high), "destr {}", destructive.high);
-        assert!((70.0..160.0).contains(&nondestructive.high), "nondes {}", nondestructive.high);
+        assert!(
+            (400.0..520.0).contains(&destructive.high),
+            "destr {}",
+            destructive.high
+        );
+        assert!(
+            (70.0..160.0).contains(&nondestructive.high),
+            "nondes {}",
+            nondestructive.high
+        );
         // The paper's qualitative claim: the nondestructive window is
         // several times tighter.
         assert!(destructive.high / nondestructive.high > 3.0);
@@ -523,8 +547,16 @@ mod tests {
         let window = allowable_alpha_deviation(&cell, &design.nondestructive);
         // Paper: +4.13 % / −5.71 % — asymmetric with the negative side
         // wider; reconstruction predicts ≈ +2.8 % / −4.0 %.
-        assert!(window.high > 0.015 && window.high < 0.06, "high {}", window.high);
-        assert!(window.low < -0.02 && window.low > -0.08, "low {}", window.low);
+        assert!(
+            window.high > 0.015 && window.high < 0.06,
+            "high {}",
+            window.high
+        );
+        assert!(
+            window.low < -0.02 && window.low > -0.08,
+            "low {}",
+            window.low
+        );
         assert!(
             window.low.abs() > window.high,
             "negative side must be wider: {window:?}"
@@ -599,12 +631,19 @@ mod tests {
             .expect("non-empty sweep");
         assert_eq!(best.alpha, 0.5, "symmetric divider must score best");
         // And at 1 % matching the design survives a 3σ divider excursion.
-        assert!(best.margin_over_3_sigma > 1.0, "score {}", best.margin_over_3_sigma);
+        assert!(
+            best.margin_over_3_sigma > 1.0,
+            "score {}",
+            best.margin_over_3_sigma
+        );
     }
 
     #[test]
     fn valid_range_accessors() {
-        let range = ValidRange { low: -2.0, high: 3.0 };
+        let range = ValidRange {
+            low: -2.0,
+            high: 3.0,
+        };
         assert_eq!(range.width(), 5.0);
         assert!(range.contains(0.0));
         assert!(!range.contains(3.5));

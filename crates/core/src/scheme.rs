@@ -32,6 +32,16 @@ pub enum SchemeKind {
     Nondestructive,
 }
 
+impl SchemeKind {
+    /// All three schemes, in the paper's presentation order — handy for
+    /// sweeps (`for kind in SchemeKind::ALL { … }`).
+    pub const ALL: [SchemeKind; 3] = [
+        SchemeKind::Conventional,
+        SchemeKind::Destructive,
+        SchemeKind::Nondestructive,
+    ];
+}
+
 impl std::fmt::Display for SchemeKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {

@@ -91,10 +91,8 @@ impl TemperatureSweep {
                     .max_safe_read_current(self.read_duration, self.disturb_target)
                     .min(self.i_max_reference * 2.0);
 
-                let fixed =
-                    NondestructiveDesign::optimize(&cell, self.i_max_reference, self.alpha);
-                let margin_fixed_budget =
-                    fixed.margins(&cell, &Perturbations::NONE).min();
+                let fixed = NondestructiveDesign::optimize(&cell, self.i_max_reference, self.alpha);
+                let margin_fixed_budget = fixed.margins(&cell, &Perturbations::NONE).min();
 
                 let derated = NondestructiveDesign::optimize(&cell, i_max_safe, self.alpha);
                 let margin_derated = derated.margins(&cell, &Perturbations::NONE).min();

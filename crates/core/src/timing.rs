@@ -115,7 +115,13 @@ impl ChipTiming {
             self.decode_current,
             self.vdd,
         );
-        let sense = Phase::new(PhaseKind::Sense, "SenEn", self.sense, self.sense_current, self.vdd);
+        let sense = Phase::new(
+            PhaseKind::Sense,
+            "SenEn",
+            self.sense,
+            self.sense_current,
+            self.vdd,
+        );
         let latch = Phase::new(
             PhaseKind::Sense,
             "Data_latch",
@@ -261,7 +267,10 @@ fn placeholder_design() -> DesignPoint {
             i_read: i,
             v_ref: Volts::new(0.5),
         },
-        destructive: DestructiveDesign { i_r1: i, i_r2: i * 2.0 },
+        destructive: DestructiveDesign {
+            i_r1: i,
+            i_r2: i * 2.0,
+        },
         nondestructive: NondestructiveDesign {
             i_r1: i,
             i_r2: i * 2.0,
@@ -376,9 +385,12 @@ mod tests {
         assert!(modelled.decode.get() < 1e-9);
         // The overall read shortens accordingly but stays ≈14 ns-class.
         let cost = modelled.read_cost(SchemeKind::Nondestructive, &design());
-        assert!(cost.latency() < ChipTiming::date2010()
-            .read_cost(SchemeKind::Nondestructive, &design())
-            .latency());
+        assert!(
+            cost.latency()
+                < ChipTiming::date2010()
+                    .read_cost(SchemeKind::Nondestructive, &design())
+                    .latency()
+        );
     }
 
     #[test]
@@ -437,10 +449,19 @@ mod tests {
             .iter()
             .find(|signal| signal.name == "SenEn")
             .expect("SenEn present");
-        assert!(slt1.windows[0].1 <= slt2.windows[0].0, "SLT1 ends before SLT2 begins");
-        assert!(slt2.windows[0].1 <= sen.windows[0].0, "sensing after second read");
+        assert!(
+            slt1.windows[0].1 <= slt2.windows[0].0,
+            "SLT1 ends before SLT2 begins"
+        );
+        assert!(
+            slt2.windows[0].1 <= sen.windows[0].0,
+            "sensing after second read"
+        );
         // No write-enable signal in a nondestructive read.
-        assert!(timeline.signals.iter().all(|signal| signal.name != "WriteEn"));
+        assert!(timeline
+            .signals
+            .iter()
+            .all(|signal| signal.name != "WriteEn"));
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! One bank: a sampled array, its own RNG, and the logic that serves a
+//! transaction end to end.
+//!
+//! A bank owns everything it touches — cell array, ground-truth mirror,
+//! telemetry, random stream — so banks can be driven from different threads
+//! with no sharing at all. Its RNG is seeded from `(controller seed, bank
+//! index)` with the same SplitMix64 scrambling as the Monte-Carlo runner,
+//! which is what makes an N-thread run bit-identical to a serial one.
+
+use std::cell::RefCell;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use stt_array::{
+    run_with_power_failure, Address, Array, ArraySpec, OperationCost, OperationStep, Phase,
+    PhaseKind, PowerFailure,
+};
+use stt_sense::{ChipTiming, DesignPoint, SchemeKind};
+
+use crate::faults::FaultPlan;
+use crate::retry::RetryPolicy;
+use crate::sense::Scheme;
+use crate::telemetry::BankTelemetry;
+use crate::txn::{Op, Transaction};
+
+/// Programming pulses a write may burn before the controller declares the
+/// cell unwritable (`(1 − p_switch)⁸` residual failure).
+const MAX_WRITE_ATTEMPTS: u32 = 8;
+
+/// One independently-addressable bank of the controller.
+#[derive(Debug)]
+pub struct Bank {
+    index: usize,
+    array: Array,
+    /// What the host believes each cell holds (row-major).
+    truth: Vec<bool>,
+    rng: StdRng,
+    scheme: Scheme,
+    retry: RetryPolicy,
+    /// Stuck-at defects on this bank, pre-filtered from the fault plan.
+    stuck: Vec<(Address, bool)>,
+    read_cost: OperationCost,
+    write_cost: OperationCost,
+    telemetry: BankTelemetry,
+    reads_served: u64,
+}
+
+impl Bank {
+    /// Samples and initialises bank `index`.
+    ///
+    /// The array is filled with a random pattern (ideal preload writes, not
+    /// traffic), stuck cells are snapped to their defect value, and the
+    /// host's truth mirror starts equal to the actual stored state — so
+    /// every misread and corrupted bit the telemetry later reports was
+    /// caused by served traffic, not initial conditions.
+    #[must_use]
+    pub fn new(
+        index: usize,
+        spec: &ArraySpec,
+        kind: SchemeKind,
+        retry: RetryPolicy,
+        faults: &FaultPlan,
+        seed: u64,
+    ) -> Self {
+        let mut rng = stt_stats::trial_rng(seed, index);
+        let mut array = spec.sample(&mut rng);
+        let mut truth = vec![false; spec.capacity_bits()];
+        let cols = spec.cols;
+        for addr in array.addresses().collect::<Vec<_>>() {
+            let bit = rng.gen_bool(0.5);
+            array.write_bit(addr, bit);
+            truth[addr.row * cols + addr.col] = bit;
+        }
+        let stuck: Vec<(Address, bool)> = faults
+            .stuck_cells_of(index)
+            .map(|cell| (cell.addr, cell.value))
+            .collect();
+        for &(addr, value) in &stuck {
+            array.write_bit(addr, value);
+            truth[addr.row * cols + addr.col] = value;
+        }
+        let design = DesignPoint::date2010(&spec.cell.nominal_cell());
+        let timing = ChipTiming::date2010();
+        Self {
+            index,
+            array,
+            truth,
+            rng,
+            scheme: Scheme::for_kind(kind, &design),
+            retry,
+            stuck,
+            read_cost: timing.read_cost(kind, &design),
+            write_cost: write_cost(&timing),
+            telemetry: BankTelemetry::new(),
+            reads_served: 0,
+        }
+    }
+
+    /// This bank's index in the controller.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Telemetry accumulated so far.
+    #[must_use]
+    pub fn telemetry(&self) -> &BankTelemetry {
+        &self.telemetry
+    }
+
+    /// Serves one transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction's address is out of this bank's range.
+    pub fn execute(&mut self, txn: &Transaction, faults: &FaultPlan) {
+        match txn.op {
+            Op::Read => self.serve_read(txn.addr, faults),
+            Op::Write(bit) => self.serve_write(txn.addr, bit),
+        }
+    }
+
+    fn serve_read(&mut self, addr: Address, faults: &FaultPlan) {
+        self.reads_served += 1;
+        self.telemetry.reads += 1;
+        if faults.cuts_power_on(self.reads_served) {
+            self.serve_read_with_power_cut(addr);
+            return;
+        }
+        let scheme = self.scheme;
+        let retry = self.retry;
+        let (array, rng) = (&mut self.array, &mut self.rng);
+        let resolution = retry.resolve(|| scheme.sense_once(array, addr, rng));
+        if scheme.is_destructive() {
+            // The erase/write-back pulses may have hit a stuck cell.
+            self.snap_stuck_cells();
+        }
+        self.telemetry.read_retries += u64::from(resolution.retries());
+        if !resolution.confident {
+            self.telemetry.unconfident_reads += 1;
+        }
+        if resolution.bit != self.truth[self.truth_index(addr)] {
+            self.telemetry.misreads += 1;
+        }
+        let latency = self.read_cost.latency() * f64::from(resolution.attempts);
+        let energy = self.read_cost.energy() * f64::from(resolution.attempts);
+        self.telemetry.record_read_latency(latency);
+        self.telemetry.busy_time += latency;
+        self.telemetry.energy += energy;
+    }
+
+    /// A read interrupted by a power cut. The scheme's sequence is built as
+    /// separate steps and cut at the scheme's most vulnerable point: for
+    /// the destructive scheme that is after the erase (the §I window), for
+    /// the read-only schemes any point — no step mutates state either way.
+    /// The aborted read delivers no bit and charges no latency: the rail is
+    /// down.
+    fn serve_read_with_power_cut(&mut self, addr: Address) {
+        self.telemetry.power_cuts += 1;
+        let scheme = self.scheme;
+        let sensed = scheme.sense_readonly(&self.array, addr, &mut self.rng);
+        let rng = RefCell::new(&mut self.rng);
+        let steps: Vec<OperationStep<'_>> = if scheme.is_destructive() {
+            vec![
+                Box::new(|_a: &mut Array| {}), // read 1: V_BL1 onto C1
+                Box::new(|a: &mut Array| {
+                    a.write_bit_pulsed(addr, false, &mut **rng.borrow_mut());
+                }),
+                Box::new(|_a: &mut Array| {}), // read 2 + compare
+                Box::new(|a: &mut Array| {
+                    a.write_bit_pulsed(addr, sensed.bit, &mut **rng.borrow_mut());
+                }),
+            ]
+        } else {
+            // Two sampling phases and the sense — none touches the cell.
+            vec![
+                Box::new(|_a: &mut Array| {}),
+                Box::new(|_a: &mut Array| {}),
+                Box::new(|_a: &mut Array| {}),
+            ]
+        };
+        let outcome = run_with_power_failure(&mut self.array, steps, PowerFailure::after_step(1));
+        self.telemetry.corrupted_bits += outcome.corrupted.len() as u64;
+        self.snap_stuck_cells();
+    }
+
+    fn serve_write(&mut self, addr: Address, bit: bool) {
+        self.telemetry.writes += 1;
+        let pulses = self
+            .array
+            .write_bit_verified(addr, bit, MAX_WRITE_ATTEMPTS, &mut self.rng);
+        let pulses_burned = match pulses {
+            Some(used) => {
+                self.telemetry.write_retries += u64::from(used - 1);
+                used
+            }
+            None => {
+                self.telemetry.write_failures += 1;
+                MAX_WRITE_ATTEMPTS
+            }
+        };
+        let index = self.truth_index(addr);
+        self.truth[index] = bit;
+        self.snap_stuck_cells();
+        self.telemetry.busy_time += self.write_cost.latency() * f64::from(pulses_burned);
+        self.telemetry.energy += self.write_cost.energy() * f64::from(pulses_burned);
+    }
+
+    /// Integrity audit: cells whose stored state disagrees with the host's
+    /// truth mirror right now.
+    #[must_use]
+    pub fn audit_corrupted_bits(&self) -> u64 {
+        self.array
+            .addresses()
+            .filter(|&addr| self.array.read_state(addr).bit() != self.truth[self.truth_index(addr)])
+            .count() as u64
+    }
+
+    /// Re-pins every stuck cell to its defect value (a stuck MTJ "accepts"
+    /// the pulse, then relaxes straight back).
+    fn snap_stuck_cells(&mut self) {
+        for &(addr, value) in &self.stuck {
+            self.array.write_bit(addr, value);
+        }
+    }
+
+    fn truth_index(&self, addr: Address) -> usize {
+        addr.row * self.array.cols() + addr.col
+    }
+}
+
+/// Latency/energy of one programming pulse (decode + pulse + driver
+/// overhead). `ChipTiming` only prices reads; writes are scheme-independent.
+fn write_cost(timing: &ChipTiming) -> OperationCost {
+    OperationCost::new(vec![
+        Phase::new(
+            PhaseKind::Decode,
+            "decode + WL",
+            timing.decode,
+            timing.decode_current,
+            timing.vdd,
+        ),
+        Phase::new(
+            PhaseKind::Write,
+            "program pulse",
+            timing.write_pulse + timing.write_overhead,
+            timing.write_current,
+            timing.vdd,
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_bank(kind: SchemeKind, faults: &FaultPlan) -> Bank {
+        Bank::new(
+            0,
+            &ArraySpec::small_test_array(),
+            kind,
+            RetryPolicy::date2010(),
+            faults,
+            77,
+        )
+    }
+
+    #[test]
+    fn a_fresh_bank_audits_clean() {
+        for kind in SchemeKind::ALL {
+            let bank = small_bank(kind, &FaultPlan::none());
+            assert_eq!(bank.audit_corrupted_bits(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn writes_then_reads_round_trip() {
+        let faults = FaultPlan::none();
+        let mut bank = small_bank(SchemeKind::Nondestructive, &faults);
+        let addr = Address::new(2, 5);
+        for bit in [true, false, true] {
+            bank.execute(&Transaction::write(0, addr, bit), &faults);
+            bank.execute(&Transaction::read(0, addr), &faults);
+        }
+        assert_eq!(bank.telemetry().reads, 3);
+        assert_eq!(bank.telemetry().writes, 3);
+        assert_eq!(bank.telemetry().misreads, 0);
+        assert_eq!(bank.audit_corrupted_bits(), 0);
+    }
+
+    #[test]
+    fn read_latency_scales_with_attempts() {
+        let faults = FaultPlan::none();
+        let mut bank = small_bank(SchemeKind::Nondestructive, &faults);
+        bank.execute(&Transaction::read(0, Address::new(1, 1)), &faults);
+        let telemetry = bank.telemetry();
+        // A single nondestructive read is 14 ns (ChipTiming::date2010 docs);
+        // any retries add whole multiples of it.
+        let attempts = 1 + telemetry.read_retries;
+        let expected_ns = 14.0 * attempts as f64;
+        assert!((telemetry.read_latency_ns.mean() - expected_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stuck_cell_defeats_writes() {
+        let addr = Address::new(3, 3);
+        let faults = FaultPlan::none().with_stuck_cell(0, addr, false);
+        let mut bank = small_bank(SchemeKind::Nondestructive, &faults);
+        bank.execute(&Transaction::write(0, addr, true), &faults);
+        bank.execute(&Transaction::read(0, addr), &faults);
+        assert_eq!(
+            bank.telemetry().misreads,
+            1,
+            "stuck-at-0 must defeat a write of 1"
+        );
+        assert!(bank.audit_corrupted_bits() >= 1);
+    }
+
+    #[test]
+    fn power_cut_corrupts_destructive_reads_only() {
+        // Cut every read; serve one read per scheme on a cell storing "1"
+        // (the erase writes "0", so the destructive loss is visible).
+        let addr = Address::new(4, 4);
+        let faults = FaultPlan::none().with_power_cut_every(1);
+        for kind in SchemeKind::ALL {
+            let mut bank = small_bank(kind, &faults);
+            bank.execute(&Transaction::write(0, addr, true), &faults);
+            bank.execute(&Transaction::read(0, addr), &faults);
+            let telemetry = bank.telemetry();
+            assert_eq!(telemetry.power_cuts, 1, "{kind}");
+            if kind == SchemeKind::Destructive {
+                assert!(telemetry.corrupted_bits >= 1, "{kind}: erase must stick");
+                assert!(bank.audit_corrupted_bits() >= 1, "{kind}");
+            } else {
+                assert_eq!(telemetry.corrupted_bits, 0, "{kind}: read path is inert");
+                assert_eq!(bank.audit_corrupted_bits(), 0, "{kind}");
+            }
+        }
+    }
+}

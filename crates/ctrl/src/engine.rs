@@ -1,0 +1,232 @@
+//! The controller engine: N banks, one trace, serial or parallel dispatch.
+//!
+//! Transactions are partitioned per bank in trace order; each bank then
+//! serves its slice against its own array with its own RNG. Because banks
+//! share nothing, the parallel dispatch (one crossbeam scoped thread per
+//! bank) executes the exact same per-bank instruction-and-RNG sequence as
+//! the serial one — [`Controller::run`] returns **equal** [`Telemetry`]
+//! either way, which the test suite asserts outright.
+
+use serde::{Deserialize, Serialize};
+use stt_array::ArraySpec;
+use stt_sense::SchemeKind;
+
+use crate::bank::Bank;
+use crate::faults::FaultPlan;
+use crate::retry::RetryPolicy;
+use crate::telemetry::Telemetry;
+use crate::txn::{Trace, Transaction};
+use crate::workload::Footprint;
+
+/// How [`Controller::run`] drives its banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dispatch {
+    /// One bank after another, on the calling thread.
+    Serial,
+    /// One scoped worker thread per bank.
+    Parallel,
+}
+
+/// Everything needed to build a controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Number of banks.
+    pub banks: usize,
+    /// Per-bank array recipe.
+    pub spec: ArraySpec,
+    /// Sensing scheme serving every read.
+    pub kind: SchemeKind,
+    /// Read-retry policy.
+    pub retry: RetryPolicy,
+    /// Faults to inject while serving.
+    pub faults: FaultPlan,
+    /// Master seed; bank `k` derives its stream from `(seed, k)`.
+    pub seed: u64,
+}
+
+impl ControllerConfig {
+    /// Paper-scale banks (16 kb each) under `kind`, no faults.
+    #[must_use]
+    pub fn date2010(kind: SchemeKind, banks: usize) -> Self {
+        Self {
+            banks,
+            spec: ArraySpec::date2010_chip(),
+            kind,
+            retry: RetryPolicy::date2010(),
+            faults: FaultPlan::none(),
+            seed: 2010,
+        }
+    }
+
+    /// Small 8×8 banks for fast tests.
+    #[must_use]
+    pub fn small(kind: SchemeKind, banks: usize) -> Self {
+        Self {
+            spec: ArraySpec::small_test_array(),
+            ..Self::date2010(kind, banks)
+        }
+    }
+
+    /// Overrides the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The address space this configuration exposes, for workload
+    /// generation.
+    #[must_use]
+    pub fn footprint(&self) -> Footprint {
+        Footprint {
+            banks: self.banks,
+            rows: self.spec.rows,
+            cols: self.spec.cols,
+        }
+    }
+}
+
+/// A built multi-bank controller. State (cell arrays, RNG streams,
+/// telemetry) persists across [`Controller::run`] calls, so a trace can be
+/// replayed in chunks.
+pub struct Controller {
+    config: ControllerConfig,
+    banks: Vec<Bank>,
+}
+
+impl Controller {
+    /// Samples all banks (in parallel — bank construction preloads every
+    /// cell) and returns a ready controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks.
+    #[must_use]
+    pub fn new(config: ControllerConfig) -> Self {
+        assert!(config.banks > 0, "a controller needs at least one bank");
+        let banks = stt_stats::fill_indexed(config.banks, |index| {
+            Bank::new(
+                index,
+                &config.spec,
+                config.kind,
+                config.retry,
+                &config.faults,
+                config.seed,
+            )
+        });
+        Self { config, banks }
+    }
+
+    /// The configuration this controller was built from.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Serves every transaction of `trace` and returns the run's telemetry
+    /// (including the post-run integrity audit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction addresses a bank the controller does not
+    /// have.
+    pub fn run(&mut self, trace: &Trace, dispatch: Dispatch) -> Telemetry {
+        let mut per_bank: Vec<Vec<Transaction>> = vec![Vec::new(); self.banks.len()];
+        for txn in trace.transactions() {
+            assert!(
+                txn.bank < per_bank.len(),
+                "transaction targets bank {} of a {}-bank controller",
+                txn.bank,
+                per_bank.len()
+            );
+            per_bank[txn.bank].push(*txn);
+        }
+        let Self { config, banks } = self;
+        let faults = &config.faults;
+        match dispatch {
+            Dispatch::Serial => {
+                for (bank, txns) in banks.iter_mut().zip(&per_bank) {
+                    for txn in txns {
+                        bank.execute(txn, faults);
+                    }
+                }
+            }
+            Dispatch::Parallel => {
+                crossbeam::scope(|scope| {
+                    for (bank, txns) in banks.iter_mut().zip(&per_bank) {
+                        scope.spawn(move |_| {
+                            for txn in txns {
+                                bank.execute(txn, faults);
+                            }
+                        });
+                    }
+                })
+                .expect("a bank worker panicked");
+            }
+        }
+        self.telemetry()
+    }
+
+    /// A fresh telemetry snapshot (per-bank counters plus audit) without
+    /// serving anything.
+    #[must_use]
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry {
+            banks: self.banks.iter().map(|b| b.telemetry().clone()).collect(),
+            audit_corrupted_bits: self.banks.iter().map(Bank::audit_corrupted_bits).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_trace(config: &ControllerConfig, count: usize) -> Trace {
+        Workload::Uniform { read_fraction: 0.7 }.generate(
+            config.footprint(),
+            count,
+            &mut StdRng::seed_from_u64(5),
+        )
+    }
+
+    #[test]
+    fn every_transaction_is_served() {
+        let config = ControllerConfig::small(SchemeKind::Nondestructive, 3);
+        let trace = small_trace(&config, 600);
+        let telemetry = Controller::new(config).run(&trace, Dispatch::Serial);
+        assert_eq!(telemetry.transactions(), 600);
+        assert_eq!(telemetry.banks.len(), 3);
+        assert_eq!(telemetry.aggregate().reads, trace.reads() as u64);
+    }
+
+    #[test]
+    fn state_persists_across_runs() {
+        let config = ControllerConfig::small(SchemeKind::Nondestructive, 2);
+        let trace = small_trace(&config, 100);
+        let mut controller = Controller::new(config);
+        controller.run(&trace, Dispatch::Serial);
+        let telemetry = controller.run(&trace, Dispatch::Serial);
+        assert_eq!(telemetry.transactions(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets bank")]
+    fn out_of_range_bank_panics() {
+        let config = ControllerConfig::small(SchemeKind::Conventional, 2);
+        let mut controller = Controller::new(config);
+        let mut trace = Trace::new();
+        trace.push(Transaction::read(5, stt_array::Address::new(0, 0)));
+        controller.run(&trace, Dispatch::Serial);
+    }
+}

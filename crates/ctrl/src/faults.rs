@@ -1,0 +1,117 @@
+//! Fault injection at the controller level.
+//!
+//! Two fault families, both reusing the array crate's machinery:
+//!
+//! * **Power cuts** — every Nth read on a bank is interrupted mid-sequence
+//!   via [`stt_array::run_with_power_failure`]. For the destructive scheme
+//!   the cut lands in the §I vulnerability window (after the erase, before
+//!   the write-back), so stored data is physically lost; conventional and
+//!   nondestructive reads have no state-mutating steps and shrug the cut
+//!   off. This is the paper's core reliability argument, driven by traffic
+//!   instead of a standalone experiment.
+//! * **Stuck cells** — manufacturing defects pinned to one state. Writes to
+//!   a stuck cell appear to succeed but the cell snaps back, so reads
+//!   return the stuck value — the misreads an ECC/map-out layer would have
+//!   to absorb.
+
+use serde::{Deserialize, Serialize};
+use stt_array::Address;
+
+/// A stuck-at defect on one cell of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StuckCell {
+    /// Bank index.
+    pub bank: usize,
+    /// Cell address within the bank.
+    pub addr: Address,
+    /// The value the cell is pinned to.
+    pub value: bool,
+}
+
+/// What to inject while serving a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Cut power mid-sequence on every Nth read of each bank
+    /// (`None` = never). The count is per bank, so the plan is independent
+    /// of how transactions interleave across banks.
+    pub power_cut_every: Option<u64>,
+    /// Manufacturing defects.
+    pub stuck_cells: Vec<StuckCell>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Cut power on every `every`-th read per bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    #[must_use]
+    pub fn with_power_cut_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "power-cut cadence must be at least 1");
+        self.power_cut_every = Some(every);
+        self
+    }
+
+    /// Adds a stuck-at defect.
+    #[must_use]
+    pub fn with_stuck_cell(mut self, bank: usize, addr: Address, value: bool) -> Self {
+        self.stuck_cells.push(StuckCell { bank, addr, value });
+        self
+    }
+
+    /// `true` if the `reads_served`-th read (1-based) on a bank should be
+    /// interrupted by a power cut.
+    #[must_use]
+    pub fn cuts_power_on(&self, reads_served: u64) -> bool {
+        match self.power_cut_every {
+            Some(every) => reads_served.is_multiple_of(every),
+            None => false,
+        }
+    }
+
+    /// The stuck cells of one bank.
+    pub fn stuck_cells_of(&self, bank: usize) -> impl Iterator<Item = &StuckCell> + '_ {
+        self.stuck_cells
+            .iter()
+            .filter(move |cell| cell.bank == bank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_quiet() {
+        let plan = FaultPlan::none();
+        assert!(!plan.cuts_power_on(1));
+        assert!(!plan.cuts_power_on(1000));
+        assert_eq!(plan.stuck_cells_of(0).count(), 0);
+    }
+
+    #[test]
+    fn power_cut_cadence() {
+        let plan = FaultPlan::none().with_power_cut_every(100);
+        assert!(!plan.cuts_power_on(1));
+        assert!(!plan.cuts_power_on(99));
+        assert!(plan.cuts_power_on(100));
+        assert!(plan.cuts_power_on(200));
+    }
+
+    #[test]
+    fn stuck_cells_filter_by_bank() {
+        let plan = FaultPlan::none()
+            .with_stuck_cell(0, Address::new(1, 1), true)
+            .with_stuck_cell(2, Address::new(3, 3), false)
+            .with_stuck_cell(0, Address::new(5, 5), false);
+        assert_eq!(plan.stuck_cells_of(0).count(), 2);
+        assert_eq!(plan.stuck_cells_of(1).count(), 0);
+        assert_eq!(plan.stuck_cells_of(2).count(), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Runtime scheme dispatch for the controller's read path.
+//!
+//! The sensing crate exposes the three schemes as distinct types behind the
+//! [`SenseScheme`] trait; a controller picks one per configuration at run
+//! time, so this module wraps them in an enum and exposes the one operation
+//! the engine needs: *sense this cell once, mutating the array exactly as
+//! the scheme's hardware sequence would*.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use stt_array::{Address, Array};
+use stt_mtj::ResistanceState;
+use stt_sense::{
+    ConventionalScheme, DesignPoint, DestructiveScheme, NondestructiveScheme, SchemeKind,
+    SenseScheme,
+};
+use stt_units::Volts;
+
+/// One sensing attempt, with the quantity the retry policy judges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sensed {
+    /// The bit the comparator latched.
+    pub bit: bool,
+    /// What the comparator actually saw: differential **plus** this
+    /// instance's sampled offset. `bit == (observed > 0)`.
+    pub observed: Volts,
+    /// Whether the latched bit matches the state the cell held when the
+    /// attempt started.
+    pub correct: bool,
+}
+
+impl Sensed {
+    /// `true` when `observed` clears `guard_band` in magnitude — the read
+    /// was unambiguous as far as the retry policy is concerned.
+    #[must_use]
+    pub fn is_confident(&self, guard_band: Volts) -> bool {
+        self.observed.get().abs() >= guard_band.get()
+    }
+}
+
+/// A run-time-selected sensing scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Shared-reference sensing.
+    Conventional(ConventionalScheme),
+    /// Destructive self-reference (erase + write back on every read).
+    Destructive(DestructiveScheme),
+    /// The paper's nondestructive self-reference.
+    Nondestructive(NondestructiveScheme),
+}
+
+impl Scheme {
+    /// Builds the scheme of `kind` from a design point.
+    #[must_use]
+    pub fn for_kind(kind: SchemeKind, design: &DesignPoint) -> Self {
+        match kind {
+            SchemeKind::Conventional => {
+                Scheme::Conventional(ConventionalScheme::new(design.conventional))
+            }
+            SchemeKind::Destructive => {
+                Scheme::Destructive(DestructiveScheme::new(design.destructive))
+            }
+            SchemeKind::Nondestructive => {
+                Scheme::Nondestructive(NondestructiveScheme::new(design.nondestructive))
+            }
+        }
+    }
+
+    /// Which scheme this is.
+    #[must_use]
+    pub fn kind(&self) -> SchemeKind {
+        match self {
+            Scheme::Conventional(s) => s.kind(),
+            Scheme::Destructive(s) => s.kind(),
+            Scheme::Nondestructive(s) => s.kind(),
+        }
+    }
+
+    /// `true` if a read overwrites the cell (and must write it back).
+    #[must_use]
+    pub fn is_destructive(&self) -> bool {
+        matches!(self, Scheme::Destructive(_))
+    }
+
+    /// The usable threshold of the scheme's sense amplifier — the natural
+    /// guard band for a retry policy in this scheme's read path.
+    #[must_use]
+    pub fn amplifier_threshold(&self) -> Volts {
+        match self {
+            Scheme::Conventional(s) => s.amplifier().usable_threshold(),
+            Scheme::Destructive(s) => s.amplifier().usable_threshold(),
+            Scheme::Nondestructive(s) => s.amplifier().usable_threshold(),
+        }
+    }
+
+    /// Senses `addr` once, with this scheme's full hardware sequence.
+    ///
+    /// Conventional and nondestructive reads never touch cell state. A
+    /// destructive read runs the §II-C sequence — sense, erase with a real
+    /// programming pulse, write back the *sensed* value — so a mis-sense
+    /// physically corrupts the cell, exactly the failure mode the paper
+    /// describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn sense_once(&self, array: &mut Array, addr: Address, rng: &mut StdRng) -> Sensed {
+        match self {
+            Scheme::Conventional(s) => sense_analytic(s, array, addr, rng),
+            Scheme::Nondestructive(s) => sense_analytic(s, array, addr, rng),
+            Scheme::Destructive(s) => {
+                let sensed = sense_analytic(s, array, addr, rng);
+                array.write_bit_pulsed(addr, false, rng);
+                array.write_bit_pulsed(addr, sensed.bit, rng);
+                sensed
+            }
+        }
+    }
+
+    /// The sense step alone, with no state mutation even for the
+    /// destructive scheme.
+    ///
+    /// The fault injector needs this to build the destructive sequence as
+    /// *separate* interruptible steps (sense, erase, write back) for
+    /// [`stt_array::run_with_power_failure`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn sense_readonly(&self, array: &Array, addr: Address, rng: &mut StdRng) -> Sensed {
+        match self {
+            Scheme::Conventional(s) => sense_analytic(s, array, addr, rng),
+            Scheme::Nondestructive(s) => sense_analytic(s, array, addr, rng),
+            Scheme::Destructive(s) => sense_analytic(s, array, addr, rng),
+        }
+    }
+}
+
+/// The analytic sense shared by every scheme: settled differential from the
+/// scheme's margins, plus a freshly sampled amplifier offset.
+///
+/// This mirrors [`SenseScheme::read`] but keeps the offset visible in
+/// `observed`, because the retry policy needs the comparator's actual input,
+/// not just the sign it latched.
+fn sense_analytic<S: SenseScheme>(
+    scheme: &S,
+    array: &Array,
+    addr: Address,
+    rng: &mut StdRng,
+) -> Sensed {
+    let cell = array.cell(addr);
+    let margins = scheme.margins(cell);
+    let stored = cell.state();
+    let differential = match stored {
+        ResistanceState::AntiParallel => margins.margin1,
+        ResistanceState::Parallel => -margins.margin0,
+    };
+    let offset = scheme.amplifier().sample_offset(rng);
+    let bit = scheme.amplifier().resolve(differential, offset);
+    Sensed {
+        bit,
+        observed: differential + offset,
+        correct: bit == stored.bit(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use stt_array::{ArraySpec, CellSpec};
+
+    fn setup() -> (Array, DesignPoint, StdRng) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let array = ArraySpec::small_test_array().sample(&mut rng);
+        let nominal = CellSpec::date2010_chip().nominal_cell();
+        (array, DesignPoint::date2010(&nominal), rng)
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        let (_, design, _) = setup();
+        for kind in SchemeKind::ALL {
+            let scheme = Scheme::for_kind(kind, &design);
+            assert_eq!(scheme.kind(), kind);
+            assert_eq!(scheme.is_destructive(), kind == SchemeKind::Destructive);
+        }
+    }
+
+    #[test]
+    fn observed_sign_matches_latched_bit() {
+        let (mut array, design, mut rng) = setup();
+        array.fill_with(|addr| addr.row % 2 == 0);
+        for kind in SchemeKind::ALL {
+            let scheme = Scheme::for_kind(kind, &design);
+            for addr in array.addresses().collect::<Vec<_>>() {
+                let sensed = scheme.sense_once(&mut array, addr, &mut rng);
+                assert_eq!(sensed.bit, sensed.observed.get() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nondestructive_sense_never_mutates() {
+        let (mut array, design, mut rng) = setup();
+        array.fill_with(|addr| addr.col % 2 == 0);
+        let before = array.clone();
+        let scheme = Scheme::for_kind(SchemeKind::Nondestructive, &design);
+        for addr in array.addresses().collect::<Vec<_>>() {
+            scheme.sense_once(&mut array, addr, &mut rng);
+        }
+        assert_eq!(array, before);
+    }
+
+    #[test]
+    fn destructive_sense_round_trips_state_on_success() {
+        let (mut array, design, mut rng) = setup();
+        let addr = Address::new(3, 3);
+        array.write_bit(addr, true);
+        let scheme = Scheme::for_kind(SchemeKind::Destructive, &design);
+        let sensed = scheme.sense_once(&mut array, addr, &mut rng);
+        assert!(sensed.correct);
+        assert!(array.read_state(addr).bit());
+    }
+
+    #[test]
+    fn confidence_is_a_guard_band_test() {
+        let sensed = Sensed {
+            bit: true,
+            observed: Volts::from_milli(10.0),
+            correct: true,
+        };
+        assert!(sensed.is_confident(Volts::from_milli(8.0)));
+        assert!(!sensed.is_confident(Volts::from_milli(12.0)));
+    }
+}

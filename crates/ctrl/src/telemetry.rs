@@ -1,0 +1,184 @@
+//! Per-bank and aggregate traffic telemetry.
+//!
+//! Counters are exact integers and the latency/energy accumulators are
+//! filled in a fixed per-bank order, so two runs of the same configuration
+//! — serial or parallel, any thread count — produce **equal** telemetry.
+//! The engine's determinism test leans on the `PartialEq` here.
+
+use serde::{Deserialize, Serialize};
+use stt_stats::{Histogram, Summary};
+use stt_units::{Joules, Seconds};
+
+/// Binning for the read-latency histogram: destructive reads with retries
+/// run to ~3×25 ns, so 0–100 ns in 2 ns bins covers every scheme.
+const LATENCY_BINS: usize = 50;
+const LATENCY_LOW_NS: f64 = 0.0;
+const LATENCY_HIGH_NS: f64 = 100.0;
+
+/// Counters for one bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankTelemetry {
+    /// Reads served (including those aborted by a power cut).
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+    /// Extra sense attempts beyond the first, across all reads.
+    pub read_retries: u64,
+    /// Reads resolved by the fallback (no attempt cleared the guard band).
+    pub unconfident_reads: u64,
+    /// Reads whose delivered bit disagreed with the host's last write.
+    pub misreads: u64,
+    /// Extra programming pulses beyond the first, across all writes.
+    pub write_retries: u64,
+    /// Writes whose cell never switched within the pulse budget.
+    pub write_failures: u64,
+    /// Power cuts injected mid-read.
+    pub power_cuts: u64,
+    /// Cells whose stored state a power cut changed.
+    pub corrupted_bits: u64,
+    /// Completed-read latency in nanoseconds (retries included).
+    pub read_latency_ns: Summary,
+    /// Completed-read latency histogram (nanoseconds).
+    pub read_latency_hist: Histogram,
+    /// Total busy time across served transactions.
+    pub busy_time: Seconds,
+    /// Total energy across served transactions.
+    pub energy: Joules,
+}
+
+impl BankTelemetry {
+    /// Fresh, all-zero telemetry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            reads: 0,
+            writes: 0,
+            read_retries: 0,
+            unconfident_reads: 0,
+            misreads: 0,
+            write_retries: 0,
+            write_failures: 0,
+            power_cuts: 0,
+            corrupted_bits: 0,
+            read_latency_ns: Summary::new(),
+            read_latency_hist: Histogram::new(LATENCY_LOW_NS, LATENCY_HIGH_NS, LATENCY_BINS),
+            busy_time: Seconds::ZERO,
+            energy: Joules::ZERO,
+        }
+    }
+
+    /// Records one completed read's total latency.
+    pub fn record_read_latency(&mut self, latency: Seconds) {
+        let nanos = latency.get() * 1e9;
+        self.read_latency_ns.push(nanos);
+        self.read_latency_hist.push(nanos);
+    }
+
+    /// Folds another bank's counters into this one.
+    pub fn merge(&mut self, other: &BankTelemetry) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_retries += other.read_retries;
+        self.unconfident_reads += other.unconfident_reads;
+        self.misreads += other.misreads;
+        self.write_retries += other.write_retries;
+        self.write_failures += other.write_failures;
+        self.power_cuts += other.power_cuts;
+        self.corrupted_bits += other.corrupted_bits;
+        self.read_latency_ns.merge(&other.read_latency_ns);
+        self.read_latency_hist.merge(&other.read_latency_hist);
+        self.busy_time += other.busy_time;
+        self.energy += other.energy;
+    }
+
+    /// Misread rate over served reads (0 when no reads ran).
+    #[must_use]
+    pub fn misread_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.misreads as f64 / self.reads as f64
+        }
+    }
+}
+
+impl Default for BankTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Telemetry for a full controller run: per-bank breakdown plus the final
+/// integrity audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// One entry per bank, in bank order.
+    pub banks: Vec<BankTelemetry>,
+    /// Cells whose post-trace stored state disagrees with the host's view
+    /// of what it wrote (summed over banks).
+    pub audit_corrupted_bits: u64,
+}
+
+impl Telemetry {
+    /// Sums every bank into one set of counters (bank order, so the result
+    /// is deterministic).
+    #[must_use]
+    pub fn aggregate(&self) -> BankTelemetry {
+        let mut total = BankTelemetry::new();
+        for bank in &self.banks {
+            total.merge(bank);
+        }
+        total
+    }
+
+    /// Total transactions served.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.banks.iter().map(|b| b.reads + b.writes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry_with(reads: u64, misreads: u64) -> BankTelemetry {
+        let mut t = BankTelemetry::new();
+        t.reads = reads;
+        t.misreads = misreads;
+        for i in 0..reads {
+            t.record_read_latency(Seconds::from_nano(14.0 + i as f64));
+        }
+        t
+    }
+
+    #[test]
+    fn merge_sums_counters_and_accumulators() {
+        let a = telemetry_with(10, 1);
+        let b = telemetry_with(20, 3);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.reads, 30);
+        assert_eq!(merged.misreads, 4);
+        assert_eq!(merged.read_latency_ns.len(), 30);
+        assert_eq!(merged.read_latency_hist.total(), 30);
+    }
+
+    #[test]
+    fn aggregate_is_order_of_banks() {
+        let telemetry = Telemetry {
+            banks: vec![telemetry_with(5, 0), telemetry_with(7, 2)],
+            audit_corrupted_bits: 0,
+        };
+        let total = telemetry.aggregate();
+        assert_eq!(total.reads, 12);
+        assert_eq!(total.misreads, 2);
+        assert_eq!(telemetry.transactions(), 12);
+    }
+
+    #[test]
+    fn misread_rate_handles_empty() {
+        assert_eq!(BankTelemetry::new().misread_rate(), 0.0);
+        assert!((telemetry_with(10, 1).misread_rate() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,232 @@
+//! Transactions and replayable traces.
+//!
+//! The controller consumes a flat stream of [`Transaction`]s — bank, cell
+//! address, read or write. A [`Trace`] is such a stream frozen into a value:
+//! it can be generated synthetically (see [`crate::workload`]), saved to CSV,
+//! reloaded, and replayed bit-identically against any controller
+//! configuration, which is what makes scheme-vs-scheme comparisons fair
+//! (every scheme sees the exact same traffic).
+
+use serde::{Deserialize, Serialize};
+use stt_array::Address;
+
+/// What a transaction asks the controller to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Sense the stored bit and return it.
+    Read,
+    /// Program the given bit.
+    Write(bool),
+}
+
+impl Op {
+    /// `true` for [`Op::Read`].
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, Op::Read)
+    }
+}
+
+/// One memory transaction: an operation against one cell of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Target bank index (`0..banks`).
+    pub bank: usize,
+    /// Cell address within the bank.
+    pub addr: Address,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Transaction {
+    /// A read of `addr` on `bank`.
+    #[must_use]
+    pub fn read(bank: usize, addr: Address) -> Self {
+        Self {
+            bank,
+            addr,
+            op: Op::Read,
+        }
+    }
+
+    /// A write of `bit` to `addr` on `bank`.
+    #[must_use]
+    pub fn write(bank: usize, addr: Address, bit: bool) -> Self {
+        Self {
+            bank,
+            addr,
+            op: Op::Write(bit),
+        }
+    }
+}
+
+/// A replayable, ordered stream of transactions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    transactions: Vec<Transaction>,
+}
+
+/// A malformed line met while parsing a [`Trace`] from CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing transaction list.
+    #[must_use]
+    pub fn from_transactions(transactions: Vec<Transaction>) -> Self {
+        Self { transactions }
+    }
+
+    /// Appends a transaction.
+    pub fn push(&mut self, txn: Transaction) {
+        self.transactions.push(txn);
+    }
+
+    /// Number of transactions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// `true` when the trace holds no transactions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// The transactions, in replay order.
+    #[must_use]
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Count of read transactions.
+    #[must_use]
+    pub fn reads(&self) -> usize {
+        self.transactions.iter().filter(|t| t.op.is_read()).count()
+    }
+
+    /// Serialises to the trace CSV dialect: a `bank,row,col,op,bit` header
+    /// followed by one record per transaction (`op` is `R` or `W`; `bit` is
+    /// empty for reads).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bank,row,col,op,bit\n");
+        for txn in &self.transactions {
+            let (op, bit) = match txn.op {
+                Op::Read => ("R", String::new()),
+                Op::Write(bit) => ("W", u8::from(bit).to_string()),
+            };
+            out.push_str(&format!(
+                "{},{},{},{op},{bit}\n",
+                txn.bank, txn.addr.row, txn.addr.col
+            ));
+        }
+        out
+    }
+
+    /// Parses the CSV dialect written by [`Trace::to_csv`]. A leading header
+    /// line is accepted and skipped; blank lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceParseError`] naming the first malformed line.
+    pub fn from_csv(text: &str) -> Result<Self, TraceParseError> {
+        let mut transactions = Vec::new();
+        for (index, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (index == 0 && line.starts_with("bank")) {
+                continue;
+            }
+            let err = |message: String| TraceParseError {
+                line: index + 1,
+                message,
+            };
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 5 {
+                return Err(err(format!("expected 5 fields, got {}", fields.len())));
+            }
+            let parse = |field: &str, what: &str| {
+                field
+                    .parse::<usize>()
+                    .map_err(|_| err(format!("bad {what} {field:?}")))
+            };
+            let bank = parse(fields[0], "bank")?;
+            let addr = Address::new(parse(fields[1], "row")?, parse(fields[2], "col")?);
+            let op = match (fields[3], fields[4]) {
+                ("R", "") => Op::Read,
+                ("W", "0") => Op::Write(false),
+                ("W", "1") => Op::Write(true),
+                (op, bit) => return Err(err(format!("bad op/bit pair {op:?}/{bit:?}"))),
+            };
+            transactions.push(Transaction { bank, addr, op });
+        }
+        Ok(Self { transactions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::from_transactions(vec![
+            Transaction::write(0, Address::new(1, 2), true),
+            Transaction::read(1, Address::new(3, 4)),
+            Transaction::write(2, Address::new(0, 0), false),
+            Transaction::read(0, Address::new(1, 2)),
+        ])
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let trace = sample_trace();
+        let csv = trace.to_csv();
+        assert_eq!(Trace::from_csv(&csv).unwrap(), trace);
+    }
+
+    #[test]
+    fn csv_header_and_blank_lines_are_tolerated() {
+        let parsed = Trace::from_csv("bank,row,col,op,bit\n\n0,1,2,W,1\n\n1,3,4,R,\n").unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.transactions()[0].op, Op::Write(true));
+        assert_eq!(parsed.transactions()[1].op, Op::Read);
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line_number() {
+        let error = Trace::from_csv("0,1,2,X,9\n").unwrap_err();
+        assert_eq!(error.line, 1);
+        assert!(error.message.contains("op/bit"));
+        let error = Trace::from_csv("bank,row,col,op,bit\n0,1\n").unwrap_err();
+        assert_eq!(error.line, 2);
+    }
+
+    #[test]
+    fn counts() {
+        let trace = sample_trace();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.reads(), 2);
+        assert!(!trace.is_empty());
+        assert!(Trace::new().is_empty());
+    }
+}

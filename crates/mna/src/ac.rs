@@ -193,7 +193,9 @@ impl Circuit {
                     Element::Capacitor { a, b, farads, .. } => {
                         stamp_admittance(&mut matrix, *a, *b, Complex::imaginary(omega * farads));
                     }
-                    Element::VoltageSource { pos, neg, branch, .. } => {
+                    Element::VoltageSource {
+                        pos, neg, branch, ..
+                    } => {
                         let branch_row = (nodes - 1) + branch;
                         if let Some(r) = row(*pos) {
                             matrix.stamp(r, branch_row, Complex::ONE);
@@ -448,7 +450,10 @@ mod tests {
         assert!((result.magnitude(node)[0] - 3000.0).abs() < 1.0);
         let f_c = result.corner_frequency(node).expect("pole");
         let analytic = 1.0 / (2.0 * std::f64::consts::PI * 3000.0 * 200e-15);
-        assert!((f_c / analytic - 1.0).abs() < 0.05, "corner {f_c} vs {analytic}");
+        assert!(
+            (f_c / analytic - 1.0).abs() < 0.05,
+            "corner {f_c} vs {analytic}"
+        );
     }
 
     #[test]
@@ -482,7 +487,10 @@ mod tests {
             .expect("i");
         let gain_i = i.phasor(b2, 0).magnitude() / i.phasor(a2, 0).magnitude();
         assert!((gain_v - 0.5).abs() < 1e-9);
-        assert!((gain_v - gain_i).abs() < 1e-9, "transfer ratio is drive-independent");
+        assert!(
+            (gain_v - gain_i).abs() < 1e-9,
+            "transfer ratio is drive-independent"
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl MosfetParams {
     #[must_use]
     pub fn new(vt: f64, k: f64, lambda: f64) -> Self {
         assert!(k > 0.0, "transconductance factor must be positive");
-        assert!(lambda >= 0.0, "channel-length modulation must be non-negative");
+        assert!(
+            lambda >= 0.0,
+            "channel-length modulation must be non-negative"
+        );
         Self { vt, k, lambda }
     }
 
@@ -383,7 +386,8 @@ impl Circuit {
     pub fn current_source(&mut self, pos: Node, neg: Node, wave: Waveform) {
         self.check_node(pos);
         self.check_node(neg);
-        self.elements.push(Element::CurrentSource { pos, neg, wave });
+        self.elements
+            .push(Element::CurrentSource { pos, neg, wave });
     }
 
     /// Adds a scheduled ideal switch with the given on/off resistances.
@@ -391,14 +395,7 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics unless `0 < r_on < r_off`.
-    pub fn switch(
-        &mut self,
-        a: Node,
-        b: Node,
-        r_on: Ohms,
-        r_off: Ohms,
-        schedule: SwitchSchedule,
-    ) {
+    pub fn switch(&mut self, a: Node, b: Node, r_on: Ohms, r_off: Ohms, schedule: SwitchSchedule) {
         self.check_node(a);
         self.check_node(b);
         assert!(

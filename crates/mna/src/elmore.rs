@@ -55,7 +55,10 @@ impl RcLadder {
     pub fn uniform(segments: usize, r_segment: Ohms, c_segment: Farads) -> Self {
         assert!(segments > 0, "ladder needs at least one segment");
         assert!(r_segment.get() > 0.0, "segment resistance must be positive");
-        assert!(c_segment.get() > 0.0, "segment capacitance must be positive");
+        assert!(
+            c_segment.get() > 0.0,
+            "segment capacitance must be positive"
+        );
         let mut node_capacitance = vec![c_segment.get(); segments + 1];
         node_capacitance[0] = 0.0; // driven node
         Self {
@@ -78,10 +81,7 @@ impl RcLadder {
     /// Panics if `tap` is out of range or the capacitance is negative.
     #[must_use]
     pub fn with_tap_capacitance(mut self, tap: usize, extra: Farads) -> Self {
-        assert!(
-            tap < self.node_capacitance.len(),
-            "tap index out of range"
-        );
+        assert!(tap < self.node_capacitance.len(), "tap index out of range");
         assert!(extra.get() >= 0.0, "tap capacitance must be non-negative");
         self.node_capacitance[tap] += extra.get();
         self
@@ -149,7 +149,10 @@ mod tests {
         let ladder = RcLadder::uniform(10, Ohms::new(10.0), Farads::from_femto(1.0));
         let bare = ladder.elmore_delay();
         let extra = Farads::from_femto(25.0);
-        let loaded = ladder.clone().with_tap_capacitance(10, extra).elmore_delay();
+        let loaded = ladder
+            .clone()
+            .with_tap_capacitance(10, extra)
+            .elmore_delay();
         let expected_increase = ladder.total_resistance() * extra;
         assert!(((loaded - bare).get() - expected_increase.get()).abs() < 1e-24);
     }
@@ -162,7 +165,10 @@ mod tests {
             .clone()
             .with_tap_capacitance(0, Farads::from_pico(1.0))
             .elmore_delay();
-        assert_eq!(bare, loaded, "capacitance at the driver adds no Elmore delay");
+        assert_eq!(
+            bare, loaded,
+            "capacitance at the driver adds no Elmore delay"
+        );
     }
 
     #[test]

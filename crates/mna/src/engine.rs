@@ -409,9 +409,7 @@ impl Circuit {
         let mut traces: Vec<Vec<f64>> = vec![Vec::with_capacity(grid.len()); nodes];
         let mut source_traces: Vec<Vec<f64>> =
             vec![Vec::with_capacity(grid.len()); self.vsource_count];
-        let record = |x: &[f64],
-                          traces: &mut Vec<Vec<f64>>,
-                          source_traces: &mut Vec<Vec<f64>>| {
+        let record = |x: &[f64], traces: &mut Vec<Vec<f64>>, source_traces: &mut Vec<Vec<f64>>| {
             traces[0].push(0.0);
             for index in 1..nodes {
                 traces[index].push(x[index - 1]);
@@ -515,9 +513,7 @@ impl Circuit {
         let mut times = vec![0.0];
         let mut traces: Vec<Vec<f64>> = vec![Vec::new(); nodes];
         let mut source_traces: Vec<Vec<f64>> = vec![Vec::new(); self.vsource_count];
-        let record = |x: &[f64],
-                      traces: &mut Vec<Vec<f64>>,
-                      source_traces: &mut Vec<Vec<f64>>| {
+        let record = |x: &[f64], traces: &mut Vec<Vec<f64>>, source_traces: &mut Vec<Vec<f64>>| {
             traces[0].push(0.0);
             for index in 1..nodes {
                 traces[index].push(x[index - 1]);
@@ -571,7 +567,12 @@ impl Circuit {
                 Some((&half_states, 0.5 * step)),
                 Integrator::BackwardEuler,
             )?;
-            self.advance_cap_states(&mid, &mut half_states, Integrator::BackwardEuler, 0.5 * step);
+            self.advance_cap_states(
+                &mid,
+                &mut half_states,
+                Integrator::BackwardEuler,
+                0.5 * step,
+            );
             let half = self.solve_point(
                 t_full,
                 &mid,
@@ -734,12 +735,9 @@ impl Circuit {
     }
 
     fn has_nonlinear(&self) -> bool {
-        self.elements.iter().any(|element| {
-            matches!(
-                element,
-                Element::Mosfet { .. } | Element::Nonlinear { .. }
-            )
-        })
+        self.elements
+            .iter()
+            .any(|element| matches!(element, Element::Mosfet { .. } | Element::Nonlinear { .. }))
     }
 
     /// Stamps all elements into `matrix`/`rhs`, linearising nonlinear ones
@@ -753,9 +751,8 @@ impl Circuit {
         cap: Option<(&[CapState], f64)>,
         integrator: Integrator,
     ) {
-        let voltage_of = |node: Node, x: &[f64]| -> f64 {
-            Self::node_row(node).map_or(0.0, |row| x[row])
-        };
+        let voltage_of =
+            |node: Node, x: &[f64]| -> f64 { Self::node_row(node).map_or(0.0, |row| x[row]) };
         let stamp_conductance = |matrix: &mut Matrix, a: Node, b: Node, g: f64| {
             if let Some(row_a) = Self::node_row(a) {
                 matrix.stamp(row_a, row_a, g);
@@ -1069,7 +1066,14 @@ mod tests {
         circuit.voltage_source(
             input,
             Node::GROUND,
-            Waveform::pulse(0.0, 1.0, Seconds::ZERO, nanos(0.001), nanos(0.001), nanos(1000.0)),
+            Waveform::pulse(
+                0.0,
+                1.0,
+                Seconds::ZERO,
+                nanos(0.001),
+                nanos(0.001),
+                nanos(1000.0),
+            ),
         );
         circuit.resistor(input, output, Ohms::from_kilo(1.0));
         circuit.capacitor(output, Node::GROUND, Farads::from_pico(1.0));
@@ -1270,7 +1274,14 @@ mod tests {
         circuit.voltage_source(
             input,
             Node::GROUND,
-            Waveform::pulse(0.0, 1.0, Seconds::ZERO, nanos(0.001), nanos(0.001), nanos(100.0)),
+            Waveform::pulse(
+                0.0,
+                1.0,
+                Seconds::ZERO,
+                nanos(0.001),
+                nanos(0.001),
+                nanos(100.0),
+            ),
         );
         circuit.resistor(input, output, Ohms::from_kilo(1.0));
         circuit.capacitor(output, Node::GROUND, Farads::from_pico(1.0));
@@ -1334,7 +1345,11 @@ mod tests {
         // A load on the ideal output does not change its voltage.
         circuit.resistor(out, Node::GROUND, Ohms::from_kilo(1.0));
         let op = circuit.dc_operating_point(Seconds::ZERO).expect("vcvs");
-        assert!((op.voltage(out) - 0.3).abs() < 1e-9, "out {}", op.voltage(out));
+        assert!(
+            (op.voltage(out) - 0.3).abs() < 1e-9,
+            "out {}",
+            op.voltage(out)
+        );
     }
 
     #[test]
@@ -1473,7 +1488,10 @@ mod tests {
         // ends at 20.5 ns (τ = 1 ns).
         let plateau = result.voltage_at(output, nanos(25.0));
         let analytic = 1.0 - (-4.5f64).exp();
-        assert!((plateau - analytic).abs() < 5e-3, "plateau {plateau} vs {analytic}");
+        assert!(
+            (plateau - analytic).abs() < 5e-3,
+            "plateau {plateau} vs {analytic}"
+        );
     }
 
     #[test]
@@ -1542,7 +1560,10 @@ mod tests {
         for t_ns in [0.5, 2.0, 4.0, 7.5] {
             let a = adaptive.voltage_at(out, nanos(t_ns));
             let f = fixed.voltage_at(out, nanos(t_ns));
-            assert!((a - f).abs() < 1e-3, "at {t_ns} ns: adaptive {a} vs fixed {f}");
+            assert!(
+                (a - f).abs() < 1e-3,
+                "at {t_ns} ns: adaptive {a} vs fixed {f}"
+            );
         }
         assert!(
             adaptive.len() < fixed.len() / 2,
@@ -1558,13 +1579,16 @@ mod tests {
         let a = circuit.node("a");
         circuit.resistor(a, Node::GROUND, Ohms::new(1.0));
         let err = circuit
-            .transient_adaptive(&AdaptiveTranOptions::new(nanos(1.0), nanos(2.0), nanos(0.5)))
+            .transient_adaptive(&AdaptiveTranOptions::new(
+                nanos(1.0),
+                nanos(2.0),
+                nanos(0.5),
+            ))
             .expect_err("dt_min > dt_max");
         assert!(matches!(err, AnalysisError::InvalidOptions(_)));
         let err = circuit
             .transient_adaptive(
-                &AdaptiveTranOptions::new(nanos(1.0), nanos(0.01), nanos(0.5))
-                    .with_tolerance(-1.0),
+                &AdaptiveTranOptions::new(nanos(1.0), nanos(0.01), nanos(0.5)).with_tolerance(-1.0),
             )
             .expect_err("negative tolerance");
         assert!(err.to_string().contains("lte_tolerance"));

@@ -197,7 +197,11 @@ mod tests {
 
     #[test]
     fn pwl_interpolates_and_clamps() {
-        let w = Waveform::pwl(vec![(nanos(1.0), 0.0), (nanos(3.0), 4.0), (nanos(5.0), 2.0)]);
+        let w = Waveform::pwl(vec![
+            (nanos(1.0), 0.0),
+            (nanos(3.0), 4.0),
+            (nanos(5.0), 2.0),
+        ]);
         assert_eq!(w.value_at(nanos(0.0)), 0.0); // clamp before
         assert!((w.value_at(nanos(2.0)) - 2.0).abs() < 1e-12); // first segment midpoint
         assert!((w.value_at(nanos(4.0)) - 3.0).abs() < 1e-12); // second segment midpoint
@@ -214,7 +218,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonzero extent")]
     fn pulse_rejects_zero_extent() {
-        let _ = Waveform::pulse(0.0, 1.0, nanos(1.0), Seconds::ZERO, Seconds::ZERO, Seconds::ZERO);
+        let _ = Waveform::pulse(
+            0.0,
+            1.0,
+            nanos(1.0),
+            Seconds::ZERO,
+            Seconds::ZERO,
+            Seconds::ZERO,
+        );
     }
 
     #[test]

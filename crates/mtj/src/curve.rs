@@ -315,13 +315,8 @@ mod tests {
     fn noisy_table_stays_positive_and_near_model() {
         let linear = typical_linear();
         let mut rng = StdRng::seed_from_u64(42);
-        let table = TabulatedCurve::from_model_noisy(
-            &linear,
-            Amps::from_micro(200.0),
-            30,
-            0.01,
-            &mut rng,
-        );
+        let table =
+            TabulatedCurve::from_model_noisy(&linear, Amps::from_micro(200.0), 30, 0.01, &mut rng);
         for (_, r) in table.high_samples().iter().chain(table.low_samples()) {
             assert!(r.get() > 0.0);
         }

@@ -82,8 +82,7 @@ impl MtjSpec {
     /// linear calibration with `samples + 1` points up to `I_max`.
     #[must_use]
     pub fn into_tabulated_device(self, samples: usize) -> MtjDevice {
-        let table =
-            TabulatedCurve::from_model(&self.resistance, self.resistance.i_max(), samples);
+        let table = TabulatedCurve::from_model(&self.resistance, self.resistance.i_max(), samples);
         MtjDevice {
             curve: ResistanceCurve::Tabulated(table),
             switching: self.switching,
@@ -208,8 +207,7 @@ mod tests {
     #[test]
     fn device_exposes_disturb_probability() {
         let device = MtjSpec::date2010_typical().into_device();
-        let p =
-            device.read_disturb_probability(Amps::from_micro(200.0), Seconds::from_nano(15.0));
+        let p = device.read_disturb_probability(Amps::from_micro(200.0), Seconds::from_nano(15.0));
         assert!(p < 1e-6);
     }
 

@@ -37,10 +37,16 @@ impl fmt::Display for FitRolloffError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FitRolloffError::TooFewSamples { state, count } => {
-                write!(f, "{state}-state fit needs at least two samples, got {count}")
+                write!(
+                    f,
+                    "{state}-state fit needs at least two samples, got {count}"
+                )
             }
             FitRolloffError::DegenerateCurrents { state } => {
-                write!(f, "{state}-state samples share one current; slope undefined")
+                write!(
+                    f,
+                    "{state}-state samples share one current; slope undefined"
+                )
             }
             FitRolloffError::NonPhysical(message) => {
                 write!(f, "fitted parameters are not physical: {message}")
@@ -92,7 +98,11 @@ fn fit_state(
     }
     let slope = -sir / sii; // R falls with current: report the drop rate.
     let r0 = mean_r + slope * mean_i;
-    let r_squared = if srr == 0.0 { 1.0 } else { (sir * sir) / (sii * srr) };
+    let r_squared = if srr == 0.0 {
+        1.0
+    } else {
+        (sir * sir) / (sii * srr)
+    };
     Ok((r0, slope, r_squared))
 }
 
@@ -215,11 +225,17 @@ mod tests {
     fn rejects_too_few_samples() {
         let err = fit_linear_rolloff(
             &[(Amps::ZERO, Ohms::new(3000.0))],
-            &[(Amps::ZERO, Ohms::new(1500.0)), (i_max(), Ohms::new(1400.0))],
+            &[
+                (Amps::ZERO, Ohms::new(1500.0)),
+                (i_max(), Ohms::new(1400.0)),
+            ],
             i_max(),
         )
         .expect_err("one sample cannot fit");
-        assert!(matches!(err, FitRolloffError::TooFewSamples { state: "high", .. }));
+        assert!(matches!(
+            err,
+            FitRolloffError::TooFewSamples { state: "high", .. }
+        ));
         assert!(err.to_string().contains("two samples"));
     }
 
@@ -228,18 +244,27 @@ mod tests {
         let same = Amps::from_micro(100.0);
         let err = fit_linear_rolloff(
             &[(same, Ohms::new(3000.0)), (same, Ohms::new(2990.0))],
-            &[(Amps::ZERO, Ohms::new(1500.0)), (i_max(), Ohms::new(1400.0))],
+            &[
+                (Amps::ZERO, Ohms::new(1500.0)),
+                (i_max(), Ohms::new(1400.0)),
+            ],
             i_max(),
         )
         .expect_err("no current spread");
-        assert!(matches!(err, FitRolloffError::DegenerateCurrents { state: "high" }));
+        assert!(matches!(
+            err,
+            FitRolloffError::DegenerateCurrents { state: "high" }
+        ));
     }
 
     #[test]
     fn rejects_inverted_states() {
         let err = fit_linear_rolloff(
             &[(Amps::ZERO, Ohms::new(1000.0)), (i_max(), Ohms::new(950.0))],
-            &[(Amps::ZERO, Ohms::new(1500.0)), (i_max(), Ohms::new(1400.0))],
+            &[
+                (Amps::ZERO, Ohms::new(1500.0)),
+                (i_max(), Ohms::new(1400.0)),
+            ],
             i_max(),
         )
         .expect_err("high below low");
@@ -252,8 +277,14 @@ mod tests {
         // A perfectly flat low state with a hair of upward noise must fit
         // as zero roll-off, not error out.
         let fit = fit_linear_rolloff(
-            &[(Amps::ZERO, Ohms::new(3000.0)), (i_max(), Ohms::new(2400.0))],
-            &[(Amps::ZERO, Ohms::new(1500.0)), (i_max(), Ohms::new(1500.1))],
+            &[
+                (Amps::ZERO, Ohms::new(3000.0)),
+                (i_max(), Ohms::new(2400.0)),
+            ],
+            &[
+                (Amps::ZERO, Ohms::new(1500.0)),
+                (i_max(), Ohms::new(1500.1)),
+            ],
             i_max(),
         )
         .expect("flat state fits");

@@ -115,7 +115,10 @@ mod tests {
     fn bit_mapping_matches_paper_convention() {
         assert!(!ResistanceState::Parallel.bit());
         assert!(ResistanceState::AntiParallel.bit());
-        assert_eq!(ResistanceState::from_bit(true), ResistanceState::AntiParallel);
+        assert_eq!(
+            ResistanceState::from_bit(true),
+            ResistanceState::AntiParallel
+        );
         assert_eq!(ResistanceState::from_bit(false), ResistanceState::Parallel);
     }
 

@@ -385,7 +385,10 @@ mod tests {
     fn linear_endpoints() {
         let m = typical_linear();
         assert_eq!(m.zero_bias(ResistanceState::Parallel), Ohms::new(1525.0));
-        assert_eq!(m.zero_bias(ResistanceState::AntiParallel), Ohms::new(3050.0));
+        assert_eq!(
+            m.zero_bias(ResistanceState::AntiParallel),
+            Ohms::new(3050.0)
+        );
         let i_max = Amps::from_micro(200.0);
         assert_eq!(
             m.resistance(ResistanceState::Parallel, i_max),
@@ -411,7 +414,10 @@ mod tests {
         let m = typical_linear();
         let tmr0 = m.tmr(Amps::ZERO);
         let tmr_max = m.tmr(Amps::from_micro(200.0));
-        assert!((tmr0 - 1.0).abs() < 1e-12, "calibrated device has TMR(0)=100%");
+        assert!(
+            (tmr0 - 1.0).abs() < 1e-12,
+            "calibrated device has TMR(0)=100%"
+        );
         assert!(tmr_max < tmr0, "bias must reduce TMR");
         assert!(tmr_max > 0.5, "MgO TMR stays well above AlO levels");
     }
@@ -420,8 +426,14 @@ mod tests {
     fn rolloff_matches_table_values() {
         let m = typical_linear();
         let i_max = Amps::from_micro(200.0);
-        assert_eq!(m.rolloff(ResistanceState::AntiParallel, i_max), Ohms::new(600.0));
-        assert_eq!(m.rolloff(ResistanceState::Parallel, i_max), Ohms::new(100.0));
+        assert_eq!(
+            m.rolloff(ResistanceState::AntiParallel, i_max),
+            Ohms::new(600.0)
+        );
+        assert_eq!(
+            m.rolloff(ResistanceState::Parallel, i_max),
+            Ohms::new(100.0)
+        );
     }
 
     #[test]

@@ -304,7 +304,10 @@ mod tests {
         let slow = model.critical_current(Seconds::from_nano(300.0));
         assert!(fast > slow);
         assert!(fast > model.i_c0(), "dynamic regime exceeds intrinsic I_c0");
-        assert!(slow < model.i_c0(), "thermal regime dips below intrinsic I_c0");
+        assert!(
+            slow < model.i_c0(),
+            "thermal regime dips below intrinsic I_c0"
+        );
     }
 
     #[test]

@@ -136,11 +136,9 @@ impl ThermalModel {
 
         // Roll-offs stay proportional to their state's resistance (barrier
         // physics sets the *relative* bias dependence).
-        let dr_low = calibration.dr_low_max()
-            * (r_low / calibration.r_low0());
+        let dr_low = calibration.dr_low_max() * (r_low / calibration.r_low0());
         // Guard against the degenerate fully-depolarised limit.
-        let dr_high = calibration.dr_high_max()
-            * (r_high / calibration.r_high0());
+        let dr_high = calibration.dr_high_max() * (r_high / calibration.r_high0());
 
         let switching = reference.switching;
         let delta = (switching.delta() * T_REFERENCE / t_kelvin).max(1.0);
@@ -154,12 +152,7 @@ impl ThermalModel {
                 dr_high,
                 calibration.i_max(),
             ),
-            switching: SwitchingModel::new(
-                i_c0,
-                delta,
-                switching.tau0(),
-                switching.tau_dynamic(),
-            ),
+            switching: SwitchingModel::new(i_c0, delta, switching.tau0(), switching.tau_dynamic()),
         }
     }
 }
@@ -179,8 +172,18 @@ mod tests {
     fn reference_temperature_is_identity() {
         let reference = MtjSpec::date2010_typical();
         let same = model().spec_at(&reference, T_REFERENCE);
-        assert!((same.resistance.r_low0() - reference.resistance.r_low0()).abs().get() < 1e-9);
-        assert!((same.resistance.r_high0() - reference.resistance.r_high0()).abs().get() < 1e-9);
+        assert!(
+            (same.resistance.r_low0() - reference.resistance.r_low0())
+                .abs()
+                .get()
+                < 1e-9
+        );
+        assert!(
+            (same.resistance.r_high0() - reference.resistance.r_high0())
+                .abs()
+                .get()
+                < 1e-9
+        );
         assert!((same.switching.delta() - reference.switching.delta()).abs() < 1e-12);
     }
 
@@ -206,7 +209,10 @@ mod tests {
     fn thermal_stability_scales_inversely() {
         let reference = MtjSpec::date2010_typical();
         let hot = model().spec_at(&reference, 400.0);
-        assert!((hot.switching.delta() - 30.0).abs() < 1e-9, "Δ(400 K) = 40·300/400");
+        assert!(
+            (hot.switching.delta() - 30.0).abs() < 1e-9,
+            "Δ(400 K) = 40·300/400"
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ impl SampledMtj {
     /// Applies the factors to a nominal resistance calibration.
     #[must_use]
     pub fn apply(&self, nominal: &LinearRolloff) -> LinearRolloff {
-        nominal.scaled(self.ra_factor).with_high_scaled(self.tmr_factor)
+        nominal
+            .scaled(self.ra_factor)
+            .with_high_scaled(self.tmr_factor)
     }
 }
 
@@ -152,7 +154,10 @@ impl VariationModel {
             (0.0..1.0).contains(&sigma_tmr),
             "TMR sigma must be in [0, 1)"
         );
-        Self { sigma_ra, sigma_tmr }
+        Self {
+            sigma_ra,
+            sigma_tmr,
+        }
     }
 
     /// No variation: every sample is the nominal device.
@@ -300,8 +305,8 @@ mod tests {
         };
         let varied = sample.apply(&nominal);
         let i = Amps::from_micro(100.0);
-        let low_ratio =
-            varied.resistance(ResistanceState::Parallel, i) / nominal.resistance(ResistanceState::Parallel, i);
+        let low_ratio = varied.resistance(ResistanceState::Parallel, i)
+            / nominal.resistance(ResistanceState::Parallel, i);
         assert!((low_ratio - 1.2).abs() < 1e-12);
         let high_ratio = varied.resistance(ResistanceState::AntiParallel, i)
             / nominal.resistance(ResistanceState::AntiParallel, i);

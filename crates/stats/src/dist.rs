@@ -114,9 +114,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -151,7 +150,10 @@ impl Normal {
     /// Panics if `sigma` is negative or not finite.
     #[must_use]
     pub fn new(mean: f64, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be finite and non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be finite and non-negative"
+        );
         assert!(mean.is_finite(), "mean must be finite");
         Self { mean, sigma }
     }

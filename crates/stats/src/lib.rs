@@ -29,7 +29,7 @@ pub mod table;
 pub mod yields;
 
 pub use dist::{LogNormal, Normal, Uniform};
-pub use mc::run_trials;
+pub use mc::{fill_indexed, run_trials, trial_rng};
 pub use regression::{pearson, LinearFit};
 pub use summary::{Histogram, Summary};
 pub use table::Table;

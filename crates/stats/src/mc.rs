@@ -30,39 +30,60 @@ where
     T: Send,
     F: Fn(&mut StdRng, usize) -> T + Sync,
 {
+    if count < 64 {
+        return (0..count)
+            .map(|index| trial(&mut trial_rng(seed, index), index))
+            .collect();
+    }
+    fill_indexed(count, |index| trial(&mut trial_rng(seed, index), index))
+}
+
+/// Computes `fill(index)` for every index in `0..count` across scoped worker
+/// threads, returning the results in index order.
+///
+/// This is the scoped-thread fan-out behind [`run_trials`]; it is exposed so
+/// other crates (the chip experiment's per-bit tally, the traffic engine's
+/// bank dispatch) can parallelise index-addressed loops the same way.
+/// Results are a pure function of `index`, so the output is identical for
+/// any thread count or scheduling.
+pub fn fill_indexed<T, F>(count: usize, fill: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(count.max(1));
-    if threads <= 1 || count < 64 {
-        return (0..count)
-            .map(|index| trial(&mut trial_rng(seed, index), index))
-            .collect();
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(&fill).collect();
     }
 
     let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
     let chunk = count.div_ceil(threads);
     crossbeam::scope(|scope| {
         for (worker, slice) in results.chunks_mut(chunk).enumerate() {
-            let trial = &trial;
+            let fill = &fill;
             scope.spawn(move |_| {
                 let base = worker * chunk;
                 for (offset, slot) in slice.iter_mut().enumerate() {
-                    let index = base + offset;
-                    *slot = Some(trial(&mut trial_rng(seed, index), index));
+                    *slot = Some(fill(base + offset));
                 }
             });
         }
     })
-    .expect("monte-carlo worker panicked");
+    .expect("scoped worker panicked");
     results
         .into_iter()
-        .map(|slot| slot.expect("every trial slot filled"))
+        .map(|slot| slot.expect("every slot filled"))
         .collect()
 }
 
 /// Builds the deterministic RNG for trial `index` under master `seed`.
-fn trial_rng(seed: u64, index: usize) -> StdRng {
+///
+/// Public so other deterministic fan-outs (e.g. the traffic engine's
+/// per-bank RNGs) can derive independent streams with the same scrambling.
+pub fn trial_rng(seed: u64, index: usize) -> StdRng {
     StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(index as u64)))
 }
 
@@ -130,5 +151,13 @@ mod tests {
     fn zero_trials_is_empty() {
         let results: Vec<u8> = run_trials(0, 1, |_, _| 0u8);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn fill_indexed_is_in_order_and_complete() {
+        let results = fill_indexed(1000, |index| index * 2);
+        assert_eq!(results, (0..1000).map(|k| k * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = fill_indexed(0, |index| index);
+        assert!(empty.is_empty());
     }
 }

@@ -111,7 +111,10 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
         syy += dy * dy;
         sxy += dx * dy;
     }
-    assert!(sxx > 0.0 && syy > 0.0, "correlation undefined for a constant variable");
+    assert!(
+        sxx > 0.0 && syy > 0.0,
+        "correlation undefined for a constant variable"
+    );
     sxy / (sxx * syy).sqrt()
 }
 

@@ -114,10 +114,9 @@ impl Summary {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        let combined_mean =
-            self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        let combined_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.mean = combined_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -236,6 +235,26 @@ impl Histogram {
         self.counts.iter().sum::<u64>() + self.underflow + self.overflow
     }
 
+    /// Merges another histogram with identical range and binning into this
+    /// one (used to combine per-bank telemetry into aggregate telemetry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms disagree on range or bin count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.low == other.low
+                && self.high == other.high
+                && self.counts.len() == other.counts.len(),
+            "can only merge histograms with identical binning"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
     /// The `(low, high)` edges of bin `index`.
     ///
     /// # Panics
@@ -265,7 +284,9 @@ mod tests {
 
     #[test]
     fn summary_of_known_values() {
-        let summary: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let summary: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(summary.len(), 8);
         assert!((summary.mean() - 5.0).abs() < 1e-12);
         assert!((summary.variance() - 32.0 / 7.0).abs() < 1e-12);
@@ -332,6 +353,31 @@ mod tests {
         assert_eq!(hist.total(), 7);
         assert_eq!(hist.bin_edges(0), (0.0, 2.0));
         assert_eq!(hist.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential_fill() {
+        let mut left = Histogram::new(0.0, 10.0, 5);
+        let mut right = Histogram::new(0.0, 10.0, 5);
+        let mut both = Histogram::new(0.0, 10.0, 5);
+        for (k, x) in [-1.0, 0.5, 3.0, 7.0, 9.9, 11.0, 4.0].iter().enumerate() {
+            if k % 2 == 0 {
+                left.push(*x);
+            } else {
+                right.push(*x);
+            }
+            both.push(*x);
+        }
+        left.merge(&right);
+        assert_eq!(left, both);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical binning")]
+    fn histogram_merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 4);
+        a.merge(&b);
     }
 
     proptest! {

@@ -217,7 +217,10 @@ mod tests {
     fn numeric_rows_respect_precision() {
         let mut table = Table::new(["x", "y"]);
         table.push_numeric_row([1.23456, 2.0], 2);
-        assert_eq!(table.rows()[0], vec!["1.23".to_string(), "2.00".to_string()]);
+        assert_eq!(
+            table.rows()[0],
+            vec!["1.23".to_string(), "2.00".to_string()]
+        );
     }
 
     #[test]

@@ -210,8 +210,16 @@ mod tests {
             tally.record(k >= 10);
         }
         let interval = tally.failure_interval(0.95);
-        assert!((interval.low - 0.0552).abs() < 0.001, "low {}", interval.low);
-        assert!((interval.high - 0.1744).abs() < 0.001, "high {}", interval.high);
+        assert!(
+            (interval.low - 0.0552).abs() < 0.001,
+            "low {}",
+            interval.low
+        );
+        assert!(
+            (interval.high - 0.1744).abs() < 0.001,
+            "high {}",
+            interval.high
+        );
     }
 
     #[test]

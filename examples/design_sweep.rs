@@ -25,7 +25,10 @@ fn main() {
 
     // 1. Fig. 6: margins vs β.
     println!("sense margins vs current ratio β (I_R2 = {i_max}, α = {alpha}):");
-    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "β", "SM0-destr", "SM1-destr", "SM0-nondes", "SM1-nondes");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "β", "SM0-destr", "SM1-destr", "SM0-nondes", "SM1-nondes"
+    );
     for point in beta_sweep(&cell, i_max, alpha, 1.0, 3.0, 16) {
         println!(
             "{:>6.2} {:>12} {:>12} {:>12} {:>12}",

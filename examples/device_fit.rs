@@ -81,12 +81,17 @@ fn main() {
     );
     println!(
         "equal margin:   {} on the fit vs {} on the truth",
-        fitted_design.margins(&fitted_cell, &Perturbations::NONE).min(),
+        fitted_design
+            .margins(&fitted_cell, &Perturbations::NONE)
+            .min(),
         true_design.margins(&true_cell, &Perturbations::NONE).min()
     );
     // Cross-check: the fitted design still reads the *true* device.
     let cross = fitted_design.margins(&true_cell, &Perturbations::NONE);
-    assert!(cross.both_positive(), "fitted design must work on the truth");
+    assert!(
+        cross.both_positive(),
+        "fitted design must work on the truth"
+    );
     println!(
         "cross-check:    fitted design on the true device → margins {} / {}",
         cross.margin0, cross.margin1

@@ -2,148 +2,66 @@
 //!
 //! The paper's introduction motivates STT-RAM with "the fast growth of the
 //! pervasive computing and handheld industry" — devices whose batteries get
-//! yanked mid-operation. This example runs a synthetic access trace
-//! (a metadata store: mostly reads, some writes) against a 4 kb STT-RAM
-//! region under two read paths — destructive vs nondestructive
-//! self-reference — with random power cuts injected, and compares:
+//! yanked mid-operation. This example drives the `stt-ctrl` engine with a
+//! read-mostly metadata trace over four banks, injects a battery pull every
+//! 500 reads per bank, and compares the two self-reference read paths on:
 //!
 //! * end-to-end data integrity after every cut,
-//! * total trace latency and energy.
+//! * misreads, retries, and total latency/energy.
 //!
 //! Run with: `cargo run --release --example handheld_trace`
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use stt_array::{Address, Array, ArraySpec, PhaseKind};
-use stt_sense::{
-    ChipTiming, DesignPoint, DestructiveScheme, NondestructiveScheme, SchemeKind,
-};
-use stt_units::{Joules, Seconds};
+use rand::SeedableRng;
+use stt_array::ArraySpec;
+use stt_ctrl::{Controller, ControllerConfig, Dispatch, FaultPlan, Workload};
+use stt_sense::SchemeKind;
 
+const BANKS: usize = 4;
 const OPS: usize = 20_000;
-/// One power cut per this many operations, landing mid-read.
-const CUT_EVERY: usize = 500;
+/// One battery pull per this many reads on each bank, landing mid-read.
+const CUT_EVERY: u64 = 500;
 
-struct TraceStats {
-    reads: usize,
-    writes: usize,
-    misreads: usize,
-    corrupted_bits: usize,
-    latency: Seconds,
-    energy: Joules,
-}
-
-fn run_trace(kind: SchemeKind, seed: u64) -> TraceStats {
-    let mut rng = StdRng::seed_from_u64(seed);
+fn state_store_spec() -> ArraySpec {
+    // A 4 kb region per bank: 64 × 64 cells, paper electricals.
     let mut spec = ArraySpec::date2010_chip();
     spec.rows = 64;
     spec.cols = 64;
     spec.bitline.cells_per_bitline = 64;
-    let mut array = spec.sample(&mut rng);
-
-    // Ground truth the device's software believes it has stored.
-    let mut truth = vec![false; spec.capacity_bits()];
-    array.fill_with(|_| false);
-
-    let nominal = spec.cell.nominal_cell();
-    let design = DesignPoint::date2010(&nominal);
-    let destructive = DestructiveScheme::new(design.destructive);
-    let nondestructive = NondestructiveScheme::new(design.nondestructive);
-    let timing = ChipTiming::date2010();
-    let read_cost = timing.read_cost(kind, &design);
-    let write_cost = stt_array::OperationCost::new(vec![stt_array::Phase::new(
-        PhaseKind::Write,
-        "write",
-        timing.write_pulse + timing.write_overhead,
-        timing.write_current,
-        timing.vdd,
-    )]);
-
-    let mut stats = TraceStats {
-        reads: 0,
-        writes: 0,
-        misreads: 0,
-        corrupted_bits: 0,
-        latency: Seconds::ZERO,
-        energy: Joules::ZERO,
-    };
-
-    for op in 0..OPS {
-        let addr = Address::new(rng.gen_range(0..64), rng.gen_range(0..64));
-        let index = addr.row * 64 + addr.col;
-        let is_write = rng.gen_bool(0.2);
-        if is_write {
-            let bit = rng.gen_bool(0.5);
-            array.write_bit_pulsed(addr, bit, &mut rng);
-            truth[index] = bit;
-            stats.writes += 1;
-            stats.latency += write_cost.latency();
-            stats.energy += write_cost.energy();
-        } else {
-            stats.reads += 1;
-            stats.latency += read_cost.latency();
-            stats.energy += read_cost.energy();
-            let power_cut = op % CUT_EVERY == CUT_EVERY - 1;
-            match kind {
-                SchemeKind::Destructive => {
-                    if power_cut {
-                        // The cut lands after the erase: the cell is left
-                        // in "0" and the write-back never happens.
-                        array.write_bit(addr, false);
-                    } else {
-                        let outcome = destructive.execute(&mut array, addr, &mut rng);
-                        if outcome.bit != truth[index] {
-                            stats.misreads += 1;
-                        }
-                    }
-                }
-                SchemeKind::Nondestructive => {
-                    // A cut mid-read simply aborts the read; the cell is
-                    // untouched either way.
-                    if !power_cut {
-                        let outcome = nondestructive.execute(&array, addr, &mut rng);
-                        if outcome.bit != truth[index] {
-                            stats.misreads += 1;
-                        }
-                    }
-                }
-                SchemeKind::Conventional => unreachable!("trace compares the self-reference paths"),
-            }
-        }
-    }
-
-    // Post-trace integrity audit: does the array still hold the truth?
-    stats.corrupted_bits = count_corrupted(&array, &truth);
-    stats
-}
-
-fn count_corrupted(array: &Array, truth: &[bool]) -> usize {
-    array
-        .addresses()
-        .enumerate()
-        .filter(|&(index, addr)| array.read_state(addr).bit() != truth[index])
-        .count()
+    spec
 }
 
 fn main() {
     println!(
-        "handheld trace: {OPS} ops (80 % reads) on a 4 kb state store,\n\
-         one battery pull per {CUT_EVERY} ops landing mid-read\n"
+        "handheld trace: {OPS} ops (95 % reads) on a {BANKS}-bank state store,\n\
+         one battery pull per {CUT_EVERY} reads/bank landing mid-read\n"
     );
     for kind in [SchemeKind::Destructive, SchemeKind::Nondestructive] {
-        let stats = run_trace(kind, 99);
+        let mut config = ControllerConfig::date2010(kind, BANKS)
+            .with_seed(99)
+            .with_faults(FaultPlan::none().with_power_cut_every(CUT_EVERY));
+        config.spec = state_store_spec();
+        let trace =
+            Workload::ReadMostly.generate(config.footprint(), OPS, &mut StdRng::seed_from_u64(99));
+        let mut controller = Controller::new(config);
+        let telemetry = controller.run(&trace, Dispatch::Parallel);
+        let totals = telemetry.aggregate();
+
         println!("{kind}:");
         println!(
-            "  {} reads, {} writes, {} misreads",
-            stats.reads, stats.writes, stats.misreads
+            "  {} reads, {} writes, {} misreads, {} read retries",
+            totals.reads, totals.writes, totals.misreads, totals.read_retries
         );
         println!(
-            "  corrupted bits after the trace: {}",
-            stats.corrupted_bits
+            "  {} battery pulls -> {} bits corrupted mid-read; audit after the \
+             trace: {} bits lost",
+            totals.power_cuts, totals.corrupted_bits, telemetry.audit_corrupted_bits
         );
         println!(
-            "  total latency {} | total energy {}",
-            stats.latency, stats.energy
+            "  busy time {} | energy {} | mean read {:.1} ns",
+            totals.busy_time,
+            totals.energy,
+            totals.read_latency_ns.mean()
         );
         println!();
     }

@@ -21,7 +21,8 @@ fn main() {
     // ΔR_Hmax = 600 Ω ≫ ΔR_Lmax = 100 Ω, R_T = 917 Ω.
     let spec = CellSpec::date2010_chip();
     let mut cell = spec.nominal_cell();
-    println!("device: R_L(0) = {}, R_H(0) = {}, TMR(0) = {:.0} %",
+    println!(
+        "device: R_L(0) = {}, R_H(0) = {}, TMR(0) = {:.0} %",
         cell.device().r_low(Amps::ZERO),
         cell.device().r_high(Amps::ZERO),
         cell.device().tmr(Amps::ZERO) * 100.0,
@@ -46,29 +47,58 @@ fn main() {
         let conv = conventional.read(&cell, &mut rng);
         let dest = destructive.read(&cell, &mut rng);
         let nond = nondestructive.read(&cell, &mut rng);
-        println!("  conventional     → {} (differential {})", u8::from(conv.bit), conv.differential);
-        println!("  destructive SR   → {} (differential {})", u8::from(dest.bit), dest.differential);
-        println!("  nondestructive SR→ {} (differential {})", u8::from(nond.bit), nond.differential);
+        println!(
+            "  conventional     → {} (differential {})",
+            u8::from(conv.bit),
+            conv.differential
+        );
+        println!(
+            "  destructive SR   → {} (differential {})",
+            u8::from(dest.bit),
+            dest.differential
+        );
+        println!(
+            "  nondestructive SR→ {} (differential {})",
+            u8::from(nond.bit),
+            nond.differential
+        );
     }
 
     // Margins and read cost.
     println!("\nsense margins on the nominal cell:");
     let timing = ChipTiming::date2010();
     for (name, kind, margins) in [
-        ("conventional", SchemeKind::Conventional, conventional.margins(&cell)),
-        ("destructive SR", SchemeKind::Destructive, destructive.margins(&cell)),
-        ("nondestructive SR", SchemeKind::Nondestructive, nondestructive.margins(&cell)),
+        (
+            "conventional",
+            SchemeKind::Conventional,
+            conventional.margins(&cell),
+        ),
+        (
+            "destructive SR",
+            SchemeKind::Destructive,
+            destructive.margins(&cell),
+        ),
+        (
+            "nondestructive SR",
+            SchemeKind::Nondestructive,
+            nondestructive.margins(&cell),
+        ),
     ] {
         let cost = timing.read_cost(kind, &design);
         println!(
             "  {name:<18} SM0 = {:>9}  SM1 = {:>9}  latency = {:>7}  energy = {:>9}",
-            margins.margin0, margins.margin1, cost.latency(), cost.energy(),
+            margins.margin0,
+            margins.margin1,
+            cost.latency(),
+            cost.energy(),
         );
     }
     println!(
         "\nthe nondestructive scheme reads in {} without ever writing the cell —\n\
          the destructive baseline needs {} and loses the bit if power fails mid-read",
-        timing.read_cost(SchemeKind::Nondestructive, &design).latency(),
+        timing
+            .read_cost(SchemeKind::Nondestructive, &design)
+            .latency(),
         timing.read_cost(SchemeKind::Destructive, &design).latency(),
     );
 }

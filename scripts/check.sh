@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repository health gate: formatting, lints, and the full test suite.
+#
+# Run from anywhere inside the repo:
+#
+#     scripts/check.sh
+#
+# Exits non-zero on the first failing step, so it is safe to use as a
+# pre-push hook or CI entry point.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "all checks passed"

@@ -42,9 +42,7 @@ fn table2_shape_nondestructive_tolerances_are_tighter_everywhere() {
     let cell = CellSpec::date2010_chip().nominal_cell();
     let summary = robustness_summary(&cell, Amps::from_micro(200.0), 0.5);
     assert!(summary.nondestructive_beta.width() < summary.destructive_beta.width());
-    assert!(
-        summary.nondestructive_delta_rt.width() < summary.destructive_delta_rt.width()
-    );
+    assert!(summary.nondestructive_delta_rt.width() < summary.destructive_delta_rt.width());
     // The α window is small (single-digit percent) and asymmetric with the
     // negative side wider — the paper's +4.13 % / −5.71 % shape.
     let alpha = summary.nondestructive_alpha_deviation;
@@ -58,7 +56,10 @@ fn fig11_shape_on_a_4kb_subchip() {
     let conventional = result.tally(SchemeKind::Conventional);
     assert!(conventional.yields.failures() > 0, "variation must bite");
     assert_eq!(result.tally(SchemeKind::Destructive).yields.failures(), 0);
-    assert_eq!(result.tally(SchemeKind::Nondestructive).yields.failures(), 0);
+    assert_eq!(
+        result.tally(SchemeKind::Nondestructive).yields.failures(),
+        0
+    );
     // The failure interval should be consistent with "about 1 %".
     let interval = conventional.yields.failure_interval(0.95);
     assert!(interval.low < 0.05 && interval.high > 0.001);
@@ -105,8 +106,12 @@ fn yield_sweep_shows_the_crossover() {
     for sigma in [0.02, 0.10, 0.18] {
         let result = small_chip(42).with_sigma_ra(sigma).run();
         conventional_rates.push(result.tally(SchemeKind::Conventional).yields.failure_rate());
-        nondestructive_rates
-            .push(result.tally(SchemeKind::Nondestructive).yields.failure_rate());
+        nondestructive_rates.push(
+            result
+                .tally(SchemeKind::Nondestructive)
+                .yields
+                .failure_rate(),
+        );
     }
     assert!(conventional_rates[0] < conventional_rates[1]);
     assert!(conventional_rates[1] < conventional_rates[2]);
@@ -131,7 +136,10 @@ fn chip_sigma_traces_back_to_subangstrom_oxide_spread() {
     // Invert lognormal_sigma: σ_t = σ_lnR · λ.
     let lambda = 0.1 / 1.08f64.ln();
     let sigma_thickness = sigma_ra * lambda;
-    assert!((0.08..0.2).contains(&sigma_thickness), "σ_t = {sigma_thickness} Å");
+    assert!(
+        (0.08..0.2).contains(&sigma_thickness),
+        "σ_t = {sigma_thickness} Å"
+    );
     // Round trip through the public API.
     assert!((mgo.lognormal_sigma(sigma_thickness) - sigma_ra).abs() < 1e-12);
 }

@@ -9,12 +9,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stt_array::{Address, ArraySpec, Cell, CellSpec};
 use stt_mtj::{MtjSpec, ResistanceState};
-use stt_sense::robustness::{
-    allowable_delta_rt_destructive, allowable_delta_rt_nondestructive,
-};
+use stt_sense::robustness::{allowable_delta_rt_destructive, allowable_delta_rt_nondestructive};
 use stt_sense::{
-    ConventionalScheme, DesignPoint, DestructiveScheme, NondestructiveDesign,
-    NondestructiveScheme, Perturbations, SenseScheme,
+    ConventionalScheme, DesignPoint, DestructiveScheme, NondestructiveDesign, NondestructiveScheme,
+    Perturbations, SenseScheme,
 };
 use stt_units::{Amps, Ohms};
 
@@ -48,11 +46,18 @@ fn full_array_readout_with_all_three_schemes() {
         // Destructive read mutates and must restore.
         let outcome = destructive.execute(&mut array, addr, &mut rng);
         assert_eq!(outcome.bit, expected, "destructive misread at {addr}");
-        assert_eq!(array.read_state(addr).bit(), expected, "write-back failed at {addr}");
+        assert_eq!(
+            array.read_state(addr).bit(),
+            expected,
+            "write-back failed at {addr}"
+        );
     }
     // On a 64-bit sample, conventional errors are possible but must stay
     // rare at the calibrated variation.
-    assert!(conventional_errors <= 5, "{conventional_errors} conventional errors");
+    assert!(
+        conventional_errors <= 5,
+        "{conventional_errors} conventional errors"
+    );
 }
 
 #[test]
@@ -69,8 +74,7 @@ fn sensing_works_on_all_three_resistance_models() {
     let mut rng = StdRng::seed_from_u64(3);
     for (index, device) in devices.into_iter().enumerate() {
         let mut cell = Cell::new(device, transistor);
-        let design =
-            NondestructiveDesign::optimize(&cell, Amps::from_micro(200.0), 0.5);
+        let design = NondestructiveDesign::optimize(&cell, Amps::from_micro(200.0), 0.5);
         let scheme = NondestructiveScheme::new(design);
         for bit in [false, true] {
             cell.set_state(ResistanceState::from_bit(bit));
@@ -78,7 +82,11 @@ fn sensing_works_on_all_three_resistance_models() {
             assert!(outcome.correct, "model {index} misread bit {bit}");
         }
         let margins = scheme.margins(&cell);
-        assert!(margins.min().get() > 4e-3, "model {index} margin {}", margins.min());
+        assert!(
+            margins.min().get() > 4e-3,
+            "model {index} margin {}",
+            margins.min()
+        );
     }
 }
 
@@ -135,8 +143,7 @@ fn delta_rt_windows_scale_with_margin() {
     // wider by roughly the margin ratio.
     let (cell, design) = nominal();
     let destructive_window = allowable_delta_rt_destructive(&cell, &design.destructive);
-    let nondestructive_window =
-        allowable_delta_rt_nondestructive(&cell, &design.nondestructive);
+    let nondestructive_window = allowable_delta_rt_nondestructive(&cell, &design.nondestructive);
     let destructive_margin = design
         .destructive
         .margins(&cell, &Perturbations::NONE)

@@ -24,7 +24,10 @@ fn transient_read_is_correct_for_varied_cells() {
             ra_factor: factor,
             tmr_factor: 1.0,
         };
-        let cell = Cell::new(spec.mtj.varied(&varied).into_device(), *nominal.transistor());
+        let cell = Cell::new(
+            spec.mtj.varied(&varied).into_device(),
+            *nominal.transistor(),
+        );
         for state in [ResistanceState::Parallel, ResistanceState::AntiParallel] {
             let result = reader.run(&cell, state).expect("transient converges");
             assert_eq!(
@@ -41,8 +44,13 @@ fn transient_read_is_correct_for_varied_cells() {
 fn coarser_timestep_still_resolves_the_read() {
     let (cell, mut reader) = setup();
     reader.dt = Seconds::from_pico(50.0);
-    let fine = setup().1.run(&cell, ResistanceState::AntiParallel).expect("fine");
-    let coarse = reader.run(&cell, ResistanceState::AntiParallel).expect("coarse");
+    let fine = setup()
+        .1
+        .run(&cell, ResistanceState::AntiParallel)
+        .expect("fine");
+    let coarse = reader
+        .run(&cell, ResistanceState::AntiParallel)
+        .expect("coarse");
     assert_eq!(fine.bit, coarse.bit);
     let drift = (fine.differential - coarse.differential).abs();
     assert!(
@@ -102,10 +110,17 @@ fn transient_and_elmore_settle_within_the_read_window() {
         .expect("transient converges");
     let timing = reader.timing;
     let t_end = timing.decode + timing.read_settle;
-    let settled = result.tran.voltage_at(result.bl, t_end - Seconds::from_nano(0.05));
-    let earlier = result.tran.voltage_at(result.bl, t_end - Seconds::from_nano(1.0));
+    let settled = result
+        .tran
+        .voltage_at(result.bl, t_end - Seconds::from_nano(0.05));
+    let earlier = result
+        .tran
+        .voltage_at(result.bl, t_end - Seconds::from_nano(1.0));
     let relative = ((settled - earlier) / settled).abs();
-    assert!(relative < 0.01, "bit-line still moving at sample time: {relative}");
+    assert!(
+        relative < 0.01,
+        "bit-line still moving at sample time: {relative}"
+    );
 }
 
 #[test]
@@ -137,14 +152,10 @@ fn ac_pole_predicts_transient_settling() {
     // Time domain.
     let tran = circuit
         .transient(
-            &TranOptions::new(Seconds::from_nano(10.0), Seconds::from_pico(2.0))
-                .from_zero_state(),
+            &TranOptions::new(Seconds::from_nano(10.0), Seconds::from_pico(2.0)).from_zero_state(),
         )
         .expect("transient");
-    let t_99 = tran
-        .crossing_time(bl, 0.99, true)
-        .expect("settles")
-        .get();
+    let t_99 = tran.crossing_time(bl, 0.99, true).expect("settles").get();
 
     let predicted = 100f64.ln() * tau_from_ac;
     assert!(

@@ -1,0 +1,250 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the narrow criterion 0.5 surface the workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`/`sampling_mode`/`throughput`,
+//! `Bencher::iter`/`iter_batched`, and [`black_box`].
+//!
+//! Methodology is intentionally simple — each benchmark is timed over a
+//! small fixed number of iterations and the median per-iteration time is
+//! printed. There is no statistical analysis, warm-up tuning, or HTML
+//! report; the point is that `cargo bench` (and `cargo test`, which builds
+//! and runs `harness = false` bench targets) works offline and still gives
+//! a usable order-of-magnitude number.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] sizes its batches (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// A fresh input per iteration.
+    PerIteration,
+}
+
+/// Sampling strategy of a group (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum SamplingMode {
+    /// Criterion picks.
+    Auto,
+    /// Linearly growing iteration counts.
+    Linear,
+    /// Constant iteration counts.
+    Flat,
+}
+
+/// Throughput annotation of a group (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times one benchmark's routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u32,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(iterations: u32) -> Self {
+        Self {
+            iterations,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Runs `routine` repeatedly, recording per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`, timing only the routine.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+
+    fn median(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+fn humanise(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn run_one(id: &str, iterations: u32, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(iterations);
+    f(&mut bencher);
+    match bencher.median() {
+        Some(median) => println!(
+            "bench {id:<40} median {:>12} ({} iterations)",
+            humanise(median),
+            bencher.samples.len()
+        ),
+        None => println!("bench {id:<40} (no samples)"),
+    }
+}
+
+/// Entry point handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Number of timed iterations per bench. Kept tiny so `cargo test`
+    /// (which executes `harness = false` bench binaries) stays fast.
+    const ITERATIONS: u32 = 3;
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.as_ref(), Self::ITERATIONS, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.as_ref().to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored (the stand-in's iteration count is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.as_ref());
+        run_one(&id, Criterion::ITERATIONS, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a single runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes harness=false bench binaries with
+            // libtest-style flags; accept and ignore them.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut count = 0u32;
+        Criterion::default().bench_function("counter", |b| b.iter(|| count += 1));
+        assert_eq!(count, Criterion::ITERATIONS);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(10).sampling_mode(SamplingMode::Flat);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter_batched(|| 41u64, |x| x + 1, BatchSize::SmallInput);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn humanise_picks_sane_units() {
+        assert!(humanise(2.0).ends_with(" s"));
+        assert!(humanise(2e-3).ends_with(" ms"));
+        assert!(humanise(2e-6).ends_with(" µs"));
+        assert!(humanise(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for `crossbeam` scoped threads.
+//!
+//! The workspace only uses `crossbeam::scope` + `Scope::spawn`; since Rust
+//! 1.63 the standard library's [`std::thread::scope`] provides the same
+//! borrow-friendly scoped spawning, so this crate is a thin adapter kept
+//! because the build environment has no registry access.
+//!
+//! One deliberate difference: crossbeam passes a `&Scope` argument to every
+//! spawned closure (for nested spawns); the call sites in this workspace
+//! all ignore that argument (`|_| …`), so the adapter passes `()` instead.
+//! Nested spawning is therefore unsupported.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The error payload of a panicked scoped thread.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle: spawn borrowing threads that must finish before
+/// [`scope`] returns.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives `()` where crossbeam
+    /// would pass `&Scope` (see the crate docs).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(())),
+        }
+    }
+}
+
+/// Handle to one scoped thread.
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread and returns its result (`Err` on panic).
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if the thread panicked.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; all
+/// spawned threads are joined before this returns. Returns `Err` with the
+/// panic payload if any unjoined spawned thread panicked.
+///
+/// # Errors
+///
+/// Returns the panic payload of the first detected panicking thread.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(move || {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_fill_slices() {
+        let mut data = vec![0u64; 64];
+        let result = scope(|scope| {
+            for (worker, chunk) in data.chunks_mut(16).enumerate() {
+                scope.spawn(move |_| {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (worker * 16 + offset) as u64;
+                    }
+                });
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(data, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_as_err() {
+        let result = scope(|scope| {
+            scope.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        let value = scope(|scope| {
+            let handle = scope.spawn(|_| 41 + 1);
+            handle.join().expect("worker ok")
+        })
+        .expect("scope ok");
+        assert_eq!(value, 42);
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses — the
+//! [`proptest!`] macro with `arg in strategy` bindings, numeric range and
+//! [`collection::vec`] strategies, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, and `ProptestConfig::with_cases` — because the build
+//! environment has no registry access.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! the values via the assertion message instead of a minimised input), and
+//! case generation is seeded from the test's module path + name, so every
+//! run of a given test explores the same deterministic sequence of cases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Config and error types used by the [`proptest!`] expansion.
+pub mod test_runner {
+    /// How many cases a property test runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to execute.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real proptest default is 256; 64 keeps the heavier
+            // numeric properties in this workspace fast while still
+            // exploring a meaningful slice of the input space.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assert!`-style failure: the property is false.
+        Fail(String),
+        /// `prop_assume!`-style rejection: the input is out of scope.
+        Reject(String),
+    }
+
+    /// SplitMix64 case generator (deterministic per test).
+    #[derive(Debug, Clone)]
+    pub struct PtRng {
+        state: u64,
+    }
+
+    impl PtRng {
+        /// A generator seeded with `seed`.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// The next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a hash of a test name, used as its deterministic seed.
+    #[must_use]
+    pub fn fnv1a(name: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::PtRng;
+
+    /// A source of random values for one [`crate::proptest!`] argument.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample_value(&self, rng: &mut PtRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                fn sample_value(&self, rng: &mut PtRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation)]
+                fn sample_value(&self, rng: &mut PtRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit = rng.unit_f64() as $t;
+                    let value = self.start + (self.end - self.start) * unit;
+                    if value >= self.end { self.start } else { value }
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::PtRng;
+
+    /// Strategy drawing uniform booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::std::primitive::bool;
+        fn sample_value(&self, rng: &mut PtRng) -> Self::Value {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::PtRng;
+
+    /// Length bounds for [`vec`]: an exact `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// `(min, max)` inclusive length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "cannot sample empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates vectors whose length lies in `size` with elements drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut PtRng) -> Self::Value {
+            let span = (self.max - self.min) as u128 + 1;
+            let len = self.min + (((u128::from(rng.next_u64()) * span) >> 64) as usize);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// The subset of the proptest prelude the workspace imports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: `proptest! { #[test] fn name(x in strat) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            $vis:vis fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            #[test]
+            $vis fn $name() {
+                let __pt_config: $crate::test_runner::ProptestConfig = $config;
+                let __pt_seed = $crate::test_runner::fnv1a(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut __pt_rng = $crate::test_runner::PtRng::new(__pt_seed);
+                let mut __pt_accepted: u32 = 0;
+                let mut __pt_attempted: u32 = 0;
+                let __pt_max_attempts = __pt_config.cases.saturating_mul(16).max(16);
+                while __pt_accepted < __pt_config.cases {
+                    assert!(
+                        __pt_attempted < __pt_max_attempts,
+                        "too many prop_assume! rejections ({} attempts for {} cases)",
+                        __pt_attempted,
+                        __pt_config.cases,
+                    );
+                    __pt_attempted += 1;
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample_value(
+                            &($strat),
+                            &mut __pt_rng,
+                        );
+                    )+
+                    let __pt_result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __pt_result {
+                        ::std::result::Result::Ok(()) => __pt_accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => {
+                            panic!(
+                                "property '{}' failed at case {}: {}",
+                                stringify!($name),
+                                __pt_accepted,
+                                message,
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` for property bodies: fails the case instead of panicking
+/// directly, so the harness can report which case died.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Bound to a name first so negating it stays lint-clean for
+        // partially ordered operands like `x > 2.0`.
+        let condition: ::std::primitive::bool = $cond;
+        if !condition {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+        );
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+        );
+    }};
+}
+
+/// Rejects the current case when its precondition does not hold; the case
+/// does not count against the configured case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        let condition: ::std::primitive::bool = $cond;
+        if !condition {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in 10.0f64..20.0, k in 3usize..7) {
+            prop_assert!((10.0..20.0).contains(&x));
+            prop_assert!((3..7).contains(&k));
+        }
+
+        #[test]
+        fn vec_lengths_obey_bounds(
+            data in crate::collection::vec(-1.0f64..1.0, 2..10),
+            exact in crate::collection::vec(0u64..5, 4),
+        ) {
+            prop_assert!(data.len() >= 2 && data.len() < 10, "len {}", data.len());
+            prop_assert_eq!(exact.len(), 4);
+            prop_assert!(data.iter().all(|v| (-1.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(k in 0u64..100) {
+            prop_assume!(k % 2 == 0);
+            prop_assert!(k % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_form_parses(x in 0.0f64..1.0) {
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_context() {
+        mod inner {
+            proptest! {
+                #[test]
+                pub fn always_fails(x in 0.0f64..1.0) {
+                    prop_assert!(x > 2.0, "x was {x}");
+                }
+            }
+        }
+        inner::always_fails();
+    }
+}

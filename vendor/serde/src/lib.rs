@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derives from the vendored `serde_derive` and
+//! provides blanket-implemented marker traits, so `#[derive(Serialize,
+//! Deserialize)]` and `T: Serialize` bounds compile without the real serde
+//! (unavailable: the build environment has no registry access). No actual
+//! serialisation happens anywhere in this workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

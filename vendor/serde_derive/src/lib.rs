@@ -1,0 +1,24 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types for
+//! forward compatibility, but nothing in the build actually serialises
+//! through serde (the one JSON check in `stt-units` hand-rolls its output).
+//! With no registry access, the real derive cannot be built, so these
+//! derives expand to nothing; the `serde` stand-in crate provides blanket
+//! trait impls so any future `T: Serialize` bound still holds.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]`
+/// helper attributes such as `#[serde(transparent)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
