@@ -76,6 +76,88 @@ fn bench_mna(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(rc.transient_adaptive(&adaptive_options).expect("adaptive")))
     });
 
+    // The linear Fig. 5 read: the paper's sample-and-divide topology with
+    // the 1T1J cell lumped into a resistor (MTJ R_L + access transistor
+    // R_T), so the whole transient stays on the linear fast path. The
+    // 128-cell bit line is kept *distributed* — a 32-segment RC ladder,
+    // like the Elmore model — so the MNA system is production-sized and
+    // the factorization cost is visible. This is the BENCH_MNA.json
+    // headline pair: `fig5_linear_read` exercises the cached-LU
+    // stamp-plan solver, `fig5_linear_read_restamp` forces the
+    // pre-optimisation restamp-and-refactor behaviour on the same grid.
+    let build_fig5_linear = || {
+        let mut circuit = Circuit::new();
+        let driver = circuit.node("driver");
+        let c1_top = circuit.node("c1_top");
+        let div_top = circuit.node("div_top");
+        let v_bo = circuit.node("v_bo");
+        circuit.current_source(
+            driver,
+            Node::GROUND,
+            Waveform::pwl(vec![
+                (Seconds::from_nano(2.0), 0.0),
+                (Seconds::from_nano(2.2), 50e-6),
+                (Seconds::from_nano(12.0), 50e-6),
+                (Seconds::from_nano(12.2), 100e-6),
+                (Seconds::from_nano(22.0), 100e-6),
+                (Seconds::from_nano(22.2), 0.0),
+            ]),
+        );
+        // Distributed bit line: 128 cells' wire RC in 32 segments
+        // (192 fF / 640 Ω total), driver at the near end, cell at `bl`.
+        let segments = 32;
+        let mut bl = driver;
+        for k in 0..segments {
+            let next = circuit.node(&format!("bl{k}"));
+            circuit.resistor(bl, next, Ohms::new(640.0 / segments as f64));
+            circuit.capacitor(
+                next,
+                Node::GROUND,
+                Farads::from_femto(192.0 / segments as f64),
+            );
+            bl = next;
+        }
+        // Lumped 1T1J cell: R_L ≈ 2.4 kΩ plus R_T ≈ 0.9 kΩ.
+        circuit.resistor(bl, Node::GROUND, Ohms::from_kilo(3.3));
+        circuit.switch(
+            bl,
+            c1_top,
+            Ohms::new(200.0),
+            Ohms::from_mega(2000.0),
+            stt_mna::SwitchSchedule::closed_during(
+                Seconds::from_nano(2.0),
+                Seconds::from_nano(12.0),
+            ),
+        );
+        circuit.capacitor(c1_top, Node::GROUND, Farads::from_femto(25.0));
+        circuit.switch(
+            bl,
+            div_top,
+            Ohms::new(200.0),
+            Ohms::from_mega(2000.0),
+            stt_mna::SwitchSchedule::closed_during(
+                Seconds::from_nano(12.0),
+                Seconds::from_nano(27.0),
+            ),
+        );
+        circuit.resistor(div_top, v_bo, Ohms::from_mega(10.0));
+        circuit.resistor(v_bo, Node::GROUND, Ohms::from_mega(10.0));
+        circuit
+    };
+    let fig5_options =
+        stt_mna::TranOptions::new(Seconds::from_nano(30.0), Seconds::from_pico(10.0))
+            .from_zero_state();
+    let fig5 = build_fig5_linear();
+    c.bench_function("transient/fig5_linear_read", |b| {
+        b.iter(|| std::hint::black_box(fig5.transient(&fig5_options).expect("transient")))
+    });
+    let restamp_options = fig5_options
+        .clone()
+        .with_strategy(stt_mna::SolverStrategy::AlwaysRestamp);
+    c.bench_function("transient/fig5_linear_read_restamp", |b| {
+        b.iter(|| std::hint::black_box(fig5.transient(&restamp_options).expect("transient")))
+    });
+
     // The full Fig. 10 nonlinear transient read.
     let cell = CellSpec::date2010_chip().nominal_cell();
     let design = DesignPoint::date2010(&cell).nondestructive;

@@ -88,15 +88,22 @@ pub fn powerloss() -> Table {
 pub fn imax_sweep() -> Table {
     let (cell, _) = paper_setup();
     let mut table = Table::new(["I_max (µA)", "β*", "equal margin (mV)"]);
-    for microamps in [50.0, 75.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0] {
+    let budgets = [50.0, 75.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0];
+    // Each budget re-optimises β independently: fan out across threads,
+    // rows come back in sweep order.
+    let rows = stt_stats::fill_indexed(budgets.len(), |k| {
+        let microamps = budgets[k];
         let budget = Amps::from_micro(microamps);
         let design = NondestructiveDesign::optimize(&cell, budget, 0.5);
         let margins = design.margins(&cell, &Perturbations::NONE);
-        table.push_row([
+        [
             format!("{microamps:.0}"),
             format!("{:.3}", design.beta()),
             mv(margins.min()),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -145,13 +152,18 @@ pub fn yield_sweep() -> Table {
         "destructive fail (%)",
         "nondestructive fail (%)",
     ]);
-    for sigma in [0.02, 0.04, 0.06, 0.09, 0.12, 0.16, 0.20] {
+    let sigmas = [0.02, 0.04, 0.06, 0.09, 0.12, 0.16, 0.20];
+    // Whole-chip simulations are the heaviest rows in the extras suite:
+    // run the σ points concurrently, deterministic per index (each point
+    // seeds its own experiment).
+    let rows = stt_stats::fill_indexed(sigmas.len(), |k| {
+        let sigma = sigmas[k];
         let mut experiment = ChipExperiment::date2010(42).with_sigma_ra(sigma);
         experiment.array.rows = 64;
         experiment.array.cols = 64;
         experiment.array.bitline.cells_per_bitline = 64;
         let result = experiment.run();
-        table.push_row([
+        [
             format!("{:.0}", sigma * 100.0),
             format!(
                 "{:.2}",
@@ -169,7 +181,10 @@ pub fn yield_sweep() -> Table {
                     .failure_rate()
                     * 100.0
             ),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -330,7 +345,7 @@ pub fn retention() -> Table {
     table
 }
 
-/// E10 — the divider-ratio ablation (DESIGN.md §8): margin, deviation
+/// E10 — the divider-ratio ablation (DESIGN.md §9): margin, deviation
 /// window and mismatch-weighted robustness across α, quantifying why the
 /// paper's symmetric α = 0.5 divider is the right choice.
 #[must_use]

@@ -74,25 +74,23 @@ pub fn beta_sweep(
 ) -> Vec<BetaSweepPoint> {
     assert!(lo >= 1.0 && lo < hi, "sweep needs 1 ≤ lo < hi");
     assert!(steps > 0, "sweep needs at least one step");
-    (0..=steps)
-        .map(|k| {
-            let beta = lo + (hi - lo) * k as f64 / steps as f64;
-            let destructive = DestructiveDesign {
-                i_r1: i_max / beta,
-                i_r2: i_max,
-            };
-            let nondestructive = NondestructiveDesign {
-                i_r1: i_max / beta,
-                i_r2: i_max,
-                alpha,
-            };
-            BetaSweepPoint {
-                beta,
-                destructive: destructive.margins(cell, &Perturbations::NONE),
-                nondestructive: nondestructive.margins(cell, &Perturbations::NONE),
-            }
-        })
-        .collect()
+    stt_stats::fill_indexed(steps + 1, |k| {
+        let beta = lo + (hi - lo) * k as f64 / steps as f64;
+        let destructive = DestructiveDesign {
+            i_r1: i_max / beta,
+            i_r2: i_max,
+        };
+        let nondestructive = NondestructiveDesign {
+            i_r1: i_max / beta,
+            i_r2: i_max,
+            alpha,
+        };
+        BetaSweepPoint {
+            beta,
+            destructive: destructive.margins(cell, &Perturbations::NONE),
+            nondestructive: nondestructive.margins(cell, &Perturbations::NONE),
+        }
+    })
 }
 
 /// The β interval with both margins positive for the destructive scheme —
@@ -178,17 +176,15 @@ pub fn delta_rt_sweep(
 ) -> Vec<DeltaRtSweepPoint> {
     assert!(lo < hi, "sweep needs lo < hi");
     assert!(steps > 0, "sweep needs at least one step");
-    (0..=steps)
-        .map(|k| {
-            let delta_r_t = lo + (hi - lo) * (k as f64 / steps as f64);
-            let perturb = Perturbations::with_delta_r_t(delta_r_t);
-            DeltaRtSweepPoint {
-                delta_r_t,
-                destructive: destructive.margins(cell, &perturb),
-                nondestructive: nondestructive.margins(cell, &perturb),
-            }
-        })
-        .collect()
+    stt_stats::fill_indexed(steps + 1, |k| {
+        let delta_r_t = lo + (hi - lo) * (k as f64 / steps as f64);
+        let perturb = Perturbations::with_delta_r_t(delta_r_t);
+        DeltaRtSweepPoint {
+            delta_r_t,
+            destructive: destructive.margins(cell, &perturb),
+            nondestructive: nondestructive.margins(cell, &perturb),
+        }
+    })
 }
 
 /// The allowable `ΔR_T` window (in ohms) of the destructive scheme at its
@@ -235,16 +231,13 @@ pub fn alpha_deviation_sweep(
 ) -> Vec<AlphaDeviationSweepPoint> {
     assert!(lo < hi, "sweep needs lo < hi");
     assert!(steps > 0, "sweep needs at least one step");
-    (0..=steps)
-        .map(|k| {
-            let deviation = lo + (hi - lo) * k as f64 / steps as f64;
-            AlphaDeviationSweepPoint {
-                deviation,
-                nondestructive: design
-                    .margins(cell, &Perturbations::with_alpha_deviation(deviation)),
-            }
-        })
-        .collect()
+    stt_stats::fill_indexed(steps + 1, |k| {
+        let deviation = lo + (hi - lo) * k as f64 / steps as f64;
+        AlphaDeviationSweepPoint {
+            deviation,
+            nondestructive: design.margins(cell, &Perturbations::with_alpha_deviation(deviation)),
+        }
+    })
 }
 
 /// The allowable divider-deviation window of the nondestructive scheme —
@@ -301,7 +294,7 @@ pub fn robustness_summary(cell: &Cell, i_max: Amps, alpha: f64) -> RobustnessSum
     }
 }
 
-/// One point of the α-choice ablation (DESIGN.md §8).
+/// One point of the α-choice ablation (DESIGN.md §9).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AlphaChoicePoint {
     /// The divider ratio under evaluation.
@@ -352,27 +345,29 @@ pub fn alpha_choice_sweep(
 ) -> Vec<AlphaChoicePoint> {
     assert!(!alphas.is_empty(), "sweep needs at least one α");
     assert!(sigma_resistor > 0.0, "matching σ must be positive");
-    alphas
-        .iter()
-        .map(|&alpha| {
-            assert!(alpha > 0.0 && alpha < 1.0, "α must be in (0, 1)");
-            let design = NondestructiveDesign::optimize(cell, i_max, alpha);
-            let margins = design.margins(cell, &Perturbations::NONE);
-            let window = allowable_alpha_deviation(cell, &design);
-            let geometry_penalty = 1.0 + ((1.0 - alpha) / alpha).ln().abs();
-            let sigma_deviation =
-                (1.0 - alpha) * std::f64::consts::SQRT_2 * sigma_resistor * geometry_penalty;
-            let narrow_edge = window.high.min(window.low.abs());
-            AlphaChoicePoint {
-                alpha,
-                beta: design.beta(),
-                margin: margins.min(),
-                deviation_window: window,
-                sigma_deviation,
-                margin_over_3_sigma: narrow_edge / (3.0 * sigma_deviation),
-            }
-        })
-        .collect()
+    // Validate before fanning out: a panic inside a scoped worker would
+    // surface as an opaque "worker panicked" instead of this message.
+    for &alpha in alphas {
+        assert!(alpha > 0.0 && alpha < 1.0, "α must be in (0, 1)");
+    }
+    stt_stats::fill_indexed(alphas.len(), |k| {
+        let alpha = alphas[k];
+        let design = NondestructiveDesign::optimize(cell, i_max, alpha);
+        let margins = design.margins(cell, &Perturbations::NONE);
+        let window = allowable_alpha_deviation(cell, &design);
+        let geometry_penalty = 1.0 + ((1.0 - alpha) / alpha).ln().abs();
+        let sigma_deviation =
+            (1.0 - alpha) * std::f64::consts::SQRT_2 * sigma_resistor * geometry_penalty;
+        let narrow_edge = window.high.min(window.low.abs());
+        AlphaChoicePoint {
+            alpha,
+            beta: design.beta(),
+            margin: margins.min(),
+            deviation_window: window,
+            sigma_deviation,
+            margin_over_3_sigma: narrow_edge / (3.0 * sigma_deviation),
+        }
+    })
 }
 
 /// For margins *linear* in the disturbance: returns the window over which

@@ -15,7 +15,7 @@ use std::fmt;
 use stt_units::{Seconds, Volts};
 
 use crate::circuit::{Circuit, Element, MosfetParams, Node, SourceId};
-use crate::matrix::{Matrix, SingularMatrixError};
+use crate::matrix::{LuFactors, Matrix, SingularMatrixError};
 
 /// Leak conductance to ground on every node (siemens).
 pub(crate) const GMIN: f64 = 1e-12;
@@ -86,17 +86,38 @@ pub enum Integrator {
     Trapezoidal,
 }
 
+/// How the analyses manage the system matrix and its LU factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverStrategy {
+    /// The stamp-plan fast path: static element stamps are pre-baked into a
+    /// base matrix once per analysis, each rebuild copies that base and
+    /// restamps only the dynamic elements, and for linear circuits the LU
+    /// factorization is reused across every step whose matrix is unchanged
+    /// (same switch states, step size, and integrator) — O(n²) per step
+    /// instead of O(n³).
+    #[default]
+    CachedLu,
+    /// Restamp the full system and refactor at every solve. This is the
+    /// naive reference the fast path is validated against (the two must
+    /// produce bit-identical waveforms — see the `fastpath_reference`
+    /// property tests) and a debugging aid; it is never faster.
+    AlwaysRestamp,
+}
+
 /// Transient analysis options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TranOptions {
     /// End time of the simulation (starts at 0).
     pub t_stop: Seconds,
-    /// Uniform base time step (switch events are inserted additionally).
+    /// Uniform base time step (switch events are inserted additionally,
+    /// and a final short step covers any remainder before `t_stop`).
     pub dt: Seconds,
     /// Capacitor integration method.
     pub integrator: Integrator,
     /// Start from the DC operating point at `t = 0` (otherwise zero state).
     pub start_from_dc: bool,
+    /// Matrix/factorization management (default: the cached fast path).
+    pub strategy: SolverStrategy,
 }
 
 impl TranOptions {
@@ -108,6 +129,7 @@ impl TranOptions {
             dt,
             integrator: Integrator::default(),
             start_from_dc: true,
+            strategy: SolverStrategy::default(),
         }
     }
 
@@ -122,6 +144,13 @@ impl TranOptions {
     #[must_use]
     pub fn from_zero_state(mut self) -> Self {
         self.start_from_dc = false;
+        self
+    }
+
+    /// Selects the solver strategy (see [`SolverStrategy`]).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SolverStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 }
@@ -140,6 +169,8 @@ pub struct AdaptiveTranOptions {
     pub lte_tolerance: f64,
     /// Start from the DC operating point at `t = 0` (otherwise zero state).
     pub start_from_dc: bool,
+    /// Matrix/factorization management (default: the cached fast path).
+    pub strategy: SolverStrategy,
 }
 
 impl AdaptiveTranOptions {
@@ -153,6 +184,7 @@ impl AdaptiveTranOptions {
             dt_max,
             lte_tolerance: 1e-6,
             start_from_dc: true,
+            strategy: SolverStrategy::default(),
         }
     }
 
@@ -167,6 +199,13 @@ impl AdaptiveTranOptions {
     #[must_use]
     pub fn from_zero_state(mut self) -> Self {
         self.start_from_dc = false;
+        self
+    }
+
+    /// Selects the solver strategy (see [`SolverStrategy`]).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SolverStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 }
@@ -313,6 +352,52 @@ struct CapState {
     i: f64,
 }
 
+/// The per-circuit stamp plan: the *static* portion of the system — GMIN,
+/// resistors, and the voltage-source/VCVS branch patterns, none of which
+/// depend on time, step size, or the Newton iterate — pre-stamped once into
+/// a base matrix that each rebuild copies instead of restamping
+/// element-by-element. Everything else (switches, capacitor companions,
+/// MOSFET/`DeviceLaw` linearisations) is *dynamic* and restamped on top.
+#[derive(Debug, Clone)]
+struct StampPlan {
+    /// The pre-stamped static matrix portion.
+    base: Matrix,
+    /// `true` when the circuit contains Newton-linearised elements, making
+    /// the matrix depend on the iterate (no LU reuse possible).
+    nonlinear: bool,
+}
+
+/// Reusable buffers for one analysis run: the working matrix, RHS, Newton
+/// iterate, and the LU factorization with its reuse key. Created once per
+/// `transient`/`transient_adaptive`/`dc_operating_point` call and threaded
+/// through every solve, eliminating all per-step heap allocation.
+#[derive(Debug)]
+pub(crate) struct SolveWorkspace {
+    plan: StampPlan,
+    /// Working system matrix (base copy + dynamic stamps).
+    matrix: Matrix,
+    /// Right-hand side, rebuilt at every solve.
+    rhs: Vec<f64>,
+    /// Newton iterate; holds the solution after a successful solve.
+    x: Vec<f64>,
+    /// Raw Newton solve output, before the damped update.
+    next: Vec<f64>,
+    /// The factorization, reused across solves while `lu_valid` and the key
+    /// below still describe the stamped matrix.
+    lu: LuFactors,
+    lu_valid: bool,
+    /// Reuse key: companion-model step size (`h.to_bits()`, `u64::MAX` for
+    /// DC where capacitors are open), integrator, and per-switch states.
+    key_h: u64,
+    key_integrator: Integrator,
+    key_switches: Vec<bool>,
+    /// Scratch for the current switch states (compared against the key).
+    cur_switches: Vec<bool>,
+    /// `false` under [`SolverStrategy::AlwaysRestamp`]: restamp the full
+    /// matrix and refactor at every solve.
+    reuse: bool,
+}
+
 impl Circuit {
     fn dim(&self) -> usize {
         (self.node_count() - 1) + self.vsource_count
@@ -338,9 +423,39 @@ impl Circuit {
     /// Returns [`AnalysisError`] if the system is singular or Newton fails
     /// to converge.
     pub fn dc_operating_point(&self, t: Seconds) -> Result<DcResult, AnalysisError> {
+        let mut ws = self.workspace(SolverStrategy::CachedLu);
         let guess = vec![0.0; self.dim()];
-        let solution = self.solve_point(t, &guess, None, Integrator::BackwardEuler)?;
-        Ok(self.package_dc(&solution))
+        self.solve_point_with(&mut ws, t, &guess, None, Integrator::BackwardEuler)?;
+        Ok(self.package_dc(&ws.x))
+    }
+
+    /// Builds the stamp plan and solver buffers for one analysis run.
+    fn workspace(&self, strategy: SolverStrategy) -> SolveWorkspace {
+        let dim = self.dim();
+        let mut base = Matrix::zeros(dim, dim);
+        self.stamp_static(&mut base);
+        let switch_count = self
+            .elements
+            .iter()
+            .filter(|element| matches!(element, Element::Switch { .. }))
+            .count();
+        SolveWorkspace {
+            plan: StampPlan {
+                base,
+                nonlinear: self.has_nonlinear(),
+            },
+            matrix: Matrix::zeros(dim, dim),
+            rhs: vec![0.0; dim],
+            x: vec![0.0; dim],
+            next: vec![0.0; dim],
+            lu: LuFactors::workspace(dim),
+            lu_valid: false,
+            key_h: 0,
+            key_integrator: Integrator::BackwardEuler,
+            key_switches: vec![false; switch_count],
+            cur_switches: vec![false; switch_count],
+            reuse: strategy == SolverStrategy::CachedLu,
+        }
     }
 
     fn package_dc(&self, solution: &[f64]) -> DcResult {
@@ -377,11 +492,26 @@ impl Circuit {
             ));
         }
 
-        // Build the time grid: uniform steps + switch events, deduplicated.
-        let steps = (options.t_stop / options.dt).ceil() as usize;
-        let mut grid: Vec<f64> = (0..=steps)
-            .map(|k| (options.t_stop.get() * k as f64 / steps as f64).min(options.t_stop.get()))
-            .collect();
+        // Build the time grid: the requested `dt` honoured exactly (points
+        // at k·dt, a final short step covering any remainder before
+        // `t_stop`) plus switch events, deduplicated.
+        let dt = options.dt.get();
+        let t_stop = options.t_stop.get();
+        let ratio = t_stop / dt;
+        // Snap to a whole step count when `t_stop` is an (FP-wise almost
+        // exact) multiple of `dt`, so no sliver step is produced.
+        let whole = if (ratio - ratio.round()).abs() < 1e-9 * ratio.round().max(1.0) {
+            ratio.round()
+        } else {
+            ratio.floor()
+        } as usize;
+        let mut grid: Vec<f64> = (0..=whole).map(|k| (k as f64 * dt).min(t_stop)).collect();
+        let last = *grid.last().expect("non-empty grid");
+        if t_stop - last > dt * 1e-9 {
+            grid.push(t_stop);
+        } else {
+            *grid.last_mut().expect("non-empty grid") = t_stop;
+        }
         for event in self.switch_event_times() {
             if event.get() > 0.0 && event < options.t_stop {
                 grid.push(event.get());
@@ -391,17 +521,18 @@ impl Circuit {
         grid.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
 
         // Initial state.
-        let mut solution = if options.start_from_dc {
-            let op = self.dc_operating_point(Seconds::ZERO)?;
-            let mut x = vec![0.0; self.dim()];
-            x[..(self.node_count() - 1)].copy_from_slice(&op.voltages[1..self.node_count()]);
-            for branch in 0..self.vsource_count {
-                x[self.branch_row(branch)] = op.source_currents[branch];
-            }
-            x
-        } else {
-            vec![0.0; self.dim()]
-        };
+        let mut ws = self.workspace(options.strategy);
+        let mut solution = vec![0.0; self.dim()];
+        if options.start_from_dc {
+            self.solve_point_with(
+                &mut ws,
+                Seconds::ZERO,
+                &solution,
+                None,
+                Integrator::BackwardEuler,
+            )?;
+            solution.copy_from_slice(&ws.x);
+        }
 
         let mut cap_states = self.initial_cap_states(&solution);
 
@@ -422,7 +553,18 @@ impl Circuit {
 
         let mut previous_time = grid[0];
         for (step, &time) in grid[1..].iter().enumerate() {
-            let h = time - previous_time;
+            // Grid times are k·dt, so consecutive differences wobble by a
+            // few ULPs around `dt`. Snap those onto `dt` exactly: the
+            // intended uniform step is the more faithful `h`, and a stable
+            // bit pattern is what lets the cached-LU fast path recognise
+            // uniform steps. (Applied before the solve, so the
+            // always-restamp reference integrates with the identical `h`.)
+            let h_raw = time - previous_time;
+            let h = if (h_raw - dt).abs() <= 1e-9 * dt {
+                dt
+            } else {
+                h_raw
+            };
             debug_assert!(h > 0.0);
             let t = Seconds::new(time);
             // Trapezoidal needs a consistent capacitor-current history; the
@@ -433,7 +575,8 @@ impl Circuit {
             } else {
                 options.integrator
             };
-            solution = self.solve_point(t, &solution, Some((&cap_states, h)), integrator)?;
+            self.solve_point_with(&mut ws, t, &solution, Some((&cap_states, h)), integrator)?;
+            solution.copy_from_slice(&ws.x);
             self.advance_cap_states(&solution, &mut cap_states, integrator, h);
             record(&solution, &mut traces, &mut source_traces);
             previous_time = time;
@@ -496,18 +639,24 @@ impl Circuit {
         breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
 
         // Initial state (same policy as the fixed-step transient).
-        let mut solution = if options.start_from_dc {
-            let op = self.dc_operating_point(Seconds::ZERO)?;
-            let mut x = vec![0.0; self.dim()];
-            x[..(self.node_count() - 1)].copy_from_slice(&op.voltages[1..self.node_count()]);
-            for branch in 0..self.vsource_count {
-                x[self.branch_row(branch)] = op.source_currents[branch];
-            }
-            x
-        } else {
-            vec![0.0; self.dim()]
-        };
+        let mut ws = self.workspace(options.strategy);
+        let mut solution = vec![0.0; self.dim()];
+        if options.start_from_dc {
+            self.solve_point_with(
+                &mut ws,
+                Seconds::ZERO,
+                &solution,
+                None,
+                Integrator::BackwardEuler,
+            )?;
+            solution.copy_from_slice(&ws.x);
+        }
         let mut cap_states = self.initial_cap_states(&solution);
+        // Step-doubling scratch buffers, reused across all attempts.
+        let mut half_states = cap_states.clone();
+        let mut full = vec![0.0; self.dim()];
+        let mut mid = vec![0.0; self.dim()];
+        let mut half = vec![0.0; self.dim()];
 
         let nodes = self.node_count();
         let mut times = vec![0.0];
@@ -552,33 +701,39 @@ impl Circuit {
 
             // Full step.
             let t_full = Seconds::new(t + step);
-            let full = self.solve_point(
+            self.solve_point_with(
+                &mut ws,
                 t_full,
                 &solution,
                 Some((&cap_states, step)),
                 Integrator::BackwardEuler,
             )?;
-            // Two half steps on cloned capacitor state.
-            let mut half_states = cap_states.clone();
+            full.copy_from_slice(&ws.x);
+            // Two half steps on a copy of the capacitor state.
+            half_states.copy_from_slice(&cap_states);
             let t_mid = Seconds::new(t + 0.5 * step);
-            let mid = self.solve_point(
+            self.solve_point_with(
+                &mut ws,
                 t_mid,
                 &solution,
                 Some((&half_states, 0.5 * step)),
                 Integrator::BackwardEuler,
             )?;
+            mid.copy_from_slice(&ws.x);
             self.advance_cap_states(
                 &mid,
                 &mut half_states,
                 Integrator::BackwardEuler,
                 0.5 * step,
             );
-            let half = self.solve_point(
+            self.solve_point_with(
+                &mut ws,
                 t_full,
                 &mid,
                 Some((&half_states, 0.5 * step)),
                 Integrator::BackwardEuler,
             )?;
+            half.copy_from_slice(&ws.x);
 
             let mut error = 0.0f64;
             for index in 0..voltage_entries {
@@ -595,12 +750,10 @@ impl Circuit {
                     Integrator::BackwardEuler,
                     0.5 * step,
                 );
-                cap_states = half_states;
-                solution = half
-                    .iter()
-                    .zip(&full)
-                    .map(|(h_v, f_v)| 2.0 * h_v - f_v)
-                    .collect();
+                std::mem::swap(&mut cap_states, &mut half_states);
+                for ((slot, h_v), f_v) in solution.iter_mut().zip(&half).zip(&full) {
+                    *slot = 2.0 * h_v - f_v;
+                }
                 t += step;
                 times.push(t);
                 record(&solution, &mut traces, &mut source_traces);
@@ -665,36 +818,71 @@ impl Circuit {
         }
     }
 
-    /// Solves one (possibly nonlinear) analysis point by Newton iteration.
+    /// Solves one (possibly nonlinear) analysis point into the workspace:
+    /// on success `ws.x` holds the solution.
     ///
     /// `cap` is `Some((states, h))` during transient steps and `None` for DC
     /// (capacitors open).
-    fn solve_point(
+    fn solve_point_with(
         &self,
+        ws: &mut SolveWorkspace,
         t: Seconds,
         guess: &[f64],
         cap: Option<(&[CapState], f64)>,
         integrator: Integrator,
-    ) -> Result<Vec<f64>, AnalysisError> {
-        let dim = self.dim();
-        let mut x = guess.to_vec();
-        let mut matrix = Matrix::zeros(dim, dim);
-        let mut rhs = vec![0.0; dim];
+    ) -> Result<(), AnalysisError> {
+        ws.x.copy_from_slice(guess);
 
-        if !self.has_nonlinear() {
-            // A linear system needs exactly one solve.
-            self.stamp(&mut matrix, &mut rhs, &x, t, cap, integrator);
-            return matrix
-                .solve(&rhs)
-                .map_err(|source| AnalysisError::Singular { source, time: t });
+        if !ws.plan.nonlinear {
+            // A linear system needs exactly one solve — and when nothing
+            // matrix-affecting changed since the previous solve (same
+            // switch states, companion step size, and integrator), the
+            // cached factorization still holds: rebuild only the RHS and
+            // back-substitute, O(n²) instead of O(n³).
+            let key_h = cap.map_or(u64::MAX, |(_, h)| h.to_bits());
+            let mut switch_index = 0;
+            for element in &self.elements {
+                if let Element::Switch { schedule, .. } = element {
+                    ws.cur_switches[switch_index] = schedule.state_at(t);
+                    switch_index += 1;
+                }
+            }
+            let reusable = ws.reuse
+                && ws.lu_valid
+                && ws.key_h == key_h
+                && ws.key_integrator == integrator
+                && ws.key_switches == ws.cur_switches;
+            ws.rhs.fill(0.0);
+            if reusable {
+                self.stamp_rhs_only(&mut ws.rhs, t, cap, integrator);
+            } else {
+                self.rebuild_matrix(ws, t, cap, integrator);
+                if let Err(source) = ws.lu.refactor(&ws.matrix) {
+                    ws.lu_valid = false;
+                    return Err(AnalysisError::Singular { source, time: t });
+                }
+                ws.lu_valid = true;
+                ws.key_h = key_h;
+                ws.key_integrator = integrator;
+                ws.key_switches.copy_from_slice(&ws.cur_switches);
+            }
+            ws.lu
+                .solve_into(&ws.rhs, &mut ws.x)
+                .map_err(|source| AnalysisError::Singular { source, time: t })?;
+            return Ok(());
         }
 
+        let dim = self.dim();
+        let voltage_entries = self.node_count() - 1;
+        let mut residual = f64::INFINITY;
         for _iteration in 0..MAX_NEWTON {
-            matrix.clear();
-            rhs.fill(0.0);
-            self.stamp(&mut matrix, &mut rhs, &x, t, cap, integrator);
-            let next = matrix
-                .solve(&rhs)
+            ws.rhs.fill(0.0);
+            self.rebuild_matrix(ws, t, cap, integrator);
+            if let Err(source) = ws.lu.refactor(&ws.matrix) {
+                return Err(AnalysisError::Singular { source, time: t });
+            }
+            ws.lu
+                .solve_into(&ws.rhs, &mut ws.next)
                 .map_err(|source| AnalysisError::Singular { source, time: t })?;
 
             // Damped update: clamp each voltage unknown's move per
@@ -703,35 +891,46 @@ impl Circuit {
             // (not scaling the whole vector) lets well-behaved unknowns —
             // e.g. a source-driven gate — reach their values while a
             // momentarily ill-conditioned node is reined in.
-            let voltage_entries = self.node_count() - 1;
             let mut max_delta = 0.0f64;
             for index in 0..dim {
-                let delta = next[index] - x[index];
+                let delta = ws.next[index] - ws.x[index];
                 if index < voltage_entries {
                     max_delta = max_delta.max(delta.abs());
-                    x[index] += delta.clamp(-MAX_STEP, MAX_STEP);
+                    ws.x[index] += delta.clamp(-MAX_STEP, MAX_STEP);
                 } else {
                     // Branch currents follow the (clamped) voltages freely.
-                    x[index] = next[index];
+                    ws.x[index] = ws.next[index];
                 }
             }
             if max_delta < TOL_ABS {
-                return Ok(x);
+                return Ok(());
             }
+            residual = max_delta;
         }
-        // Measure the final residual for the error report.
-        matrix.clear();
-        rhs.fill(0.0);
-        self.stamp(&mut matrix, &mut rhs, &x, t, cap, integrator);
-        let residual = match matrix.solve(&rhs) {
-            Ok(next) => x
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max),
-            Err(_) => f64::INFINITY,
-        };
+        // Report the residual of the final Newton iterate — the same
+        // max-norm voltage change the convergence test uses — rather than
+        // paying one more full stamp+factor+solve just to format an error.
         Err(AnalysisError::NonConvergent { time: t, residual })
+    }
+
+    /// Rebuilds the working matrix (and the dynamic part of the RHS):
+    /// copies the pre-stamped static base — or restamps it from scratch
+    /// under [`SolverStrategy::AlwaysRestamp`] — then stamps the dynamic
+    /// elements on top. Expects `ws.rhs` already zeroed.
+    fn rebuild_matrix(
+        &self,
+        ws: &mut SolveWorkspace,
+        t: Seconds,
+        cap: Option<(&[CapState], f64)>,
+        integrator: Integrator,
+    ) {
+        if ws.reuse {
+            ws.matrix.copy_from(&ws.plan.base);
+        } else {
+            ws.matrix.clear();
+            self.stamp_static(&mut ws.matrix);
+        }
+        self.stamp_dynamic(&mut ws.matrix, &mut ws.rhs, &ws.x, t, cap, integrator);
     }
 
     fn has_nonlinear(&self) -> bool {
@@ -740,86 +939,23 @@ impl Circuit {
             .any(|element| matches!(element, Element::Mosfet { .. } | Element::Nonlinear { .. }))
     }
 
-    /// Stamps all elements into `matrix`/`rhs`, linearising nonlinear ones
-    /// around the iterate `x`.
-    fn stamp(
-        &self,
-        matrix: &mut Matrix,
-        rhs: &mut [f64],
-        x: &[f64],
-        t: Seconds,
-        cap: Option<(&[CapState], f64)>,
-        integrator: Integrator,
-    ) {
-        let voltage_of =
-            |node: Node, x: &[f64]| -> f64 { Self::node_row(node).map_or(0.0, |row| x[row]) };
-        let stamp_conductance = |matrix: &mut Matrix, a: Node, b: Node, g: f64| {
-            if let Some(row_a) = Self::node_row(a) {
-                matrix.stamp(row_a, row_a, g);
-                if let Some(row_b) = Self::node_row(b) {
-                    matrix.stamp(row_a, row_b, -g);
-                    matrix.stamp(row_b, row_a, -g);
-                }
-            }
-            if let Some(row_b) = Self::node_row(b) {
-                matrix.stamp(row_b, row_b, g);
-            }
-        };
-        let stamp_current_into = |rhs: &mut [f64], pos: Node, neg: Node, i: f64| {
-            if let Some(row) = Self::node_row(pos) {
-                rhs[row] += i;
-            }
-            if let Some(row) = Self::node_row(neg) {
-                rhs[row] -= i;
-            }
-        };
-
+    /// Stamps the static portion of the system matrix: GMIN, resistors and
+    /// the voltage-source/VCVS branch patterns. None of these depend on
+    /// time, step size, or the Newton iterate, so the result is pre-baked
+    /// once per analysis into the stamp plan's base matrix.
+    fn stamp_static(&self, matrix: &mut Matrix) {
         // GMIN from every non-ground node to ground.
         for row in 0..(self.node_count() - 1) {
             matrix.stamp(row, row, GMIN);
         }
 
-        let mut cap_index = 0;
         for element in &self.elements {
             match element {
                 Element::Resistor { a, b, ohms } => {
                     stamp_conductance(matrix, *a, *b, 1.0 / ohms);
                 }
-                Element::Switch {
-                    a,
-                    b,
-                    r_on,
-                    r_off,
-                    schedule,
-                } => {
-                    let resistance = if schedule.state_at(t) { *r_on } else { *r_off };
-                    stamp_conductance(matrix, *a, *b, 1.0 / resistance);
-                }
-                Element::Capacitor { a, b, farads, .. } => {
-                    if let Some((states, h)) = cap {
-                        let state = states[cap_index];
-                        let (g_eq, i_hist) = match integrator {
-                            Integrator::BackwardEuler => {
-                                let g = farads / h;
-                                (g, g * state.v)
-                            }
-                            Integrator::Trapezoidal => {
-                                let g = 2.0 * farads / h;
-                                (g, g * state.v + state.i)
-                            }
-                        };
-                        stamp_conductance(matrix, *a, *b, g_eq);
-                        // History current drives the cap towards its past
-                        // voltage: inject into `a`, return from `b`.
-                        stamp_current_into(rhs, *a, *b, i_hist);
-                    }
-                    cap_index += 1;
-                }
                 Element::VoltageSource {
-                    pos,
-                    neg,
-                    wave,
-                    branch,
+                    pos, neg, branch, ..
                 } => {
                     let branch_row = self.branch_row(*branch);
                     if let Some(row) = Self::node_row(*pos) {
@@ -830,28 +966,6 @@ impl Circuit {
                         matrix.stamp(row, branch_row, -1.0);
                         matrix.stamp(branch_row, row, -1.0);
                     }
-                    rhs[branch_row] += wave.value_at(t);
-                }
-                Element::CurrentSource { pos, neg, wave } => {
-                    stamp_current_into(rhs, *pos, *neg, wave.value_at(t));
-                }
-                Element::Mosfet {
-                    drain,
-                    gate,
-                    source,
-                    params,
-                } => {
-                    stamp_mosfet(
-                        matrix,
-                        rhs,
-                        *drain,
-                        *gate,
-                        *source,
-                        params,
-                        voltage_of(*drain, x),
-                        voltage_of(*gate, x),
-                        voltage_of(*source, x),
-                    );
                 }
                 Element::Vcvs {
                     out_pos,
@@ -878,6 +992,85 @@ impl Circuit {
                         matrix.stamp(branch_row, row, *gain);
                     }
                 }
+                Element::Switch { .. }
+                | Element::Capacitor { .. }
+                | Element::CurrentSource { .. }
+                | Element::Mosfet { .. }
+                | Element::Nonlinear { .. } => {}
+            }
+        }
+    }
+
+    /// Stamps the dynamic elements — switches, capacitor companions,
+    /// linearised MOSFET/`DeviceLaw` entries — into `matrix`, and every
+    /// RHS contribution (source waves, companion history currents,
+    /// linearisation excess currents) into `rhs`.
+    ///
+    /// Per matrix/RHS entry the accumulation order is identical whether the
+    /// static portion came from a base-matrix copy or a fresh
+    /// [`Circuit::stamp_static`] pass, which is what makes the fast path
+    /// bit-identical to the always-restamp reference.
+    fn stamp_dynamic(
+        &self,
+        matrix: &mut Matrix,
+        rhs: &mut [f64],
+        x: &[f64],
+        t: Seconds,
+        cap: Option<(&[CapState], f64)>,
+        integrator: Integrator,
+    ) {
+        let voltage_of =
+            |node: Node, x: &[f64]| -> f64 { Self::node_row(node).map_or(0.0, |row| x[row]) };
+
+        let mut cap_index = 0;
+        for element in &self.elements {
+            match element {
+                Element::Resistor { .. } | Element::Vcvs { .. } => {}
+                Element::Switch {
+                    a,
+                    b,
+                    r_on,
+                    r_off,
+                    schedule,
+                } => {
+                    let resistance = if schedule.state_at(t) { *r_on } else { *r_off };
+                    stamp_conductance(matrix, *a, *b, 1.0 / resistance);
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    if let Some((states, h)) = cap {
+                        let (g_eq, i_hist) =
+                            cap_companion(*farads, h, states[cap_index], integrator);
+                        stamp_conductance(matrix, *a, *b, g_eq);
+                        // History current drives the cap towards its past
+                        // voltage: inject into `a`, return from `b`.
+                        stamp_current_into(rhs, *a, *b, i_hist);
+                    }
+                    cap_index += 1;
+                }
+                Element::VoltageSource { wave, branch, .. } => {
+                    rhs[self.branch_row(*branch)] += wave.value_at(t);
+                }
+                Element::CurrentSource { pos, neg, wave } => {
+                    stamp_current_into(rhs, *pos, *neg, wave.value_at(t));
+                }
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    params,
+                } => {
+                    stamp_mosfet(
+                        matrix,
+                        rhs,
+                        *drain,
+                        *gate,
+                        *source,
+                        params,
+                        voltage_of(*drain, x),
+                        voltage_of(*gate, x),
+                        voltage_of(*source, x),
+                    );
+                }
                 Element::Nonlinear { a, b, law } => {
                     let v = voltage_of(*a, x) - voltage_of(*b, x);
                     let i = law.current(v);
@@ -889,6 +1082,81 @@ impl Circuit {
                     stamp_current_into(rhs, *a, *b, -i_eq);
                 }
             }
+        }
+    }
+
+    /// Rebuilds only the RHS, for cached-LU steps where the matrix is known
+    /// unchanged. Only valid for linear circuits (no Newton-linearised
+    /// elements, whose RHS contribution would need the matrix rebuilt too);
+    /// contribution order matches [`Circuit::stamp_dynamic`] exactly so the
+    /// RHS is bit-identical to a full rebuild.
+    fn stamp_rhs_only(
+        &self,
+        rhs: &mut [f64],
+        t: Seconds,
+        cap: Option<(&[CapState], f64)>,
+        integrator: Integrator,
+    ) {
+        debug_assert!(!self.has_nonlinear(), "rhs-only stamping needs linearity");
+        let mut cap_index = 0;
+        for element in &self.elements {
+            match element {
+                Element::Capacitor { a, b, farads, .. } => {
+                    if let Some((states, h)) = cap {
+                        let (_, i_hist) = cap_companion(*farads, h, states[cap_index], integrator);
+                        stamp_current_into(rhs, *a, *b, i_hist);
+                    }
+                    cap_index += 1;
+                }
+                Element::VoltageSource { wave, branch, .. } => {
+                    rhs[self.branch_row(*branch)] += wave.value_at(t);
+                }
+                Element::CurrentSource { pos, neg, wave } => {
+                    stamp_current_into(rhs, *pos, *neg, wave.value_at(t));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The conductance stamp primitive shared by every two-terminal element.
+fn stamp_conductance(matrix: &mut Matrix, a: Node, b: Node, g: f64) {
+    if let Some(row_a) = Circuit::node_row(a) {
+        matrix.stamp(row_a, row_a, g);
+        if let Some(row_b) = Circuit::node_row(b) {
+            matrix.stamp(row_a, row_b, -g);
+            matrix.stamp(row_b, row_a, -g);
+        }
+    }
+    if let Some(row_b) = Circuit::node_row(b) {
+        matrix.stamp(row_b, row_b, g);
+    }
+}
+
+/// Injects a current into `pos`, returning it from `neg`.
+fn stamp_current_into(rhs: &mut [f64], pos: Node, neg: Node, i: f64) {
+    if let Some(row) = Circuit::node_row(pos) {
+        rhs[row] += i;
+    }
+    if let Some(row) = Circuit::node_row(neg) {
+        rhs[row] -= i;
+    }
+}
+
+/// The capacitor companion model: equivalent conductance and history
+/// current for the given integrator. One shared implementation so the
+/// cached-LU RHS rebuild computes bit-identical history currents to the
+/// full stamp.
+fn cap_companion(farads: f64, h: f64, state: CapState, integrator: Integrator) -> (f64, f64) {
+    match integrator {
+        Integrator::BackwardEuler => {
+            let g = farads / h;
+            (g, g * state.v)
+        }
+        Integrator::Trapezoidal => {
+            let g = 2.0 * farads / h;
+            (g, g * state.v + state.i)
         }
     }
 }
@@ -1592,6 +1860,68 @@ mod tests {
             )
             .expect_err("negative tolerance");
         assert!(err.to_string().contains("lte_tolerance"));
+    }
+
+    #[test]
+    fn transient_honours_requested_dt_with_final_short_step() {
+        // Regression: `steps = ceil(t_stop/dt)` used to rescale the step to
+        // `t_stop/steps`, silently integrating at a different dt than
+        // requested. 1.0 ns at dt = 0.3 ns must now step 0.3/0.3/0.3/0.1.
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        circuit.current_source(a, Node::GROUND, Waveform::Dc(1e-6));
+        circuit.resistor(a, Node::GROUND, Ohms::from_kilo(1.0));
+        let result = circuit
+            .transient(&TranOptions::new(nanos(1.0), nanos(0.3)))
+            .expect("transient");
+        let times = result.times();
+        let expected = [0.0, 0.3e-9, 0.6e-9, 0.9e-9, 1.0e-9];
+        assert_eq!(times.len(), expected.len(), "grid {times:?}");
+        for (&have, &want) in times.iter().zip(&expected) {
+            assert!((have - want).abs() < 1e-21, "grid {times:?}");
+        }
+        // An exact divisor still produces the plain uniform grid.
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        circuit.current_source(a, Node::GROUND, Waveform::Dc(1e-6));
+        circuit.resistor(a, Node::GROUND, Ohms::from_kilo(1.0));
+        let result = circuit
+            .transient(&TranOptions::new(nanos(1.0), nanos(0.25)))
+            .expect("transient");
+        assert_eq!(result.times().len(), 5, "grid {:?}", result.times());
+        assert!((result.times().last().expect("points") - 1e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn always_restamp_strategy_matches_cached_lu_exactly() {
+        // Spot check of the property the `fastpath_reference` suite tests
+        // exhaustively: both strategies must agree to the last bit.
+        let build = || {
+            let mut circuit = Circuit::new();
+            let bl = circuit.node("bl");
+            let hold = circuit.node("hold");
+            circuit.current_source(bl, Node::GROUND, Waveform::Dc(100e-6));
+            circuit.resistor(bl, Node::GROUND, Ohms::from_kilo(3.0));
+            circuit.switch(
+                bl,
+                hold,
+                Ohms::new(200.0),
+                Ohms::from_mega(1000.0),
+                SwitchSchedule::closed_during(nanos(1.0), nanos(6.0)),
+            );
+            circuit.capacitor(hold, Node::GROUND, Farads::from_femto(25.0));
+            circuit
+        };
+        let fast = build()
+            .transient(&TranOptions::new(nanos(10.0), nanos(0.01)))
+            .expect("fast");
+        let reference = build()
+            .transient(
+                &TranOptions::new(nanos(10.0), nanos(0.01))
+                    .with_strategy(SolverStrategy::AlwaysRestamp),
+            )
+            .expect("reference");
+        assert_eq!(fast, reference, "waveforms must be bit-identical");
     }
 
     #[test]

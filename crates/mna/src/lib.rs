@@ -59,6 +59,7 @@ pub use ac::{log_frequency_grid, AcResult, AcStimulus};
 pub use circuit::{Circuit, DeviceLaw, MosfetParams, Node, SourceId, SwitchSchedule};
 pub use elmore::RcLadder;
 pub use engine::{
-    AdaptiveTranOptions, AnalysisError, DcResult, Integrator, TranOptions, TranResult,
+    AdaptiveTranOptions, AnalysisError, DcResult, Integrator, SolverStrategy, TranOptions,
+    TranResult,
 };
 pub use waveform::Waveform;

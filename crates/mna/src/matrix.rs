@@ -91,6 +91,21 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Overwrites this matrix with the entries of `source` without
+    /// reallocating — the stamp-plan fast path copies the pre-stamped base
+    /// matrix into the working matrix this way at every rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, source: &Matrix) {
+        assert!(
+            self.rows == source.rows && self.cols == source.cols,
+            "copy_from needs matching dimensions"
+        );
+        self.data.copy_from_slice(&source.data);
+    }
+
     /// Adds `value` to entry `(row, col)` — the MNA "stamp" primitive.
     ///
     /// # Panics
@@ -130,6 +145,28 @@ impl Matrix {
     /// Panics if the matrix is not square or `b.len() != rows`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
         LuFactors::factor(self.clone())?.solve(b)
+    }
+
+    /// Solves `A·x = b` into caller-provided buffers: `lu` is refactored
+    /// from this matrix (reusing its allocations) and the solution is
+    /// written to `x`. The allocation-free counterpart of [`Matrix::solve`]
+    /// for hot loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if no usable pivot exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or a buffer length mismatches.
+    pub fn solve_into(
+        &self,
+        b: &[f64],
+        lu: &mut LuFactors,
+        x: &mut [f64],
+    ) -> Result<(), SingularMatrixError> {
+        lu.refactor(self)?;
+        lu.solve_into(b, x)
     }
 
     /// Condition estimate: ratio of the largest to smallest absolute pivot
@@ -186,10 +223,60 @@ impl LuFactors {
     /// # Panics
     ///
     /// Panics if the matrix is not square.
-    pub fn factor(mut matrix: Matrix) -> Result<Self, SingularMatrixError> {
+    pub fn factor(matrix: Matrix) -> Result<Self, SingularMatrixError> {
         assert_eq!(matrix.rows, matrix.cols, "LU needs a square matrix");
         let n = matrix.rows;
-        let mut permutation: Vec<usize> = (0..n).collect();
+        let mut lu = Self {
+            matrix,
+            permutation: (0..n).collect(),
+        };
+        lu.factor_in_place()?;
+        Ok(lu)
+    }
+
+    /// Creates an unfactored `n × n` workspace for [`LuFactors::refactor`].
+    ///
+    /// Solving against a workspace that was never successfully refactored
+    /// yields garbage (the zero matrix divides by zero); callers own the
+    /// factored/unfactored state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn workspace(n: usize) -> Self {
+        Self {
+            matrix: Matrix::zeros(n, n),
+            permutation: (0..n).collect(),
+        }
+    }
+
+    /// Refactors from `source` in place, reusing this workspace's
+    /// allocations: copies the matrix, resets the permutation, and runs the
+    /// same elimination as [`LuFactors::factor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when a pivot column is entirely
+    /// (numerically) zero; the workspace contents are then unspecified but
+    /// safe to refactor again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not square or its dimension differs from the
+    /// workspace's.
+    pub fn refactor(&mut self, source: &Matrix) -> Result<(), SingularMatrixError> {
+        assert_eq!(source.rows, source.cols, "LU needs a square matrix");
+        self.matrix.copy_from(source);
+        for (k, slot) in self.permutation.iter_mut().enumerate() {
+            *slot = k;
+        }
+        self.factor_in_place()
+    }
+
+    fn factor_in_place(&mut self) -> Result<(), SingularMatrixError> {
+        let matrix = &mut self.matrix;
+        let n = matrix.rows;
         for k in 0..n {
             // Partial pivot: largest magnitude in column k at or below the
             // diagonal.
@@ -211,7 +298,7 @@ impl LuFactors {
                     matrix[(k, col)] = matrix[(pivot_row, col)];
                     matrix[(pivot_row, col)] = tmp;
                 }
-                permutation.swap(k, pivot_row);
+                self.permutation.swap(k, pivot_row);
             }
             for row in (k + 1)..n {
                 let factor = matrix[(row, k)] / pivot;
@@ -222,10 +309,7 @@ impl LuFactors {
                 }
             }
         }
-        Ok(Self {
-            matrix,
-            permutation,
-        })
+        Ok(())
     }
 
     /// Solves `A·x = b` using the stored factors.
@@ -239,10 +323,30 @@ impl LuFactors {
     ///
     /// Panics if `b.len()` does not match the matrix dimension.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+        let mut x = vec![0.0; self.matrix.rows];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` using the stored factors, writing the solution into
+    /// `x` — no allocation, for the transient hot loop.
+    ///
+    /// # Errors
+    ///
+    /// Infallible once factored; the `Result` mirrors [`Matrix::solve`] so
+    /// call sites can share error handling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` does not match the matrix dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), SingularMatrixError> {
         let n = self.matrix.rows;
         assert_eq!(b.len(), n, "right-hand side dimension mismatch");
+        assert_eq!(x.len(), n, "solution buffer dimension mismatch");
         // Apply permutation.
-        let mut x: Vec<f64> = self.permutation.iter().map(|&row| b[row]).collect();
+        for (slot, &row) in x.iter_mut().zip(&self.permutation) {
+            *slot = b[row];
+        }
         // Forward substitution (L has implicit unit diagonal).
         for row in 1..n {
             let mut sum = x[row];
@@ -259,7 +363,7 @@ impl LuFactors {
             }
             x[row] = sum / self.matrix[(row, row)];
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -342,6 +446,80 @@ mod tests {
             assert!((recovered[0] - b[0]).abs() < 1e-12);
             assert!((recovered[1] - b[1]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn refactor_workspace_matches_fresh_factorization() {
+        let mut a = Matrix::zeros(3, 3);
+        let entries = [
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (0, 2, -1.0),
+            (1, 0, -3.0),
+            (1, 1, -1.0),
+            (1, 2, 2.0),
+            (2, 0, -2.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+        ];
+        for (r, c, v) in entries {
+            a[(r, c)] = v;
+        }
+        let mut lu = LuFactors::workspace(3);
+        lu.refactor(&a).expect("nonsingular");
+        let mut x = [0.0; 3];
+        lu.solve_into(&[8.0, -11.0, -3.0], &mut x).expect("solve");
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] + 1.0).abs() < 1e-12);
+        // Refactoring over a used workspace (stale permutation, stale
+        // factors) must give the same answer as a fresh factorization.
+        let mut b = Matrix::zeros(2, 2);
+        b[(0, 1)] = 1.0;
+        b[(1, 0)] = 1.0;
+        let mut lu = LuFactors::workspace(2);
+        lu.refactor(&b).expect("permutation matrix");
+        lu.refactor(&b).expect("second refactor over stale state");
+        let mut x = [0.0; 2];
+        lu.solve_into(&[3.0, 7.0], &mut x).expect("solve");
+        assert_eq!(x, [7.0, 3.0]);
+    }
+
+    #[test]
+    fn refactor_reports_singularity_like_factor() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        let mut lu = LuFactors::workspace(2);
+        let err = lu.refactor(&a).expect_err("rank deficient");
+        assert_eq!(err.column, 1);
+    }
+
+    #[test]
+    fn copy_from_replaces_contents() {
+        let mut src = Matrix::zeros(2, 2);
+        src[(0, 1)] = 5.0;
+        let mut dst = Matrix::identity(2);
+        dst.copy_from(&src);
+        assert_eq!(dst[(0, 0)], 0.0);
+        assert_eq!(dst[(0, 1)], 5.0);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 4.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let b = [5.0, -2.0];
+        let expected = a.solve(&b).expect("spd");
+        let mut lu = LuFactors::workspace(2);
+        let mut x = [0.0; 2];
+        a.solve_into(&b, &mut lu, &mut x).expect("spd");
+        assert_eq!(x.to_vec(), expected, "identical bits expected");
     }
 
     #[test]

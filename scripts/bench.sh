@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Performance baseline: runs the MNA-solver and trace-engine criterion
+# benches and writes the median timings to BENCH_MNA.json at the repo
+# root (committed, so future PRs can diff against this PR's numbers).
+#
+#     scripts/bench.sh               # 15 iterations per bench (default)
+#     BENCH_ITERATIONS=50 scripts/bench.sh
+#
+# The vendored criterion stand-in emits one JSON line per benchmark to
+# the file named by CRITERION_JSON; this script assembles those lines
+# into a single JSON document and computes the headline cached-LU
+# speedup (fig5_linear_read_restamp / fig5_linear_read).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+iterations="${BENCH_ITERATIONS:-15}"
+records="$(mktemp)"
+trap 'rm -f "$records"' EXIT
+
+for bench in mna_solver trace_engine; do
+    echo "==> cargo bench -p stt-bench --bench $bench"
+    CRITERION_JSON="$records" CRITERION_ITERATIONS="$iterations" \
+        cargo bench -p stt-bench --bench "$bench"
+done
+
+awk -v iterations="$iterations" '
+    BEGIN { count = 0 }
+    {
+        line = $0
+        sub(/^\{/, "", line); sub(/\}$/, "", line)
+        ids[count] = line
+        # Pull out the id and median for the speedup computation.
+        id = $0
+        sub(/.*"id": "/, "", id); sub(/".*/, "", id)
+        median = $0
+        sub(/.*"median_s": /, "", median); sub(/,.*/, "", median)
+        medians[id] = median + 0
+        count++
+    }
+    END {
+        printf "{\n"
+        printf "  \"description\": \"Median criterion timings (seconds); see scripts/bench.sh\",\n"
+        printf "  \"iterations\": %d,\n", iterations
+        fast = medians["transient/fig5_linear_read"]
+        slow = medians["transient/fig5_linear_read_restamp"]
+        if (fast > 0 && slow > 0) {
+            printf "  \"fig5_linear_cached_lu_speedup\": %.2f,\n", slow / fast
+        }
+        printf "  \"benches\": [\n"
+        for (k = 0; k < count; k++) {
+            printf "    {%s}%s\n", ids[k], (k < count - 1 ? "," : "")
+        }
+        printf "  ]\n"
+        printf "}\n"
+    }
+' "$records" > BENCH_MNA.json
+
+echo "wrote BENCH_MNA.json"
+grep -o '"fig5_linear_cached_lu_speedup": [0-9.]*' BENCH_MNA.json || true

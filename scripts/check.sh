@@ -21,4 +21,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 echo "all checks passed"

@@ -118,12 +118,47 @@ fn run_one(id: &str, iterations: u32, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher::new(iterations);
     f(&mut bencher);
     match bencher.median() {
-        Some(median) => println!(
-            "bench {id:<40} median {:>12} ({} iterations)",
-            humanise(median),
-            bencher.samples.len()
-        ),
+        Some(median) => {
+            println!(
+                "bench {id:<40} median {:>12} ({} iterations)",
+                humanise(median),
+                bencher.samples.len()
+            );
+            append_json_record(id, median, bencher.samples.len());
+        }
         None => println!("bench {id:<40} (no samples)"),
+    }
+}
+
+/// When `CRITERION_JSON` names a file, appends one JSON line per finished
+/// benchmark: `{"id": ..., "median_s": ..., "iterations": ...}`. This is
+/// the machine-readable channel `scripts/bench.sh` assembles
+/// `BENCH_MNA.json` from; write failures are ignored (benches must never
+/// die on a read-only checkout).
+fn append_json_record(id: &str, median: f64, iterations: usize) {
+    use std::io::Write;
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            file,
+            "{{\"id\": \"{escaped}\", \"median_s\": {median:e}, \"iterations\": {iterations}}}"
+        );
     }
 }
 
@@ -132,16 +167,29 @@ fn run_one(id: &str, iterations: u32, f: &mut dyn FnMut(&mut Bencher)) {
 pub struct Criterion {}
 
 impl Criterion {
-    /// Number of timed iterations per bench. Kept tiny so `cargo test`
-    /// (which executes `harness = false` bench binaries) stays fast.
+    /// Default number of timed iterations per bench. Kept tiny so
+    /// `cargo test` (which executes `harness = false` bench targets)
+    /// stays fast.
     const ITERATIONS: u32 = 3;
+
+    /// Iterations per bench: [`Criterion::ITERATIONS`] unless the
+    /// `CRITERION_ITERATIONS` environment variable overrides it (used by
+    /// `scripts/bench.sh` to take more samples than the `cargo test`
+    /// smoke run does).
+    fn iterations() -> u32 {
+        std::env::var("CRITERION_ITERATIONS")
+            .ok()
+            .and_then(|raw| raw.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(Self::ITERATIONS)
+    }
 
     /// Benchmarks a single function.
     pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id.as_ref(), Self::ITERATIONS, &mut f);
+        run_one(id.as_ref(), Self::iterations(), &mut f);
         self
     }
 
@@ -183,7 +231,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{}", self.name, id.as_ref());
-        run_one(&id, Criterion::ITERATIONS, &mut f);
+        run_one(&id, Criterion::iterations(), &mut f);
         self
     }
 
@@ -219,8 +267,17 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serialises tests that read or write the `CRITERION_*` environment
+    /// variables (libtest runs tests on parallel threads).
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn bench_function_runs_the_closure() {
+        let _guard = env_lock();
         let mut count = 0u32;
         Criterion::default().bench_function("counter", |b| b.iter(|| count += 1));
         assert_eq!(count, Criterion::ITERATIONS);
@@ -228,6 +285,7 @@ mod tests {
 
     #[test]
     fn groups_run_and_finish() {
+        let _guard = env_lock();
         let mut criterion = Criterion::default();
         let mut group = criterion.benchmark_group("group");
         group.sample_size(10).sampling_mode(SamplingMode::Flat);
@@ -238,6 +296,42 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn json_records_are_valid_json_lines() {
+        let _guard = env_lock();
+        let path = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_JSON", &path);
+        append_json_record("group/with \"quote\"", 1.25e-6, 5);
+        append_json_record("plain", 2.0e-3, 3);
+        std::env::remove_var("CRITERION_JSON");
+        let contents = std::fs::read_to_string(&path).expect("records written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\\\"quote\\\""), "line: {}", lines[0]);
+        assert!(
+            lines[1].contains("\"median_s\": 2e-3"),
+            "line: {}",
+            lines[1]
+        );
+    }
+
+    #[test]
+    fn iteration_override_parses_and_defaults() {
+        let _guard = env_lock();
+        // No env (or garbage) → compiled-in default.
+        std::env::remove_var("CRITERION_ITERATIONS");
+        assert_eq!(Criterion::iterations(), Criterion::ITERATIONS);
+        std::env::set_var("CRITERION_ITERATIONS", "not a number");
+        assert_eq!(Criterion::iterations(), Criterion::ITERATIONS);
+        std::env::set_var("CRITERION_ITERATIONS", "0");
+        assert_eq!(Criterion::iterations(), Criterion::ITERATIONS);
+        std::env::set_var("CRITERION_ITERATIONS", "17");
+        assert_eq!(Criterion::iterations(), 17);
+        std::env::remove_var("CRITERION_ITERATIONS");
     }
 
     #[test]
