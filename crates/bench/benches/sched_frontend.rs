@@ -1,0 +1,112 @@
+//! Wall-clock cost of the scheduler frontend's event loop: the hot path is
+//! heap scheduling + policy choice + queue bookkeeping per transaction, on
+//! top of the same `Bank::execute` the serial engine pays.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, SamplingMode, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stt_ctrl::Workload;
+use stt_ctrl::{
+    Backpressure, Controller, ControllerConfig, Dispatch, Frontend, FrontendConfig, Policy, Trace,
+};
+use stt_sense::SchemeKind;
+
+const OPS: usize = 2_000;
+const BANKS: usize = 4;
+
+/// A timed trace loading the banks to ~0.9 of the nondestructive service
+/// rate — deep enough queues that policy choice and heap churn dominate.
+fn timed_trace(config: &ControllerConfig) -> Trace {
+    let gap_ns = 14.0 / 0.9 / BANKS as f64;
+    Workload::Uniform { read_fraction: 0.7 }
+        .generate(config.footprint(), OPS, &mut StdRng::seed_from_u64(42))
+        .with_poisson_arrivals(gap_ns, &mut StdRng::seed_from_u64(43))
+}
+
+/// Event-loop overhead versus the zero-queueing serial engine, and the cost
+/// of each dispatch policy at the same offered load.
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_frontend/policy");
+    group.sampling_mode(SamplingMode::Flat);
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+    let config = ControllerConfig::small(SchemeKind::Nondestructive, BANKS);
+    let trace = timed_trace(&config);
+    // Baseline: the serial engine serving the same transactions with no
+    // queueing at all — the frontend's overhead is the gap to this.
+    group.bench_function("serial-baseline", |b| {
+        b.iter_batched(
+            || Controller::new(config.clone()),
+            |mut controller| {
+                std::hint::black_box(controller.run(&trace, Dispatch::Serial));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    for (label, policy) in [
+        ("fcfs", Policy::Fcfs),
+        (
+            "read-priority",
+            Policy::ReadPriority {
+                write_high_water: 8,
+            },
+        ),
+        ("oldest-first", Policy::OldestFirst),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    Frontend::new(
+                        Controller::new(config.clone()),
+                        FrontendConfig::fcfs_unbounded().with_policy(policy),
+                    )
+                },
+                |mut frontend| {
+                    std::hint::black_box(frontend.run(&trace));
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Backpressure handling under saturation: bounded queues with stall,
+/// drop and retry admission all exercise the full-queue path constantly.
+fn bench_backpressure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_frontend/backpressure");
+    group.sampling_mode(SamplingMode::Flat);
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+    let config = ControllerConfig::small(SchemeKind::Nondestructive, BANKS);
+    // 2 ns mean gaps: ~7x over service rate, so every queue stays full.
+    let trace = Workload::Uniform { read_fraction: 0.7 }
+        .generate(config.footprint(), OPS, &mut StdRng::seed_from_u64(42))
+        .with_poisson_arrivals(2.0, &mut StdRng::seed_from_u64(43));
+    for (label, backpressure) in [
+        ("stall", Backpressure::Stall),
+        ("drop", Backpressure::Drop),
+        ("retry", Backpressure::Retry { delay_ns: 50.0 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    Frontend::new(
+                        Controller::new(config.clone()),
+                        FrontendConfig::fcfs_unbounded()
+                            .with_queue_depth(8)
+                            .with_backpressure(backpressure),
+                    )
+                },
+                |mut frontend| {
+                    std::hint::black_box(frontend.run(&trace));
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_backpressure);
+criterion_main!(benches);

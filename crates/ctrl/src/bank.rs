@@ -20,7 +20,7 @@ use stt_sense::{ChipTiming, DesignPoint, SchemeKind};
 use crate::faults::FaultPlan;
 use crate::retry::RetryPolicy;
 use crate::sense::Scheme;
-use crate::telemetry::BankTelemetry;
+use crate::telemetry::{BankTelemetry, LatencyBounds};
 use crate::txn::{Op, Transaction};
 
 /// Programming pulses a write may burn before the controller declares the
@@ -61,6 +61,7 @@ impl Bank {
         retry: RetryPolicy,
         faults: &FaultPlan,
         seed: u64,
+        bounds: &LatencyBounds,
     ) -> Self {
         let mut rng = stt_stats::trial_rng(seed, index);
         let mut array = spec.sample(&mut rng);
@@ -91,7 +92,7 @@ impl Bank {
             stuck,
             read_cost: timing.read_cost(kind, &design),
             write_cost: write_cost(&timing),
-            telemetry: BankTelemetry::new(),
+            telemetry: BankTelemetry::with_bounds(bounds),
             reads_served: 0,
         }
     }
@@ -206,6 +207,17 @@ impl Bank {
         self.telemetry.energy += self.write_cost.energy() * f64::from(pulses_burned);
     }
 
+    /// The bank's stored bits right now, row-major — the quantity the
+    /// scheduler frontend's bit-identity property compares against serial
+    /// replay.
+    #[must_use]
+    pub fn stored_bits(&self) -> Vec<bool> {
+        self.array
+            .addresses()
+            .map(|addr| self.array.read_state(addr).bit())
+            .collect()
+    }
+
     /// Integrity audit: cells whose stored state disagrees with the host's
     /// truth mirror right now.
     #[must_use]
@@ -262,6 +274,7 @@ mod tests {
             RetryPolicy::date2010(),
             faults,
             77,
+            &LatencyBounds::date2010(),
         )
     }
 

@@ -14,7 +14,7 @@ use stt_sense::SchemeKind;
 use crate::bank::Bank;
 use crate::faults::FaultPlan;
 use crate::retry::RetryPolicy;
-use crate::telemetry::Telemetry;
+use crate::telemetry::{LatencyBounds, Telemetry};
 use crate::txn::{Trace, Transaction};
 use crate::workload::Footprint;
 
@@ -42,6 +42,10 @@ pub struct ControllerConfig {
     pub faults: FaultPlan,
     /// Master seed; bank `k` derives its stream from `(seed, k)`.
     pub seed: u64,
+    /// Read-latency histogram binning (defaults to the historical
+    /// 0–100 ns × 2 ns grid).
+    #[serde(default)]
+    pub latency_bounds: LatencyBounds,
 }
 
 impl ControllerConfig {
@@ -55,6 +59,7 @@ impl ControllerConfig {
             retry: RetryPolicy::date2010(),
             faults: FaultPlan::none(),
             seed: 2010,
+            latency_bounds: LatencyBounds::date2010(),
         }
     }
 
@@ -78,6 +83,13 @@ impl ControllerConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Overrides the read-latency histogram binning.
+    #[must_use]
+    pub fn with_latency_bounds(mut self, bounds: LatencyBounds) -> Self {
+        self.latency_bounds = bounds;
         self
     }
 
@@ -119,6 +131,7 @@ impl Controller {
                 config.retry,
                 &config.faults,
                 config.seed,
+                &config.latency_bounds,
             )
         });
         Self { config, banks }
@@ -128,6 +141,20 @@ impl Controller {
     #[must_use]
     pub fn config(&self) -> &ControllerConfig {
         &self.config
+    }
+
+    /// Direct mutable access to the banks, for the scheduler frontend: it
+    /// drives the exact same service stage as serial replay, just in a
+    /// different order.
+    pub(crate) fn banks_mut(&mut self) -> &mut [Bank] {
+        &mut self.banks
+    }
+
+    /// The stored bits of every bank right now (bank order, row-major) —
+    /// the state the scheduler frontend's bit-identity tests compare.
+    #[must_use]
+    pub fn stored_state(&self) -> Vec<Vec<bool>> {
+        self.banks.iter().map(Bank::stored_bits).collect()
     }
 
     /// Serves every transaction of `trace` and returns the run's telemetry

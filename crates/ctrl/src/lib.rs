@@ -15,8 +15,11 @@
 //! * [`bank`] — one bank: array + truth mirror + RNG + telemetry.
 //! * [`engine`] — the [`Controller`]: partition a trace per bank, serve it
 //!   serially or on one scoped thread per bank, bit-identically.
+//! * [`sched`] — the event-driven request frontend: timestamped arrivals,
+//!   bounded per-bank queues with backpressure, pluggable dispatch
+//!   policies, queueing-delay telemetry.
 //! * [`telemetry`] — per-bank and aggregate counters, latency histograms,
-//!   energy/latency totals, post-run integrity audit.
+//!   energy/latency totals, queueing summaries, post-run integrity audit.
 //!
 //! # Determinism
 //!
@@ -54,6 +57,7 @@ pub mod bank;
 pub mod engine;
 pub mod faults;
 pub mod retry;
+pub mod sched;
 pub mod sense;
 pub mod telemetry;
 pub mod txn;
@@ -63,7 +67,8 @@ pub use bank::Bank;
 pub use engine::{Controller, ControllerConfig, Dispatch};
 pub use faults::{FaultPlan, StuckCell};
 pub use retry::{ReadResolution, RetryPolicy};
+pub use sched::{Backpressure, Frontend, FrontendConfig, Policy, SchedRun};
 pub use sense::{Scheme, Sensed};
-pub use telemetry::{BankTelemetry, Telemetry};
+pub use telemetry::{BankTelemetry, LatencyBounds, QueueTelemetry, Telemetry};
 pub use txn::{Op, Trace, TraceParseError, Transaction};
 pub use workload::{Footprint, Workload};

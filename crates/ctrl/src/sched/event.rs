@@ -1,0 +1,165 @@
+//! A deterministic discrete-event queue.
+//!
+//! The scheduler frontend is a classic event-driven simulator: the only
+//! things that happen are *arrivals* (a transaction is offered to a bank
+//! queue) and *completions* (a bank finishes serving a transaction), and
+//! each one is processed at an exact simulated timestamp. Determinism is
+//! non-negotiable here — the whole `stt-ctrl` test strategy leans on
+//! bit-identical replay — so the queue breaks timestamp ties by insertion
+//! sequence number: two events at the same instant always pop in the order
+//! they were scheduled, independent of heap internals or float quirks.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: a timestamp, a tie-breaking sequence number and the
+/// payload.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time_ns: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ns.total_cmp(&other.time_ns) == Ordering::Equal && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: `BinaryHeap` is a max-heap and we want the *earliest*
+        // event (smallest time, then smallest sequence number) on top.
+        other
+            .time_ns
+            .total_cmp(&self.time_ns)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of timestamped events with deterministic tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use stt_ctrl::sched::EventQueue;
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(25.0, "late");
+/// queue.schedule(10.0, "early");
+/// queue.schedule(10.0, "early-but-second");
+/// assert_eq!(queue.pop(), Some((10.0, "early")));
+/// assert_eq!(queue.pop(), Some((10.0, "early-but-second")));
+/// assert_eq!(queue.pop(), Some((25.0, "late")));
+/// assert_eq!(queue.pop(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty event queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ns` is NaN — a NaN timestamp would silently corrupt
+    /// the heap order.
+    pub fn schedule(&mut self, time_ns: f64, event: E) {
+        assert!(!time_ns.is_nan(), "event timestamps must be numbers");
+        self.heap.push(Scheduled {
+            time_ns,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// The timestamp of the earliest pending event.
+    #[must_use]
+    pub fn next_time(&self) -> Option<f64> {
+        self.heap.peek().map(|entry| entry.time_ns)
+    }
+
+    /// Removes and returns the earliest pending event (ties in scheduling
+    /// order).
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|entry| (entry.time_ns, entry.event))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut queue = EventQueue::new();
+        for &t in &[5.0, 1.0, 3.0, 2.0, 4.0] {
+            queue.schedule(t, t as u64);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, e)) = queue.pop() {
+            assert_eq!(t as u64, e);
+            popped.push(t);
+        }
+        assert_eq!(popped, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_pop_in_scheduling_order() {
+        let mut queue = EventQueue::new();
+        for label in 0..100u64 {
+            queue.schedule(7.0, label);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| queue.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_time_peeks_without_removing() {
+        let mut queue = EventQueue::new();
+        assert_eq!(queue.next_time(), None);
+        queue.schedule(2.5, ());
+        assert_eq!(queue.next_time(), Some(2.5));
+        assert_eq!(queue.len(), 1);
+        assert!(!queue.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamps must be numbers")]
+    fn nan_timestamps_are_rejected() {
+        EventQueue::new().schedule(f64::NAN, ());
+    }
+}

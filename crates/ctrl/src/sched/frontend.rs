@@ -1,0 +1,713 @@
+//! The event-driven request frontend: admission, queueing, dispatch.
+//!
+//! [`Frontend`] wraps a [`Controller`] and replaces its zero-queueing
+//! serial replay with a discrete-event loop: transactions are *offered* at
+//! their arrival timestamps, admitted into bounded per-bank queues (or
+//! backpressured when full), dispatched by a scheduling [`Policy`], and
+//! completed out of order across banks while per-address ordering is
+//! preserved within each bank. The service stage is the exact same
+//! [`Bank`] logic serial replay uses — the frontend only
+//! decides *when* and *in which order* `Bank::execute` runs — which is what
+//! makes the anchor property hold:
+//!
+//! > For the same seed and a trace with non-decreasing arrivals, FCFS
+//! > dispatch at unbounded queue depth executes the exact per-bank
+//! > instruction-and-RNG sequence of [`Controller::run`], so final stored
+//! > state and audit counters are **bit-identical** — only the queueing
+//! > telemetry (which serial replay cannot measure) differs from zero.
+//!
+//! That identity is asserted by the integration suite the same way the
+//! `Serial ≡ Parallel` dispatch property already is.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::Bank;
+use crate::engine::Controller;
+use crate::faults::FaultPlan;
+use crate::telemetry::{QueueTelemetry, Telemetry};
+use crate::txn::{Op, Trace, Transaction};
+
+use super::event::EventQueue;
+use super::policy::Policy;
+use super::queue::{BankQueue, Queued};
+
+/// What admission does when a transaction's bank queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Backpressure {
+    /// Block the arrival stream until the queue frees a slot (a blocking
+    /// host interface: later arrivals are pushed back in time too).
+    Stall,
+    /// Discard the transaction and count it in the telemetry.
+    Drop,
+    /// Re-offer the transaction after a fixed delay (a polling host);
+    /// later arrivals are *not* blocked behind it.
+    Retry {
+        /// How long the caller waits before re-offering (nanoseconds).
+        delay_ns: f64,
+    },
+}
+
+/// Configuration of the scheduler frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontendConfig {
+    /// Per-bank waiting-queue capacity (`usize::MAX` for unbounded).
+    pub queue_depth: usize,
+    /// Dispatch policy.
+    pub policy: Policy,
+    /// What to do when a bank queue is full.
+    pub backpressure: Backpressure,
+}
+
+impl FrontendConfig {
+    /// FCFS at unbounded depth — the configuration under which the frontend
+    /// reproduces serial replay bit-for-bit (backpressure can never fire).
+    #[must_use]
+    pub fn fcfs_unbounded() -> Self {
+        Self {
+            queue_depth: usize::MAX,
+            policy: Policy::Fcfs,
+            backpressure: Backpressure::Stall,
+        }
+    }
+
+    /// Overrides the dispatch policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the per-bank queue depth.
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Overrides the backpressure behaviour.
+    #[must_use]
+    pub fn with_backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.backpressure = backpressure;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.queue_depth > 0,
+            "queue depth must be at least 1 (got 0)"
+        );
+        if let Backpressure::Retry { delay_ns } = self.backpressure {
+            assert!(
+                delay_ns.is_finite() && delay_ns > 0.0,
+                "retry delay must be positive, got {delay_ns}"
+            );
+        }
+    }
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        Self::fcfs_unbounded()
+    }
+}
+
+/// One served transaction, as observed at the frontend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Index of the transaction in the offered trace.
+    pub trace_index: usize,
+    /// Bank that served it.
+    pub bank: usize,
+    /// The operation.
+    pub op: Op,
+    /// Original arrival timestamp (nanoseconds).
+    pub arrival_ns: f64,
+    /// When it entered the bank queue (≥ arrival under stalls/retries).
+    pub admit_ns: f64,
+    /// When the bank started serving it.
+    pub start_ns: f64,
+    /// When service finished.
+    pub complete_ns: f64,
+}
+
+impl Completion {
+    /// Arrival-to-completion time — what a host actually waits.
+    #[must_use]
+    pub fn sojourn_ns(&self) -> f64 {
+        self.complete_ns - self.arrival_ns
+    }
+
+    /// Admission-to-service waiting time.
+    #[must_use]
+    pub fn wait_ns(&self) -> f64 {
+        self.start_ns - self.admit_ns
+    }
+
+    /// Pure service time.
+    #[must_use]
+    pub fn service_ns(&self) -> f64 {
+        self.complete_ns - self.start_ns
+    }
+}
+
+/// The outcome of one [`Frontend::run`]: telemetry (with the queueing
+/// section filled in), the per-transaction completion log in completion
+/// order, and the run's makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedRun {
+    /// Controller telemetry with [`QueueTelemetry`] populated per bank.
+    pub telemetry: Telemetry,
+    /// Every served transaction, in completion order (deterministic).
+    pub completions: Vec<Completion>,
+    /// Time of the last completion (nanoseconds); 0 for an empty trace.
+    pub makespan_ns: f64,
+}
+
+impl SchedRun {
+    /// Achieved throughput in transactions per second (0 for an empty run).
+    #[must_use]
+    pub fn ops_per_second(&self) -> f64 {
+        if self.makespan_ns > 0.0 {
+            self.completions.len() as f64 / (self.makespan_ns * 1e-9)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What the event loop reacts to.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A transaction is offered to its bank (fresh from the trace, or a
+    /// re-offer under [`Backpressure::Retry`]).
+    Arrive { trace_index: usize, fresh: bool },
+    /// A bank finished serving its in-flight transaction.
+    Complete { bank: usize },
+}
+
+/// A transaction currently occupying a bank's service stage.
+#[derive(Debug, Clone, Copy)]
+struct InService {
+    queued: Queued,
+    start_ns: f64,
+}
+
+/// Per-bank run state: the waiting queue, the in-flight transaction and
+/// this run's queueing counters.
+struct Lane {
+    queue: BankQueue,
+    in_service: Option<InService>,
+    last_change_ns: f64,
+    stats: QueueTelemetry,
+}
+
+impl Lane {
+    fn new(queue_depth: usize) -> Self {
+        Self {
+            queue: BankQueue::new(queue_depth),
+            in_service: None,
+            last_change_ns: 0.0,
+            stats: QueueTelemetry::default(),
+        }
+    }
+
+    /// Accumulates the depth integral up to `now` (call before any queue
+    /// length change).
+    fn flush_occupancy(&mut self, now: f64) {
+        self.stats.depth_time_ns += self.queue.len() as f64 * (now - self.last_change_ns);
+        self.last_change_ns = now;
+    }
+}
+
+/// An admission blocked on a full queue under [`Backpressure::Stall`].
+#[derive(Debug, Clone, Copy)]
+struct StalledAdmission {
+    trace_index: usize,
+    /// When the blocked offer was made (stall time accrues from here).
+    offered_ns: f64,
+}
+
+/// The event-driven scheduler frontend over a [`Controller`].
+///
+/// State persists across [`Frontend::run`] calls exactly like
+/// [`Controller::run`]: cell arrays, RNG streams and telemetry accumulate,
+/// so a trace can be offered in chunks.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use stt_ctrl::sched::{Frontend, FrontendConfig, Policy};
+/// use stt_ctrl::{Controller, ControllerConfig, Workload};
+/// use stt_sense::SchemeKind;
+///
+/// let config = ControllerConfig::small(SchemeKind::Nondestructive, 2);
+/// let trace = Workload::ReadMostly
+///     .generate(config.footprint(), 200, &mut StdRng::seed_from_u64(7))
+///     .with_poisson_arrivals(20.0, &mut StdRng::seed_from_u64(8));
+/// let mut frontend = Frontend::new(
+///     Controller::new(config),
+///     FrontendConfig::fcfs_unbounded().with_policy(Policy::ReadPriority {
+///         write_high_water: 8,
+///     }),
+/// );
+/// let run = frontend.run(&trace);
+/// assert_eq!(run.completions.len(), 200);
+/// let queue = run.telemetry.aggregate().queue;
+/// assert_eq!(queue.completed, 200);
+/// assert!(queue.sojourn_p99() >= queue.sojourn_p50());
+/// ```
+pub struct Frontend {
+    controller: Controller,
+    config: FrontendConfig,
+    /// Queueing telemetry accumulated across runs, one entry per bank.
+    accumulated: Vec<QueueTelemetry>,
+}
+
+impl Frontend {
+    /// Wraps `controller` with the scheduling frontend `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero queue depth,
+    /// non-positive retry delay).
+    #[must_use]
+    pub fn new(controller: Controller, config: FrontendConfig) -> Self {
+        config.validate();
+        let banks = controller.config().banks;
+        Self {
+            controller,
+            config,
+            accumulated: vec![QueueTelemetry::default(); banks],
+        }
+    }
+
+    /// The frontend configuration.
+    #[must_use]
+    pub fn config(&self) -> &FrontendConfig {
+        &self.config
+    }
+
+    /// The wrapped controller (for state inspection: stored bits, audit).
+    #[must_use]
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Unwraps the controller, discarding the frontend.
+    #[must_use]
+    pub fn into_controller(self) -> Controller {
+        self.controller
+    }
+
+    /// A telemetry snapshot with the queueing section filled in from the
+    /// runs so far.
+    #[must_use]
+    pub fn telemetry(&self) -> Telemetry {
+        let mut telemetry = self.controller.telemetry();
+        for (bank, queue) in telemetry.banks.iter_mut().zip(&self.accumulated) {
+            bank.queue = queue.clone();
+        }
+        telemetry
+    }
+
+    /// Offers every transaction of `trace` at its arrival time and runs the
+    /// event loop to completion (all queues drained, all banks idle).
+    ///
+    /// The simulated clock restarts at zero for each call; accumulated
+    /// telemetry (including queueing horizons) sums across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction addresses a bank the controller does not
+    /// have.
+    pub fn run(&mut self, trace: &Trace) -> SchedRun {
+        let FrontendConfig {
+            queue_depth,
+            policy,
+            backpressure,
+        } = self.config;
+        let faults = self.controller.config().faults.clone();
+        let bank_count = self.controller.config().banks;
+        let txns = trace.transactions();
+        for txn in txns {
+            assert!(
+                txn.bank < bank_count,
+                "transaction targets bank {} of a {bank_count}-bank controller",
+                txn.bank
+            );
+        }
+
+        // Offer order: by arrival time, trace order breaking ties — so a
+        // monotonically-timed (or untimed) trace is offered in trace order.
+        let mut order: Vec<usize> = (0..txns.len()).collect();
+        order.sort_by_key(|&i| (txns[i].arrival_ns, i));
+
+        let banks = self.controller.banks_mut();
+        let mut lanes: Vec<Lane> = (0..bank_count).map(|_| Lane::new(queue_depth)).collect();
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut cursor = 0usize;
+        let mut stalled: Option<StalledAdmission> = None;
+        let mut end_ns = 0.0f64;
+
+        schedule_fresh(&mut events, &order, txns, &mut cursor, 0.0);
+
+        while let Some((now, event)) = events.pop() {
+            end_ns = end_ns.max(now);
+            match event {
+                Event::Arrive { trace_index, fresh } => {
+                    let txn = txns[trace_index];
+                    let lane = &mut lanes[txn.bank];
+                    let mut advance_stream = fresh;
+                    if lane.in_service.is_none() && lane.queue.is_empty() {
+                        // Idle bank, empty queue: straight into service.
+                        lane.stats.admitted += 1;
+                        let queued = Queued {
+                            txn,
+                            trace_index,
+                            arrival_ns: txn.arrival_ns as f64,
+                            admit_ns: now,
+                        };
+                        start_service(
+                            lane,
+                            &mut banks[txn.bank],
+                            &faults,
+                            &mut events,
+                            queued,
+                            now,
+                        );
+                    } else if lane.queue.is_full() {
+                        match backpressure {
+                            Backpressure::Drop => lane.stats.dropped += 1,
+                            Backpressure::Retry { delay_ns } => {
+                                lane.stats.retried_admissions += 1;
+                                events.schedule(
+                                    now + delay_ns,
+                                    Event::Arrive {
+                                        trace_index,
+                                        fresh: false,
+                                    },
+                                );
+                            }
+                            Backpressure::Stall => {
+                                lane.stats.stalls += 1;
+                                stalled = Some(StalledAdmission {
+                                    trace_index,
+                                    offered_ns: now,
+                                });
+                                // A stalled admission blocks the host: no
+                                // further fresh arrivals until it lands.
+                                advance_stream = false;
+                            }
+                        }
+                    } else {
+                        admit(lane, txn, trace_index, now);
+                    }
+                    if advance_stream {
+                        schedule_fresh(&mut events, &order, txns, &mut cursor, now);
+                    }
+                }
+                Event::Complete { bank } => {
+                    let lane = &mut lanes[bank];
+                    let served = lane.in_service.take().expect("completion without service");
+                    lane.stats.completed += 1;
+                    let sojourn_ns = now - served.queued.arrival_ns;
+                    lane.stats.sojourn_samples_ns.push(sojourn_ns);
+                    completions.push(Completion {
+                        trace_index: served.queued.trace_index,
+                        bank,
+                        op: served.queued.txn.op,
+                        arrival_ns: served.queued.arrival_ns,
+                        admit_ns: served.queued.admit_ns,
+                        start_ns: served.start_ns,
+                        complete_ns: now,
+                    });
+                    try_dispatch(lane, &mut banks[bank], &faults, &mut events, policy, now);
+                    // Dispatch freed a slot (or the queue was empty): a
+                    // stalled admission targeting this bank can land now.
+                    if let Some(blocked) = stalled {
+                        let txn = txns[blocked.trace_index];
+                        if txn.bank == bank && !lane.queue.is_full() {
+                            stalled = None;
+                            lane.stats.stall_time_ns += now - blocked.offered_ns;
+                            if lane.in_service.is_none() && lane.queue.is_empty() {
+                                lane.stats.admitted += 1;
+                                let queued = Queued {
+                                    txn,
+                                    trace_index: blocked.trace_index,
+                                    arrival_ns: txn.arrival_ns as f64,
+                                    admit_ns: now,
+                                };
+                                start_service(
+                                    lane,
+                                    &mut banks[bank],
+                                    &faults,
+                                    &mut events,
+                                    queued,
+                                    now,
+                                );
+                            } else {
+                                admit(lane, txn, blocked.trace_index, now);
+                            }
+                            // The host unblocks: resume the arrival stream,
+                            // no earlier than now.
+                            schedule_fresh(&mut events, &order, txns, &mut cursor, now);
+                        }
+                    }
+                }
+            }
+        }
+
+        debug_assert!(
+            stalled.is_none(),
+            "event loop drained with a stalled admission"
+        );
+        for lane in &mut lanes {
+            debug_assert!(lane.queue.is_empty() && lane.in_service.is_none());
+            lane.flush_occupancy(end_ns);
+            lane.stats.horizon_ns = end_ns;
+        }
+        for (accumulated, lane) in self.accumulated.iter_mut().zip(&lanes) {
+            accumulated.merge(&lane.stats);
+        }
+        SchedRun {
+            telemetry: self.telemetry(),
+            completions,
+            makespan_ns: end_ns,
+        }
+    }
+}
+
+/// Schedules the next not-yet-offered trace transaction, no earlier than
+/// `floor_ns` (a stall pushes later arrivals back in time).
+fn schedule_fresh(
+    events: &mut EventQueue<Event>,
+    order: &[usize],
+    txns: &[Transaction],
+    cursor: &mut usize,
+    floor_ns: f64,
+) {
+    if let Some(&next) = order.get(*cursor) {
+        *cursor += 1;
+        let time_ns = (txns[next].arrival_ns as f64).max(floor_ns);
+        events.schedule(
+            time_ns,
+            Event::Arrive {
+                trace_index: next,
+                fresh: true,
+            },
+        );
+    }
+}
+
+/// Admits a transaction into a lane's waiting queue at `now`.
+fn admit(lane: &mut Lane, txn: Transaction, trace_index: usize, now: f64) {
+    lane.stats.admitted += 1;
+    lane.flush_occupancy(now);
+    lane.queue.admit(Queued {
+        txn,
+        trace_index,
+        arrival_ns: txn.arrival_ns as f64,
+        admit_ns: now,
+    });
+    lane.stats.max_depth = lane.stats.max_depth.max(lane.queue.len() as u64);
+}
+
+/// If the bank is idle and has waiting work, picks the next transaction per
+/// `policy` and starts serving it.
+fn try_dispatch(
+    lane: &mut Lane,
+    bank: &mut Bank,
+    faults: &FaultPlan,
+    events: &mut EventQueue<Event>,
+    policy: Policy,
+    now: f64,
+) {
+    if lane.in_service.is_some() {
+        return;
+    }
+    let Some(index) = policy.choose(&mut lane.queue) else {
+        return;
+    };
+    lane.flush_occupancy(now);
+    let queued = lane.queue.take(index);
+    start_service(lane, bank, faults, events, queued, now);
+}
+
+/// Runs `Bank::execute` for `queued` and schedules its completion at
+/// `now + service time`. The service time is whatever the bank actually
+/// charged (attempt-dependent), read off its busy-time accumulator.
+fn start_service(
+    lane: &mut Lane,
+    bank: &mut Bank,
+    faults: &FaultPlan,
+    events: &mut EventQueue<Event>,
+    queued: Queued,
+    now: f64,
+) {
+    lane.stats.wait_ns.push(now - queued.admit_ns);
+    let busy_before = bank.telemetry().busy_time;
+    bank.execute(&queued.txn, faults);
+    let service_ns = (bank.telemetry().busy_time - busy_before).get() * 1e9;
+    events.schedule(
+        now + service_ns,
+        Event::Complete {
+            bank: queued.txn.bank,
+        },
+    );
+    lane.in_service = Some(InService {
+        queued,
+        start_ns: now,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ControllerConfig;
+    use crate::workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stt_sense::SchemeKind;
+
+    fn timed_trace(config: &ControllerConfig, ops: usize, gap_ns: f64) -> Trace {
+        Workload::Uniform { read_fraction: 0.7 }
+            .generate(config.footprint(), ops, &mut StdRng::seed_from_u64(11))
+            .with_poisson_arrivals(gap_ns, &mut StdRng::seed_from_u64(12))
+    }
+
+    fn frontend_run(config: FrontendConfig, gap_ns: f64) -> SchedRun {
+        let controller_config = ControllerConfig::small(SchemeKind::Nondestructive, 3);
+        let trace = timed_trace(&controller_config, 600, gap_ns);
+        Frontend::new(Controller::new(controller_config), config).run(&trace)
+    }
+
+    #[test]
+    fn every_offered_transaction_completes_without_bounds() {
+        let run = frontend_run(FrontendConfig::fcfs_unbounded(), 10.0);
+        assert_eq!(run.completions.len(), 600);
+        let queue = run.telemetry.aggregate().queue;
+        assert_eq!(queue.completed, 600);
+        assert_eq!(queue.admitted, 600);
+        assert_eq!(queue.dropped + queue.stalls + queue.retried_admissions, 0);
+        assert!(run.makespan_ns > 0.0);
+        assert!(run.ops_per_second() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let config = FrontendConfig::fcfs_unbounded().with_policy(Policy::ReadPriority {
+            write_high_water: 4,
+        });
+        let a = frontend_run(config, 5.0);
+        let b = frontend_run(config, 5.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn completions_are_causally_ordered() {
+        let run = frontend_run(FrontendConfig::fcfs_unbounded(), 8.0);
+        for completion in &run.completions {
+            assert!(completion.admit_ns >= completion.arrival_ns);
+            assert!(completion.start_ns >= completion.admit_ns);
+            assert!(completion.complete_ns >= completion.start_ns);
+            assert!(completion.sojourn_ns() >= completion.wait_ns());
+        }
+        // Completion log is in completion-time order.
+        assert!(run
+            .completions
+            .windows(2)
+            .all(|w| w[0].complete_ns <= w[1].complete_ns));
+    }
+
+    #[test]
+    fn drop_backpressure_bounds_the_queue_and_counts_losses() {
+        let config = FrontendConfig::fcfs_unbounded()
+            .with_queue_depth(4)
+            .with_backpressure(Backpressure::Drop);
+        // Offered load far beyond service rate (~14 ns reads, 1 ns gaps).
+        let run = frontend_run(config, 1.0);
+        let queue = run.telemetry.aggregate().queue;
+        assert!(queue.dropped > 0, "saturation must drop");
+        assert!(queue.max_depth <= 4);
+        assert_eq!(queue.completed + queue.dropped, 600);
+    }
+
+    #[test]
+    fn stall_backpressure_completes_everything_late() {
+        let config = FrontendConfig::fcfs_unbounded()
+            .with_queue_depth(4)
+            .with_backpressure(Backpressure::Stall);
+        let run = frontend_run(config, 1.0);
+        let queue = run.telemetry.aggregate().queue;
+        assert_eq!(queue.completed, 600, "stalling loses nothing");
+        assert!(queue.stalls > 0);
+        assert!(queue.stall_time_ns > 0.0);
+        assert!(queue.max_depth <= 4);
+    }
+
+    #[test]
+    fn retry_backpressure_completes_everything_with_reoffers() {
+        let config = FrontendConfig::fcfs_unbounded()
+            .with_queue_depth(4)
+            .with_backpressure(Backpressure::Retry { delay_ns: 50.0 });
+        let run = frontend_run(config, 1.0);
+        let queue = run.telemetry.aggregate().queue;
+        assert_eq!(queue.completed, 600, "retrying loses nothing");
+        assert!(queue.retried_admissions > 0);
+        assert!(queue.max_depth <= 4);
+    }
+
+    #[test]
+    fn occupancy_accounting_is_consistent() {
+        let run = frontend_run(FrontendConfig::fcfs_unbounded(), 2.0);
+        let queue = run.telemetry.aggregate().queue;
+        assert!(queue.mean_depth() > 0.0, "overload must queue");
+        assert!(queue.horizon_ns > 0.0);
+        assert!(queue.max_depth as f64 >= queue.mean_depth() / 3.0);
+    }
+
+    #[test]
+    fn empty_trace_is_a_no_op() {
+        let config = ControllerConfig::small(SchemeKind::Nondestructive, 2);
+        let mut frontend = Frontend::new(Controller::new(config), FrontendConfig::default());
+        let run = frontend.run(&Trace::new());
+        assert_eq!(run.completions.len(), 0);
+        assert_eq!(run.makespan_ns, 0.0);
+        assert_eq!(run.ops_per_second(), 0.0);
+    }
+
+    #[test]
+    fn state_persists_across_runs() {
+        let config = ControllerConfig::small(SchemeKind::Nondestructive, 2);
+        let trace = timed_trace(&config, 100, 20.0);
+        let mut frontend = Frontend::new(Controller::new(config), FrontendConfig::default());
+        frontend.run(&trace);
+        let second = frontend.run(&trace);
+        assert_eq!(second.telemetry.transactions(), 200);
+        assert_eq!(second.telemetry.aggregate().queue.completed, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets bank")]
+    fn out_of_range_bank_panics() {
+        let config = ControllerConfig::small(SchemeKind::Nondestructive, 2);
+        let mut frontend = Frontend::new(Controller::new(config), FrontendConfig::default());
+        let mut trace = Trace::new();
+        trace.push(Transaction::read(9, stt_array::Address::new(0, 0)));
+        frontend.run(&trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry delay")]
+    fn non_positive_retry_delay_is_rejected() {
+        let config = ControllerConfig::small(SchemeKind::Nondestructive, 1);
+        let _ = Frontend::new(
+            Controller::new(config),
+            FrontendConfig::fcfs_unbounded()
+                .with_backpressure(Backpressure::Retry { delay_ns: 0.0 }),
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! `sched` — the event-driven request scheduler frontend.
+//!
+//! [`Controller::run`](crate::Controller::run) replays a trace with zero
+//! queueing: every transaction starts the instant its predecessor finishes.
+//! That is the right tool for accuracy questions (disturbance, retries,
+//! audits) but says nothing about *system-level* behaviour — what the
+//! DATE 2010 paper's Table III argues about, where the destructive
+//! self-reference scheme's restore-inflated read occupies a bank for 25 ns
+//! against the nondestructive scheme's 14 ns and the difference compounds
+//! into queueing delay under load.
+//!
+//! This module supplies the missing piece as a classic discrete-event
+//! simulation:
+//!
+//! * [`EventQueue`] — a deterministic min-heap of timestamped events
+//!   (insertion-order tie-breaking, NaN-free by construction).
+//! * [`BankQueue`] — bounded per-bank admission queues that encode the
+//!   per-address ordering rule every policy must obey.
+//! * [`Policy`] — pluggable dispatch: FCFS, read-priority with write
+//!   draining, oldest-first anti-starvation.
+//! * [`Frontend`] — the engine tying them together over a
+//!   [`Controller`](crate::Controller), with [`Backpressure`] (stall, drop,
+//!   retry) when queues fill and queueing telemetry
+//!   ([`QueueTelemetry`](crate::QueueTelemetry)) the serial replay path
+//!   cannot measure.
+//!
+//! The frontend reuses [`Bank`](crate::Bank) as its service stage, so under
+//! FCFS at unbounded depth it is *bit-identical* to serial replay — same
+//! stored state, same audit counters — while additionally reporting sojourn
+//! quantiles, occupancy and backpressure counts.
+
+pub mod event;
+pub mod frontend;
+pub mod policy;
+pub mod queue;
+
+pub use event::EventQueue;
+pub use frontend::{Backpressure, Completion, Frontend, FrontendConfig, SchedRun};
+pub use policy::Policy;
+pub use queue::{BankQueue, Queued};

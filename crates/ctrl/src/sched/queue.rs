@@ -1,0 +1,193 @@
+//! Bounded per-bank transaction queues with per-address ordering.
+//!
+//! Each bank owns one [`BankQueue`] of admitted-but-not-yet-served
+//! transactions. Scheduling policies may serve the queue out of order, but
+//! never reorder two transactions that touch the **same cell**: a read must
+//! observe the writes admitted before it, and two writes must land in
+//! admission order, or replay stops being meaningful. The queue encodes
+//! that rule once — [`BankQueue::eligible`] yields exactly the entries a
+//! policy may legally pick — so every policy inherits it for free.
+
+use crate::txn::Transaction;
+
+/// One admitted transaction waiting in a bank queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Queued {
+    /// The transaction itself.
+    pub txn: Transaction,
+    /// Its index in the original trace (stable identity for tests/logs).
+    pub trace_index: usize,
+    /// Original arrival timestamp (nanoseconds) — the clock sojourn time is
+    /// measured from, even when admission stalled or retried.
+    pub arrival_ns: f64,
+    /// When the transaction entered this queue (nanoseconds).
+    pub admit_ns: f64,
+}
+
+/// A bounded FIFO of waiting transactions for one bank.
+#[derive(Debug, Clone)]
+pub struct BankQueue {
+    entries: Vec<Queued>,
+    capacity: usize,
+    /// Write-drain hysteresis flag for the read-priority policy: set when
+    /// queued writes reach the high-water mark, cleared when they drain to
+    /// zero.
+    pub(crate) draining: bool,
+}
+
+impl BankQueue {
+    /// An empty queue holding at most `capacity` waiting transactions
+    /// (`usize::MAX` for effectively unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-depth queue cannot absorb any
+    /// burst and every admission would backpressure.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "bank queues need capacity for at least one entry"
+        );
+        Self {
+            entries: Vec::new(),
+            capacity,
+            draining: false,
+        }
+    }
+
+    /// Number of waiting transactions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when the queue cannot admit another transaction.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Waiting transactions, in admission order.
+    #[must_use]
+    pub fn entries(&self) -> &[Queued] {
+        &self.entries
+    }
+
+    /// Number of waiting writes.
+    #[must_use]
+    pub fn queued_writes(&self) -> usize {
+        self.entries.iter().filter(|q| !q.txn.op.is_read()).count()
+    }
+
+    /// Admits a transaction at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full — backpressure is the frontend's job;
+    /// by the time an entry reaches the queue the decision is already made.
+    pub fn admit(&mut self, queued: Queued) {
+        assert!(!self.is_full(), "admit() on a full queue");
+        self.entries.push(queued);
+    }
+
+    /// Indices of entries a policy may legally serve next: an entry is
+    /// eligible iff no *earlier-admitted* entry targets the same address.
+    /// The head of the queue is therefore always eligible.
+    pub fn eligible(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().enumerate().filter_map(|(i, q)| {
+            let blocked = self.entries[..i].iter().any(|p| p.txn.addr == q.txn.addr);
+            (!blocked).then_some(i)
+        })
+    }
+
+    /// Removes and returns the entry at `index`, preserving the relative
+    /// order of the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn take(&mut self, index: usize) -> Queued {
+        self.entries.remove(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stt_array::Address;
+
+    fn queued(trace_index: usize, txn: Transaction) -> Queued {
+        Queued {
+            txn,
+            trace_index,
+            arrival_ns: trace_index as f64,
+            admit_ns: trace_index as f64,
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut queue = BankQueue::new(2);
+        queue.admit(queued(0, Transaction::read(0, Address::new(0, 0))));
+        assert!(!queue.is_full());
+        queue.admit(queued(1, Transaction::read(0, Address::new(0, 1))));
+        assert!(queue.is_full());
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full queue")]
+    fn admitting_past_capacity_panics() {
+        let mut queue = BankQueue::new(1);
+        queue.admit(queued(0, Transaction::read(0, Address::new(0, 0))));
+        queue.admit(queued(1, Transaction::read(0, Address::new(0, 1))));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_is_rejected() {
+        let _ = BankQueue::new(0);
+    }
+
+    #[test]
+    fn same_address_entries_are_ineligible_behind_their_elder() {
+        let hot = Address::new(1, 1);
+        let mut queue = BankQueue::new(8);
+        queue.admit(queued(0, Transaction::write(0, hot, true)));
+        queue.admit(queued(1, Transaction::read(0, Address::new(2, 2))));
+        queue.admit(queued(2, Transaction::read(0, hot)));
+        queue.admit(queued(3, Transaction::read(0, Address::new(3, 3))));
+        let eligible: Vec<usize> = queue.eligible().collect();
+        // Entry 2 reads the cell entry 0 is still waiting to write.
+        assert_eq!(eligible, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn taking_an_entry_unblocks_its_successor() {
+        let hot = Address::new(1, 1);
+        let mut queue = BankQueue::new(8);
+        queue.admit(queued(0, Transaction::write(0, hot, true)));
+        queue.admit(queued(1, Transaction::read(0, hot)));
+        let first = queue.take(0);
+        assert_eq!(first.trace_index, 0);
+        let eligible: Vec<usize> = queue.eligible().collect();
+        assert_eq!(eligible, vec![0]);
+        assert_eq!(queue.entries()[0].trace_index, 1);
+    }
+
+    #[test]
+    fn queued_writes_counts_only_writes() {
+        let mut queue = BankQueue::new(8);
+        queue.admit(queued(0, Transaction::write(0, Address::new(0, 0), true)));
+        queue.admit(queued(1, Transaction::read(0, Address::new(0, 1))));
+        queue.admit(queued(2, Transaction::write(0, Address::new(0, 2), false)));
+        assert_eq!(queue.queued_writes(), 2);
+    }
+}

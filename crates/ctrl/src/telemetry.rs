@@ -6,14 +6,168 @@
 //! The engine's determinism test leans on the `PartialEq` here.
 
 use serde::{Deserialize, Serialize};
-use stt_stats::{Histogram, Summary};
+use stt_stats::{quantile, Histogram, Summary};
 use stt_units::{Joules, Seconds};
 
-/// Binning for the read-latency histogram: destructive reads with retries
-/// run to ~3×25 ns, so 0–100 ns in 2 ns bins covers every scheme.
-const LATENCY_BINS: usize = 50;
-const LATENCY_LOW_NS: f64 = 0.0;
-const LATENCY_HIGH_NS: f64 = 100.0;
+/// Binning for the read-latency histogram.
+///
+/// Destructive reads with retries run to ~3×25 ns, so the default 0–100 ns
+/// range in 2 ns bins covers every scheme's *service* latency. Queueing
+/// delays under load are open-ended, though, so the bounds are configurable
+/// per controller and the histogram's explicit overflow bucket (see
+/// [`Histogram::overflow`]) is surfaced by every report instead of letting
+/// saturated samples vanish into the top bin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBounds {
+    /// Lower edge of the histogram range (nanoseconds).
+    pub low_ns: f64,
+    /// Upper edge of the histogram range (nanoseconds); samples at or above
+    /// it land in the overflow bucket.
+    pub high_ns: f64,
+    /// Number of equal-width bins.
+    pub bins: usize,
+}
+
+impl LatencyBounds {
+    /// The historical fixed binning: 0–100 ns in 2 ns bins.
+    #[must_use]
+    pub fn date2010() -> Self {
+        Self {
+            low_ns: 0.0,
+            high_ns: 100.0,
+            bins: 50,
+        }
+    }
+
+    /// Overrides the upper edge, keeping the 2 ns bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high_ns` is not above the lower edge.
+    #[must_use]
+    pub fn with_high_ns(mut self, high_ns: f64) -> Self {
+        assert!(
+            high_ns > self.low_ns,
+            "histogram upper edge {high_ns} must exceed lower edge {}",
+            self.low_ns
+        );
+        self.high_ns = high_ns;
+        self.bins = (((high_ns - self.low_ns) / 2.0).ceil() as usize).max(1);
+        self
+    }
+
+    /// Builds an empty histogram with these bounds.
+    #[must_use]
+    pub fn histogram(&self) -> Histogram {
+        Histogram::new(self.low_ns, self.high_ns, self.bins)
+    }
+}
+
+impl Default for LatencyBounds {
+    fn default() -> Self {
+        Self::date2010()
+    }
+}
+
+/// Queueing counters for one bank, filled only by the event-driven
+/// [`sched`](crate::sched) frontend (serial replay has no queues, so these
+/// stay zero there).
+///
+/// Sojourn time is measured from a transaction's *arrival* (its timestamp in
+/// the trace) to its completion, so it includes admission stalls, queueing
+/// delay and service; waiting time is measured from admission into the bank
+/// queue to the start of service.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueueTelemetry {
+    /// Transactions admitted into the bank queue (or started directly).
+    pub admitted: u64,
+    /// Transactions served to completion.
+    pub completed: u64,
+    /// Transactions dropped on a full queue under
+    /// [`Backpressure::Drop`](crate::sched::Backpressure).
+    pub dropped: u64,
+    /// Admissions that stalled on a full queue under
+    /// [`Backpressure::Stall`](crate::sched::Backpressure).
+    pub stalls: u64,
+    /// Total time admission spent stalled (nanoseconds).
+    pub stall_time_ns: f64,
+    /// Re-offered admissions under
+    /// [`Backpressure::Retry`](crate::sched::Backpressure).
+    pub retried_admissions: u64,
+    /// Largest waiting-queue depth ever observed.
+    pub max_depth: u64,
+    /// Time integral of waiting-queue depth (nanoseconds × entries); divide
+    /// by [`QueueTelemetry::horizon_ns`] for the time-averaged occupancy.
+    pub depth_time_ns: f64,
+    /// Observed horizon (nanoseconds) over which the depth integral ran.
+    pub horizon_ns: f64,
+    /// Waiting time from admission to start of service (nanoseconds).
+    pub wait_ns: Summary,
+    /// Per-completion sojourn samples (nanoseconds), kept raw so tail
+    /// quantiles are exact rather than histogram-interpolated.
+    pub sojourn_samples_ns: Vec<f64>,
+}
+
+impl QueueTelemetry {
+    /// Time-averaged waiting-queue depth (0 when nothing was observed).
+    #[must_use]
+    pub fn mean_depth(&self) -> f64 {
+        if self.horizon_ns > 0.0 {
+            self.depth_time_ns / self.horizon_ns
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile of completed-transaction sojourn time, or `None`
+    /// when nothing completed.
+    #[must_use]
+    pub fn sojourn_quantile(&self, q: f64) -> Option<f64> {
+        if self.sojourn_samples_ns.is_empty() {
+            None
+        } else {
+            Some(quantile(&self.sojourn_samples_ns, q))
+        }
+    }
+
+    /// Median sojourn time in nanoseconds (0 when nothing completed).
+    #[must_use]
+    pub fn sojourn_p50(&self) -> f64 {
+        self.sojourn_quantile(0.50).unwrap_or(0.0)
+    }
+
+    /// 95th-percentile sojourn time in nanoseconds (0 when nothing
+    /// completed).
+    #[must_use]
+    pub fn sojourn_p95(&self) -> f64 {
+        self.sojourn_quantile(0.95).unwrap_or(0.0)
+    }
+
+    /// 99th-percentile sojourn time in nanoseconds (0 when nothing
+    /// completed).
+    #[must_use]
+    pub fn sojourn_p99(&self) -> f64 {
+        self.sojourn_quantile(0.99).unwrap_or(0.0)
+    }
+
+    /// Folds another bank's queueing counters into this one. Depth
+    /// integrals and horizons add, so the merged [`Self::mean_depth`] is the
+    /// per-bank average occupancy.
+    pub fn merge(&mut self, other: &QueueTelemetry) {
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.dropped += other.dropped;
+        self.stalls += other.stalls;
+        self.stall_time_ns += other.stall_time_ns;
+        self.retried_admissions += other.retried_admissions;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.depth_time_ns += other.depth_time_ns;
+        self.horizon_ns += other.horizon_ns;
+        self.wait_ns.merge(&other.wait_ns);
+        self.sojourn_samples_ns
+            .extend_from_slice(&other.sojourn_samples_ns);
+    }
+}
 
 /// Counters for one bank.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,18 +192,28 @@ pub struct BankTelemetry {
     pub corrupted_bits: u64,
     /// Completed-read latency in nanoseconds (retries included).
     pub read_latency_ns: Summary,
-    /// Completed-read latency histogram (nanoseconds).
+    /// Completed-read latency histogram (nanoseconds); out-of-range samples
+    /// are counted in its explicit underflow/overflow buckets.
     pub read_latency_hist: Histogram,
     /// Total busy time across served transactions.
     pub busy_time: Seconds,
     /// Total energy across served transactions.
     pub energy: Joules,
+    /// Queueing counters, filled by the [`sched`](crate::sched) frontend
+    /// (all zero under serial replay).
+    pub queue: QueueTelemetry,
 }
 
 impl BankTelemetry {
-    /// Fresh, all-zero telemetry.
+    /// Fresh, all-zero telemetry with the default histogram bounds.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_bounds(&LatencyBounds::date2010())
+    }
+
+    /// Fresh, all-zero telemetry with the given latency-histogram bounds.
+    #[must_use]
+    pub fn with_bounds(bounds: &LatencyBounds) -> Self {
         Self {
             reads: 0,
             writes: 0,
@@ -61,9 +225,10 @@ impl BankTelemetry {
             power_cuts: 0,
             corrupted_bits: 0,
             read_latency_ns: Summary::new(),
-            read_latency_hist: Histogram::new(LATENCY_LOW_NS, LATENCY_HIGH_NS, LATENCY_BINS),
+            read_latency_hist: bounds.histogram(),
             busy_time: Seconds::ZERO,
             energy: Joules::ZERO,
+            queue: QueueTelemetry::default(),
         }
     }
 
@@ -89,6 +254,7 @@ impl BankTelemetry {
         self.read_latency_hist.merge(&other.read_latency_hist);
         self.busy_time += other.busy_time;
         self.energy += other.energy;
+        self.queue.merge(&other.queue);
     }
 
     /// Misread rate over served reads (0 when no reads ran).
@@ -121,11 +287,13 @@ pub struct Telemetry {
 
 impl Telemetry {
     /// Sums every bank into one set of counters (bank order, so the result
-    /// is deterministic).
+    /// is deterministic). Seeds the accumulator from the first bank so the
+    /// histogram keeps whatever bounds the controller was configured with.
     #[must_use]
     pub fn aggregate(&self) -> BankTelemetry {
-        let mut total = BankTelemetry::new();
-        for bank in &self.banks {
+        let mut banks = self.banks.iter();
+        let mut total = banks.next().cloned().unwrap_or_default();
+        for bank in banks {
             total.merge(bank);
         }
         total
@@ -180,5 +348,71 @@ mod tests {
     fn misread_rate_handles_empty() {
         assert_eq!(BankTelemetry::new().misread_rate(), 0.0);
         assert!((telemetry_with(10, 1).misread_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_bounds_capture_queueing_scale_latencies() {
+        // The fixed 100 ns ceiling would push sojourn-scale samples into the
+        // overflow bucket; widened bounds bin them, and the overflow count
+        // stays visible either way.
+        let mut fixed = BankTelemetry::new();
+        let mut wide = BankTelemetry::with_bounds(&LatencyBounds::date2010().with_high_ns(1000.0));
+        for latency_ns in [40.0, 250.0, 900.0] {
+            fixed.record_read_latency(Seconds::from_nano(latency_ns));
+            wide.record_read_latency(Seconds::from_nano(latency_ns));
+        }
+        assert_eq!(fixed.read_latency_hist.overflow(), 2);
+        assert_eq!(wide.read_latency_hist.overflow(), 0);
+        assert_eq!(wide.read_latency_hist.total(), 3);
+    }
+
+    #[test]
+    fn with_high_ns_keeps_two_ns_bins() {
+        let bounds = LatencyBounds::date2010().with_high_ns(500.0);
+        assert_eq!(bounds.bins, 250);
+        assert_eq!(bounds.histogram().bin_edges(0), (0.0, 2.0));
+    }
+
+    #[test]
+    fn aggregate_respects_custom_bounds() {
+        let bounds = LatencyBounds::date2010().with_high_ns(400.0);
+        let mut a = BankTelemetry::with_bounds(&bounds);
+        a.record_read_latency(Seconds::from_nano(300.0));
+        let telemetry = Telemetry {
+            banks: vec![a.clone(), BankTelemetry::with_bounds(&bounds)],
+            audit_corrupted_bits: 0,
+        };
+        let total = telemetry.aggregate();
+        assert_eq!(total.read_latency_hist.overflow(), 0);
+        assert_eq!(total.read_latency_hist.total(), 1);
+    }
+
+    #[test]
+    fn queue_telemetry_quantiles_and_merge() {
+        let mut q = QueueTelemetry {
+            completed: 4,
+            sojourn_samples_ns: vec![10.0, 20.0, 30.0, 40.0],
+            depth_time_ns: 50.0,
+            horizon_ns: 100.0,
+            max_depth: 3,
+            ..QueueTelemetry::default()
+        };
+        assert!((q.sojourn_p50() - 25.0).abs() < 1e-12);
+        assert!((q.mean_depth() - 0.5).abs() < 1e-12);
+        let other = QueueTelemetry {
+            completed: 1,
+            sojourn_samples_ns: vec![100.0],
+            depth_time_ns: 10.0,
+            horizon_ns: 100.0,
+            max_depth: 5,
+            ..QueueTelemetry::default()
+        };
+        q.merge(&other);
+        assert_eq!(q.completed, 5);
+        assert_eq!(q.max_depth, 5);
+        assert_eq!(q.sojourn_samples_ns.len(), 5);
+        assert!((q.mean_depth() - 0.3).abs() < 1e-12);
+        assert_eq!(QueueTelemetry::default().sojourn_quantile(0.99), None);
+        assert_eq!(QueueTelemetry::default().sojourn_p99(), 0.0);
     }
 }

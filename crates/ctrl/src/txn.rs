@@ -6,7 +6,17 @@
 //! reloaded, and replayed bit-identically against any controller
 //! configuration, which is what makes scheme-vs-scheme comparisons fair
 //! (every scheme sees the exact same traffic).
+//!
+//! Transactions optionally carry an **arrival timestamp** (nanoseconds from
+//! the start of the run). [`Controller::run`](crate::Controller::run)
+//! ignores it — serial replay is zero-queueing by construction — but the
+//! event-driven [`sched`](crate::sched) frontend admits each transaction at
+//! its arrival time, which is what turns a trace into an offered load. The
+//! CSV dialect grows a sixth `arrival_ns` column only when a trace is timed,
+//! so untimed traces round-trip through the original five-column format.
 
+use rand::rngs::StdRng;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use stt_array::Address;
 
@@ -36,27 +46,39 @@ pub struct Transaction {
     pub addr: Address,
     /// The operation.
     pub op: Op,
+    /// Arrival time in nanoseconds from the start of the run. `0` for
+    /// untimed traces; serial replay ignores it entirely.
+    pub arrival_ns: u64,
 }
 
 impl Transaction {
-    /// A read of `addr` on `bank`.
+    /// A read of `addr` on `bank`, arriving at time zero.
     #[must_use]
     pub fn read(bank: usize, addr: Address) -> Self {
         Self {
             bank,
             addr,
             op: Op::Read,
+            arrival_ns: 0,
         }
     }
 
-    /// A write of `bit` to `addr` on `bank`.
+    /// A write of `bit` to `addr` on `bank`, arriving at time zero.
     #[must_use]
     pub fn write(bank: usize, addr: Address, bit: bool) -> Self {
         Self {
             bank,
             addr,
             op: Op::Write(bit),
+            arrival_ns: 0,
         }
+    }
+
+    /// Stamps an arrival time (nanoseconds) onto the transaction.
+    #[must_use]
+    pub fn at(mut self, arrival_ns: u64) -> Self {
+        self.arrival_ns = arrival_ns;
+        self
     }
 }
 
@@ -125,27 +147,71 @@ impl Trace {
         self.transactions.iter().filter(|t| t.op.is_read()).count()
     }
 
+    /// `true` when any transaction carries a non-zero arrival time.
+    #[must_use]
+    pub fn is_timed(&self) -> bool {
+        self.transactions.iter().any(|t| t.arrival_ns != 0)
+    }
+
+    /// Stamps Poisson (exponential-gap) arrival times onto the trace, in
+    /// order: transaction `k` arrives `Exp(mean_gap_ns)` after transaction
+    /// `k − 1`. Arrivals are therefore non-decreasing in trace order, which
+    /// is the precondition for the FCFS-frontend ≡ serial-replay identity
+    /// (see [`crate::sched`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_gap_ns` is not finite and positive.
+    #[must_use]
+    pub fn with_poisson_arrivals(mut self, mean_gap_ns: f64, rng: &mut StdRng) -> Self {
+        assert!(
+            mean_gap_ns.is_finite() && mean_gap_ns > 0.0,
+            "mean inter-arrival gap must be positive, got {mean_gap_ns}"
+        );
+        let mut now = 0.0f64;
+        for txn in &mut self.transactions {
+            // Inverse-CDF exponential sample; `1 - u` keeps ln() finite.
+            let u: f64 = rng.gen();
+            now += -(1.0 - u).ln() * mean_gap_ns;
+            txn.arrival_ns = now.round() as u64;
+        }
+        self
+    }
+
     /// Serialises to the trace CSV dialect: a `bank,row,col,op,bit` header
     /// followed by one record per transaction (`op` is `R` or `W`; `bit` is
-    /// empty for reads).
+    /// empty for reads). A timed trace (see [`Trace::is_timed`]) appends an
+    /// `arrival_ns` column; an untimed trace keeps the original five-column
+    /// format so old files round-trip byte-identically.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("bank,row,col,op,bit\n");
+        let timed = self.is_timed();
+        let mut out = String::from(if timed {
+            "bank,row,col,op,bit,arrival_ns\n"
+        } else {
+            "bank,row,col,op,bit\n"
+        });
         for txn in &self.transactions {
             let (op, bit) = match txn.op {
                 Op::Read => ("R", String::new()),
                 Op::Write(bit) => ("W", u8::from(bit).to_string()),
             };
             out.push_str(&format!(
-                "{},{},{},{op},{bit}\n",
+                "{},{},{},{op},{bit}",
                 txn.bank, txn.addr.row, txn.addr.col
             ));
+            if timed {
+                out.push_str(&format!(",{}", txn.arrival_ns));
+            }
+            out.push('\n');
         }
         out
     }
 
     /// Parses the CSV dialect written by [`Trace::to_csv`]. A leading header
-    /// line is accepted and skipped; blank lines are ignored.
+    /// line is accepted and skipped; blank lines are ignored. Both formats
+    /// are accepted — five fields per record (untimed; arrival defaults to
+    /// zero) or six (`arrival_ns` last) — and may be mixed line by line.
     ///
     /// # Errors
     ///
@@ -162,8 +228,8 @@ impl Trace {
                 message,
             };
             let fields: Vec<&str> = line.split(',').collect();
-            if fields.len() != 5 {
-                return Err(err(format!("expected 5 fields, got {}", fields.len())));
+            if fields.len() != 5 && fields.len() != 6 {
+                return Err(err(format!("expected 5 or 6 fields, got {}", fields.len())));
             }
             let parse = |field: &str, what: &str| {
                 field
@@ -178,7 +244,18 @@ impl Trace {
                 ("W", "1") => Op::Write(true),
                 (op, bit) => return Err(err(format!("bad op/bit pair {op:?}/{bit:?}"))),
             };
-            transactions.push(Transaction { bank, addr, op });
+            let arrival_ns = match fields.get(5) {
+                Some(field) => field
+                    .parse::<u64>()
+                    .map_err(|_| err(format!("bad arrival_ns {field:?}")))?,
+                None => 0,
+            };
+            transactions.push(Transaction {
+                bank,
+                addr,
+                op,
+                arrival_ns,
+            });
         }
         Ok(Self { transactions })
     }
@@ -201,7 +278,52 @@ mod tests {
     fn csv_round_trips() {
         let trace = sample_trace();
         let csv = trace.to_csv();
+        // Untimed traces keep the original five-column dialect.
+        assert!(csv.starts_with("bank,row,col,op,bit\n"));
+        assert!(!csv.contains("arrival_ns"));
         assert_eq!(Trace::from_csv(&csv).unwrap(), trace);
+    }
+
+    #[test]
+    fn timed_csv_round_trips_with_arrival_column() {
+        let mut trace = sample_trace();
+        for (k, txn) in trace.transactions.iter_mut().enumerate() {
+            txn.arrival_ns = 10 * k as u64;
+        }
+        let csv = trace.to_csv();
+        assert!(csv.starts_with("bank,row,col,op,bit,arrival_ns\n"));
+        assert_eq!(Trace::from_csv(&csv).unwrap(), trace);
+    }
+
+    #[test]
+    fn untimed_rows_parse_with_arrival_zero() {
+        // A six-column header over five-column records (and vice versa) is
+        // tolerated; missing arrivals default to zero.
+        let parsed = Trace::from_csv("bank,row,col,op,bit\n0,1,2,W,1,25\n1,3,4,R,\n").unwrap();
+        assert_eq!(parsed.transactions()[0].arrival_ns, 25);
+        assert_eq!(parsed.transactions()[1].arrival_ns, 0);
+        assert!(parsed.is_timed());
+        assert!(!sample_trace().is_timed());
+    }
+
+    #[test]
+    fn bad_arrival_names_its_line() {
+        let error = Trace::from_csv("0,1,2,R,,soon\n").unwrap_err();
+        assert_eq!(error.line, 1);
+        assert!(error.message.contains("arrival_ns"));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone_and_deterministic() {
+        use rand::SeedableRng;
+        let stamp = |seed: u64| {
+            sample_trace().with_poisson_arrivals(20.0, &mut StdRng::seed_from_u64(seed))
+        };
+        let trace = stamp(9);
+        assert_eq!(trace, stamp(9), "same seed must stamp identical arrivals");
+        let arrivals: Vec<u64> = trace.transactions().iter().map(|t| t.arrival_ns).collect();
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "{arrivals:?}");
+        assert!(trace.is_timed());
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod yields;
 pub use dist::{LogNormal, Normal, Uniform};
 pub use mc::{fill_indexed, run_trials, trial_rng};
 pub use regression::{pearson, LinearFit};
-pub use summary::{Histogram, Summary};
+pub use summary::{quantile, Histogram, Summary};
 pub use table::Table;
 pub use yields::{WilsonInterval, YieldCount};

@@ -21,6 +21,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+# Documentation gate over the repo's own crates (vendored stand-ins are
+# exempt — they mirror upstream APIs we don't own).
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+    -p stt-units -p stt-mtj -p stt-mna -p stt-stats \
+    -p stt-array -p stt-sense -p stt-ctrl -p stt-bench
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 

@@ -1,0 +1,229 @@
+//! Integration tests for the `stt-ctrl` scheduler frontend.
+//!
+//! The properties the frontend stakes its design on:
+//!
+//! 1. **Anchor identity** — event-driven FCFS dispatch at unbounded queue
+//!    depth reproduces [`Controller::run`] serial replay bit-for-bit: same
+//!    stored state, same audit, same telemetry except the queueing section
+//!    serial replay cannot measure.
+//! 2. **Per-address ordering survives reordering** — whatever the policy
+//!    and queue bounds, two transactions touching the same cell complete in
+//!    admission order (checked as a proptest).
+//! 3. **Backpressure engages under saturation** — offered load beyond the
+//!    service rate must stall (or drop), never silently grow state.
+//! 4. **The paper's system-level argument** — at the same offered load the
+//!    destructive scheme's restore-inflated 25 ns read queues harder than
+//!    the nondestructive scheme's 14 ns read.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stt_ctrl::{
+    Backpressure, Controller, ControllerConfig, Dispatch, FaultPlan, Frontend, FrontendConfig,
+    Policy, QueueTelemetry, Trace, Workload,
+};
+use stt_sense::SchemeKind;
+
+fn timed_trace(config: &ControllerConfig, workload: Workload, ops: usize, gap_ns: f64) -> Trace {
+    workload
+        .generate(config.footprint(), ops, &mut StdRng::seed_from_u64(40))
+        .with_poisson_arrivals(gap_ns, &mut StdRng::seed_from_u64(41))
+}
+
+/// Serial replay and an FCFS frontend at unbounded depth over the same
+/// trace and config: stored state, audit and all non-queueing telemetry
+/// must be bit-identical.
+fn assert_anchor_identity(config: ControllerConfig, trace: &Trace) {
+    let kind = config.kind;
+    let mut serial = Controller::new(config.clone());
+    let serial_telemetry = serial.run(trace, Dispatch::Serial);
+    let mut frontend = Frontend::new(Controller::new(config), FrontendConfig::fcfs_unbounded());
+    let run = frontend.run(trace);
+
+    assert_eq!(
+        frontend.controller().stored_state(),
+        serial.stored_state(),
+        "{kind}: FCFS event dispatch must store the exact bits serial replay stores"
+    );
+    assert_eq!(
+        run.telemetry.audit_corrupted_bits, serial_telemetry.audit_corrupted_bits,
+        "{kind}: audits must agree"
+    );
+    // Scrub the queueing section (zero under serial replay by construction):
+    // every other counter, histogram and accumulator must be equal.
+    let mut scrubbed = run.telemetry.clone();
+    for bank in &mut scrubbed.banks {
+        bank.queue = QueueTelemetry::default();
+    }
+    assert_eq!(
+        scrubbed, serial_telemetry,
+        "{kind}: frontend telemetry must only add queueing data"
+    );
+    assert_eq!(run.completions.len(), trace.len());
+}
+
+#[test]
+fn fcfs_unbounded_is_bit_identical_to_serial_replay() {
+    for kind in SchemeKind::ALL {
+        let config = ControllerConfig::small(kind, 4).with_seed(314);
+        let trace = timed_trace(
+            &config,
+            Workload::Uniform { read_fraction: 0.6 },
+            2_000,
+            6.0,
+        );
+        assert_anchor_identity(config, &trace);
+    }
+}
+
+#[test]
+fn fcfs_unbounded_is_bit_identical_to_serial_replay_under_faults() {
+    // Power cuts follow per-bank read counters; FCFS preserves per-bank
+    // execute order, so the cuts land on the same reads.
+    let faults = FaultPlan::none().with_power_cut_every(40);
+    for kind in [SchemeKind::Destructive, SchemeKind::Nondestructive] {
+        let config = ControllerConfig::small(kind, 3)
+            .with_seed(271)
+            .with_faults(faults.clone());
+        let trace = timed_trace(&config, Workload::ReadMostly, 1_500, 4.0);
+        assert_anchor_identity(config, &trace);
+    }
+}
+
+#[test]
+fn untimed_traces_run_through_the_frontend_too() {
+    // Arrival 0 everywhere: the whole trace is offered at t=0 and drains
+    // through the queues — still identical to serial replay under FCFS.
+    let config = ControllerConfig::small(SchemeKind::Nondestructive, 3).with_seed(99);
+    let trace = Workload::Zipf {
+        theta: 0.9,
+        read_fraction: 0.8,
+    }
+    .generate(config.footprint(), 1_000, &mut StdRng::seed_from_u64(4));
+    assert!(!trace.is_timed());
+    assert_anchor_identity(config, &trace);
+}
+
+#[test]
+fn stall_backpressure_engages_beyond_the_service_rate() {
+    // ~14 ns nondestructive reads offered every ~2 ns per bank: offered
+    // load is ~7x the service rate, so admission must stall and achieved
+    // throughput must cap out below the offered rate.
+    let config = ControllerConfig::small(SchemeKind::Nondestructive, 2).with_seed(7);
+    let trace = timed_trace(&config, Workload::ReadMostly, 2_000, 1.0);
+    let offered_ops_per_second = 1e9 / 1.0;
+    let mut frontend = Frontend::new(
+        Controller::new(config),
+        FrontendConfig::fcfs_unbounded()
+            .with_queue_depth(8)
+            .with_backpressure(Backpressure::Stall),
+    );
+    let run = frontend.run(&trace);
+    let queue = run.telemetry.aggregate().queue;
+    assert_eq!(queue.completed, 2_000, "stalling loses nothing");
+    assert!(queue.stalls > 100, "saturation must stall admission");
+    assert!(queue.stall_time_ns > 0.0);
+    assert!(queue.max_depth <= 8);
+    assert!(
+        run.ops_per_second() < 0.5 * offered_ops_per_second,
+        "achieved rate {} must cap out well below offered {}",
+        run.ops_per_second(),
+        offered_ops_per_second
+    );
+}
+
+#[test]
+fn drop_backpressure_sheds_load_and_accounts_for_every_transaction() {
+    let config = ControllerConfig::small(SchemeKind::Destructive, 2).with_seed(8);
+    let trace = timed_trace(&config, Workload::ReadMostly, 2_000, 1.0);
+    let mut frontend = Frontend::new(
+        Controller::new(config),
+        FrontendConfig::fcfs_unbounded()
+            .with_queue_depth(4)
+            .with_backpressure(Backpressure::Drop),
+    );
+    let run = frontend.run(&trace);
+    let queue = run.telemetry.aggregate().queue;
+    assert!(queue.dropped > 0, "saturation must shed load");
+    assert_eq!(queue.completed + queue.dropped, 2_000);
+    assert!(queue.max_depth <= 4, "drops must bound the queues");
+}
+
+#[test]
+fn destructive_reads_queue_harder_than_nondestructive_at_the_same_load() {
+    // The paper's Table III argument, queue-shaped: at an offered load the
+    // 14 ns nondestructive read absorbs (~0.9 utilization per bank), the
+    // destructive scheme's restore-inflated 25 ns read saturates, and tail
+    // sojourn explodes.
+    let mut p99 = std::collections::HashMap::new();
+    for kind in [SchemeKind::Nondestructive, SchemeKind::Destructive] {
+        let config = ControllerConfig::small(kind, 2).with_seed(2010);
+        let trace = timed_trace(&config, Workload::ReadMostly, 2_000, 8.0);
+        let mut frontend = Frontend::new(Controller::new(config), FrontendConfig::fcfs_unbounded());
+        let run = frontend.run(&trace);
+        p99.insert(kind, run.telemetry.aggregate().queue.sojourn_p99());
+    }
+    assert!(
+        p99[&SchemeKind::Destructive] > 2.0 * p99[&SchemeKind::Nondestructive],
+        "destructive p99 sojourn {} must exceed nondestructive {}",
+        p99[&SchemeKind::Destructive],
+        p99[&SchemeKind::Nondestructive]
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the policy, queue bound and load, two transactions touching
+    /// the same cell complete in admission order — reads observe the writes
+    /// admitted before them, writes land in order.
+    #[test]
+    fn per_address_ordering_survives_any_policy(
+        ops in 1usize..150,
+        gap_ns in 1.0f64..30.0,
+        queue_depth in 2usize..8,
+        write_high_water in 1usize..6,
+        policy_pick in 0usize..3,
+        read_fraction in 0.1f64..0.9,
+        seed in 0u64..1_000,
+    ) {
+        let policy = match policy_pick {
+            0 => Policy::Fcfs,
+            1 => Policy::ReadPriority { write_high_water },
+            _ => Policy::OldestFirst,
+        };
+        let config = ControllerConfig::small(SchemeKind::Nondestructive, 2).with_seed(seed);
+        // Zipf traffic concentrates on a hot set, so same-address pairs are
+        // common even in short traces.
+        let trace = Workload::Zipf { theta: 1.1, read_fraction }
+            .generate(config.footprint(), ops, &mut StdRng::seed_from_u64(seed))
+            .with_poisson_arrivals(gap_ns, &mut StdRng::seed_from_u64(seed ^ 0xdead));
+        let mut frontend = Frontend::new(
+            Controller::new(config),
+            FrontendConfig::fcfs_unbounded()
+                .with_policy(policy)
+                .with_queue_depth(queue_depth)
+                .with_backpressure(Backpressure::Stall),
+        );
+        let run = frontend.run(&trace);
+        // Stalling loses nothing: everything offered completes.
+        prop_assert_eq!(run.completions.len(), ops);
+
+        // Per (bank, address) cell: completion order == trace (admission)
+        // order. Arrivals are monotone and stalls block the stream, so
+        // admission order IS trace order.
+        let txns = trace.transactions();
+        let mut last_seen = std::collections::HashMap::new();
+        for completion in &run.completions {
+            let txn = &txns[completion.trace_index];
+            let key = (txn.bank, txn.addr);
+            if let Some(previous) = last_seen.insert(key, completion.trace_index) {
+                prop_assert!(
+                    previous < completion.trace_index,
+                    "cell {key:?}: trace[{previous}] completed after trace[{}]",
+                    completion.trace_index
+                );
+            }
+        }
+    }
+}
