@@ -1,5 +1,5 @@
 //! Cost of the device-physics substrate: the three resistance models (the
-//! DESIGN.md §9 ablation — how much does physical fidelity cost?), switching
+//! DESIGN.md §10 ablation — how much does physical fidelity cost?), switching
 //! statistics, and variation sampling.
 
 use criterion::{criterion_group, criterion_main, Criterion};

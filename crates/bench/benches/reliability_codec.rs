@@ -1,0 +1,58 @@
+//! Wall-clock cost of the (72,64) SECDED codec: encode and decode sit on
+//! every word an ECC-enabled bank serves (demand reads, host writes and
+//! every scrub visit), so they must stay in the branch-light
+//! few-nanosecond regime the table-driven bit arithmetic promises.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stt_ctrl::reliability::codec::{decode, encode, flip, CODE_BITS};
+
+const WORDS: usize = 4_096;
+
+/// A bank's worth of random words, the working set every benchmark shares.
+fn words() -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(72);
+    (0..WORDS).map(|_| rng.gen()).collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let data = words();
+    let checks: Vec<u8> = data.iter().map(|&w| encode(w)).collect();
+    // Corrupt every word with one random codeword flip: the decode path
+    // that actually corrects, not just the all-clean fast path.
+    let mut rng = StdRng::seed_from_u64(73);
+    let corrupted: Vec<(u64, u8)> = data
+        .iter()
+        .zip(&checks)
+        .map(|(&w, &c)| flip(w, c, rng.gen_range(0..CODE_BITS)))
+        .collect();
+
+    let mut group = c.benchmark_group("reliability_codec");
+    group.throughput(Throughput::Elements(WORDS as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            for &word in &data {
+                std::hint::black_box(encode(std::hint::black_box(word)));
+            }
+        })
+    });
+    group.bench_function("decode-clean", |b| {
+        b.iter(|| {
+            for (&word, &check) in data.iter().zip(&checks) {
+                std::hint::black_box(decode(std::hint::black_box(word), check));
+            }
+        })
+    });
+    group.bench_function("decode-correct", |b| {
+        b.iter(|| {
+            for &(word, check) in &corrupted {
+                std::hint::black_box(decode(std::hint::black_box(word), check));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

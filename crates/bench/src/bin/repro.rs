@@ -138,7 +138,7 @@ const EXPERIMENTS: &[Experiment] = &[
     },
     Experiment {
         id: "alphasweep",
-        title: "E10 — divider-ratio ablation: why α = 0.5 (DESIGN.md §9)",
+        title: "E10 — divider-ratio ablation: why α = 0.5 (DESIGN.md §10)",
         run: || (Some(extras::alpha_sweep()), None),
     },
     Experiment {

@@ -345,7 +345,7 @@ pub fn retention() -> Table {
     table
 }
 
-/// E10 — the divider-ratio ablation (DESIGN.md §9): margin, deviation
+/// E10 — the divider-ratio ablation (DESIGN.md §10): margin, deviation
 /// window and mismatch-weighted robustness across α, quantifying why the
 /// paper's symmetric α = 0.5 divider is the right choice.
 #[must_use]

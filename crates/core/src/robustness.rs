@@ -294,7 +294,7 @@ pub fn robustness_summary(cell: &Cell, i_max: Amps, alpha: f64) -> RobustnessSum
     }
 }
 
-/// One point of the α-choice ablation (DESIGN.md §9).
+/// One point of the α-choice ablation (DESIGN.md §10).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AlphaChoicePoint {
     /// The divider ratio under evaluation.

@@ -2,30 +2,60 @@
 //! transaction end to end.
 //!
 //! A bank owns everything it touches — cell array, ground-truth mirror,
-//! telemetry, random stream — so banks can be driven from different threads
-//! with no sharing at all. Its RNG is seeded from `(controller seed, bank
-//! index)` with the same SplitMix64 scrambling as the Monte-Carlo runner,
-//! which is what makes an N-thread run bit-identical to a serial one.
+//! telemetry, random streams — so banks can be driven from different
+//! threads with no sharing at all. Its RNG is seeded from `(controller
+//! seed, bank index)` with the same SplitMix64 scrambling as the
+//! Monte-Carlo runner, which is what makes an N-thread run bit-identical
+//! to a serial one.
+//!
+//! Three independent RNG streams per bank keep orthogonal concerns from
+//! perturbing each other:
+//!
+//! * the **demand** stream serves host traffic (senses, write pulses);
+//! * the **scrub** stream serves background scrub reads and repairs, so an
+//!   interleaved scrub never changes what a demand read would have seen;
+//! * the **fault** stream drives retention and read-disturb injection, and
+//!   is only drawn from when those fault models are enabled — a quiet plan
+//!   leaves demand traffic bit-identical to builds without soft errors.
 
 use std::cell::RefCell;
+use std::ops::Range;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use stt_array::{
-    run_with_power_failure, Address, Array, ArraySpec, OperationCost, OperationStep, Phase,
-    PhaseKind, PowerFailure,
+    run_with_power_failure, Address, Array, OperationCost, OperationStep, Phase, PhaseKind,
+    PowerFailure,
 };
-use stt_sense::{ChipTiming, DesignPoint, SchemeKind};
+use stt_sense::{ChipTiming, DesignPoint};
 
+use crate::engine::ControllerConfig;
 use crate::faults::FaultPlan;
+use crate::reliability::codec::{self, DecodeKind};
+use crate::reliability::{word_count, ScrubCursor, ScrubOutcome, WORD_BITS};
 use crate::retry::RetryPolicy;
 use crate::sense::Scheme;
-use crate::telemetry::{BankTelemetry, LatencyBounds};
+use crate::telemetry::{BankTelemetry, EccEventKind};
 use crate::txn::{Op, Transaction};
 
 /// Programming pulses a write may burn before the controller declares the
 /// cell unwritable (`(1 − p_switch)⁸` residual failure).
 const MAX_WRITE_ATTEMPTS: u32 = 8;
+
+/// Seed salt for the per-bank scrub RNG stream (distinct from every demand
+/// stream by construction: SplitMix64 scrambles the salted seed).
+const SCRUB_STREAM: u64 = 0x5343_5255_4253_4d31;
+/// Seed salt for the per-bank fault-injection RNG stream.
+const FAULT_STREAM: u64 = 0x4641_554c_5453_4d32;
+
+/// Controller-side ECC state for one bank: the per-word check store
+/// (modelling dedicated check columns, updated on writes, never corrupted
+/// by the array) and the scrub walk cursor.
+#[derive(Debug)]
+struct EccState {
+    check: Vec<u8>,
+    cursor: ScrubCursor,
+}
 
 /// One independently-addressable bank of the controller.
 #[derive(Debug)]
@@ -35,6 +65,8 @@ pub struct Bank {
     /// What the host believes each cell holds (row-major).
     truth: Vec<bool>,
     rng: StdRng,
+    scrub_rng: StdRng,
+    fault_rng: StdRng,
     scheme: Scheme,
     retry: RetryPolicy,
     /// Stuck-at defects on this bank, pre-filtered from the fault plan.
@@ -43,27 +75,29 @@ pub struct Bank {
     write_cost: OperationCost,
     telemetry: BankTelemetry,
     reads_served: u64,
+    /// SECDED sidecar, present only under `EccMode::Secded`.
+    ecc: Option<EccState>,
+    /// Busy-time stamp (ns) of each cell's last access, the retention
+    /// fault's per-cell clock. Busy time — not wall time — so retention is
+    /// identical across serial, parallel and event-driven dispatch.
+    last_touch_ns: Vec<f64>,
 }
 
 impl Bank {
-    /// Samples and initialises bank `index`.
+    /// Samples and initialises bank `index` of `config`.
     ///
     /// The array is filled with a random pattern (ideal preload writes, not
     /// traffic), stuck cells are snapped to their defect value, and the
     /// host's truth mirror starts equal to the actual stored state — so
     /// every misread and corrupted bit the telemetry later reports was
-    /// caused by served traffic, not initial conditions.
+    /// caused by served traffic, not initial conditions. Under ECC the
+    /// per-word check store is encoded from that same consistent state.
     #[must_use]
-    pub fn new(
-        index: usize,
-        spec: &ArraySpec,
-        kind: SchemeKind,
-        retry: RetryPolicy,
-        faults: &FaultPlan,
-        seed: u64,
-        bounds: &LatencyBounds,
-    ) -> Self {
-        let mut rng = stt_stats::trial_rng(seed, index);
+    pub fn new(index: usize, config: &ControllerConfig) -> Self {
+        let spec = &config.spec;
+        let mut rng = stt_stats::trial_rng(config.seed, index);
+        let scrub_rng = stt_stats::trial_rng(config.seed ^ SCRUB_STREAM, index);
+        let fault_rng = stt_stats::trial_rng(config.seed ^ FAULT_STREAM, index);
         let mut array = spec.sample(&mut rng);
         let mut truth = vec![false; spec.capacity_bits()];
         let cols = spec.cols;
@@ -72,7 +106,8 @@ impl Bank {
             array.write_bit(addr, bit);
             truth[addr.row * cols + addr.col] = bit;
         }
-        let stuck: Vec<(Address, bool)> = faults
+        let stuck: Vec<(Address, bool)> = config
+            .faults
             .stuck_cells_of(index)
             .map(|cell| (cell.addr, cell.value))
             .collect();
@@ -80,6 +115,17 @@ impl Bank {
             array.write_bit(addr, value);
             truth[addr.row * cols + addr.col] = value;
         }
+        let mut telemetry = BankTelemetry::with_bounds(&config.latency_bounds);
+        let ecc = config.ecc.is_enabled().then(|| {
+            let words = word_count(spec.capacity_bits());
+            telemetry.ecc.words_total = words as u64;
+            EccState {
+                check: (0..words)
+                    .map(|w| codec::encode(truth_word(&truth, w)))
+                    .collect(),
+                cursor: ScrubCursor::new(words),
+            }
+        });
         let design = DesignPoint::date2010(&spec.cell.nominal_cell());
         let timing = ChipTiming::date2010();
         Self {
@@ -87,13 +133,17 @@ impl Bank {
             array,
             truth,
             rng,
-            scheme: Scheme::for_kind(kind, &design),
-            retry,
+            scrub_rng,
+            fault_rng,
+            scheme: Scheme::for_kind(config.kind, &design),
+            retry: config.retry,
             stuck,
-            read_cost: timing.read_cost(kind, &design),
+            read_cost: timing.read_cost(config.kind, &design),
             write_cost: write_cost(&timing),
-            telemetry: BankTelemetry::with_bounds(bounds),
+            telemetry,
             reads_served: 0,
+            ecc,
+            last_touch_ns: vec![0.0; spec.capacity_bits()],
         }
     }
 
@@ -109,6 +159,12 @@ impl Bank {
         &self.telemetry
     }
 
+    /// `true` when this bank runs with the SECDED layer.
+    #[must_use]
+    pub fn has_ecc(&self) -> bool {
+        self.ecc.is_some()
+    }
+
     /// Serves one transaction.
     ///
     /// # Panics
@@ -116,18 +172,24 @@ impl Bank {
     /// Panics if the transaction's address is out of this bank's range.
     pub fn execute(&mut self, txn: &Transaction, faults: &FaultPlan) {
         match txn.op {
-            Op::Read => self.serve_read(txn.addr, faults),
+            Op::Read => {
+                self.reads_served += 1;
+                self.telemetry.reads += 1;
+                if faults.cuts_power_on(self.reads_served) {
+                    self.serve_read_with_power_cut(txn.addr);
+                } else if self.ecc.is_some() {
+                    self.serve_read_ecc(txn.addr, faults);
+                } else {
+                    self.serve_read_plain(txn.addr, faults);
+                }
+            }
             Op::Write(bit) => self.serve_write(txn.addr, bit),
         }
     }
 
-    fn serve_read(&mut self, addr: Address, faults: &FaultPlan) {
-        self.reads_served += 1;
-        self.telemetry.reads += 1;
-        if faults.cuts_power_on(self.reads_served) {
-            self.serve_read_with_power_cut(addr);
-            return;
-        }
+    fn serve_read_plain(&mut self, addr: Address, faults: &FaultPlan) {
+        let cell = self.truth_index(addr);
+        self.apply_retention(cell..cell + 1, faults, false);
         let scheme = self.scheme;
         let retry = self.retry;
         let (array, rng) = (&mut self.array, &mut self.rng);
@@ -136,15 +198,78 @@ impl Bank {
             // The erase/write-back pulses may have hit a stuck cell.
             self.snap_stuck_cells();
         }
+        self.apply_read_disturb(cell..cell + 1, faults, false);
+        if faults.has_soft_errors() {
+            self.snap_stuck_cells();
+        }
         self.telemetry.read_retries += u64::from(resolution.retries());
         if !resolution.confident {
             self.telemetry.unconfident_reads += 1;
         }
-        if resolution.bit != self.truth[self.truth_index(addr)] {
+        if resolution.bit != self.truth[cell] {
             self.telemetry.misreads += 1;
         }
         let latency = self.read_cost.latency() * f64::from(resolution.attempts);
         let energy = self.read_cost.energy() * f64::from(resolution.attempts);
+        self.telemetry.record_read_latency(latency);
+        self.telemetry.busy_time += latency;
+        self.telemetry.energy += energy;
+    }
+
+    /// An ECC-protected read: sense the whole 64-cell word (one sense
+    /// amplifier per column, so word latency is the *slowest* cell's retry
+    /// chain while energy sums every attempt), decode it against the check
+    /// store, and classify the access as clean / corrected CE / detected UE
+    /// / silent. The delivered bit is cut from the *decoded* word, so a
+    /// single-bit error anywhere in the word — stuck cell, retention flip,
+    /// marginal sense — no longer reaches the host.
+    fn serve_read_ecc(&mut self, addr: Address, faults: &FaultPlan) {
+        let cell = self.truth_index(addr);
+        let word = cell / WORD_BITS;
+        let span = self.word_span(word);
+        self.apply_retention(span.clone(), faults, false);
+        let (received, max_attempts, total_attempts, any_unconfident) =
+            self.sense_word(span.clone(), false);
+        if self.scheme.is_destructive() {
+            self.snap_stuck_cells();
+        }
+        self.apply_read_disturb(span.clone(), faults, false);
+        if faults.has_soft_errors() {
+            self.snap_stuck_cells();
+        }
+        self.telemetry.read_retries += u64::from(max_attempts - 1);
+        if any_unconfident {
+            self.telemetry.unconfident_reads += 1;
+        }
+
+        let check = self.ecc.as_ref().expect("ECC read without ECC state").check[word];
+        let decoded = codec::decode(received, check);
+        let truth = truth_word(&self.truth, word);
+        let ecc = &mut self.telemetry.ecc;
+        match decoded.kind {
+            DecodeKind::Uncorrectable => {
+                ecc.detected_ue += 1;
+                ecc.log_event(word, EccEventKind::DemandUe);
+            }
+            _ if decoded.data != truth => {
+                // The codec passed it (clean or "corrected"), but the word
+                // is still wrong: the silent residue ECC cannot see.
+                ecc.silent_errors += 1;
+                ecc.log_event(word, EccEventKind::DemandSilent);
+            }
+            kind if kind.is_corrected() => {
+                ecc.corrected_ce += 1;
+                ecc.log_event(word, EccEventKind::DemandCe);
+            }
+            _ => ecc.clean_reads += 1,
+        }
+        let delivered = (decoded.data >> (cell - span.start)) & 1 == 1;
+        if delivered != self.truth[cell] {
+            self.telemetry.misreads += 1;
+        }
+
+        let latency = self.read_cost.latency() * f64::from(max_attempts);
+        let energy = self.read_cost.energy() * total_attempts as f64;
         self.telemetry.record_read_latency(latency);
         self.telemetry.busy_time += latency;
         self.telemetry.energy += energy;
@@ -205,6 +330,223 @@ impl Bank {
         self.snap_stuck_cells();
         self.telemetry.busy_time += self.write_cost.latency() * f64::from(pulses_burned);
         self.telemetry.energy += self.write_cost.energy() * f64::from(pulses_burned);
+        // Controller-side read-modify-write: the check columns are refreshed
+        // from the host's word, so they always match the truth mirror.
+        if let Some(ecc) = &mut self.ecc {
+            let word = index / WORD_BITS;
+            ecc.check[word] = codec::encode(truth_word(&self.truth, word));
+        }
+        self.last_touch_ns[index] = self.busy_now_ns();
+    }
+
+    /// One background scrub step: re-read the next word in the round-robin
+    /// walk through the configured sensing scheme (on the dedicated scrub
+    /// RNG stream), decode it, and **repair in place** — every cell whose
+    /// stored state disagrees with the decoded word is rewritten, which
+    /// fixes retention flips, read-disturb flips and power-cut damage alike
+    /// as long as the word is still correctable.
+    ///
+    /// An *uncorrectable* word is raised to the host and reconstructed from
+    /// the host's copy (the truth mirror stands in for the page cache /
+    /// RAID layer a real system recovers from), the patrol-scrub →
+    /// page-retirement → re-migration flow: the word costs one recoverable
+    /// `scrub_ue_found` event instead of becoming a permanent demand-UE
+    /// emitter that every later read of the word trips over. Without this,
+    /// a single double-flip inside one scrub rotation poisons its word for
+    /// the rest of the run — and a third flip on top miscorrects, so scrub
+    /// would lock wrong data in place.
+    ///
+    /// Returns `None` when the bank runs without ECC (nothing to scrub
+    /// against). Scrub time and energy are charged to the bank's busy-time
+    /// accumulator exactly like demand traffic, so the scheduler frontend
+    /// prices scrub occupancy the same way.
+    pub fn scrub_next(&mut self, faults: &FaultPlan) -> Option<ScrubOutcome> {
+        self.ecc.as_ref()?;
+        let (word, wrapped) = self.ecc.as_mut().expect("checked above").cursor.advance();
+        let span = self.word_span(word);
+        self.apply_retention(span.clone(), faults, true);
+        let (received, max_attempts, _, _) = self.sense_word(span.clone(), true);
+        if self.scheme.is_destructive() {
+            self.snap_stuck_cells();
+        }
+        self.apply_read_disturb(span.clone(), faults, true);
+        if faults.has_soft_errors() {
+            self.snap_stuck_cells();
+        }
+        let mut latency = self.read_cost.latency() * f64::from(max_attempts);
+        let mut energy = self.read_cost.energy() * f64::from(max_attempts);
+
+        let check = self.ecc.as_ref().expect("checked above").check[word];
+        let decoded = codec::decode(received, check);
+        let mut corrected = false;
+        let mut uncorrectable = false;
+        let mut rewritten = 0u32;
+        match decoded.kind {
+            DecodeKind::Clean => {}
+            DecodeKind::Uncorrectable => {
+                uncorrectable = true;
+                self.telemetry.ecc.scrub_ue_found += 1;
+                self.telemetry.ecc.log_event(word, EccEventKind::ScrubUe);
+                // Host-assisted reconstruction: restore every cell that
+                // disagrees with the host's copy. The check sidecar already
+                // holds encode(truth), so the word re-reads clean afterwards.
+                let truth = truth_word(&self.truth, word);
+                for k in 0..span.len() {
+                    let addr = self.addr_of(span.start + k);
+                    let target = (truth >> k) & 1 == 1;
+                    if self.array.read_state(addr).bit() != target {
+                        let pulses = self
+                            .array
+                            .write_bit_verified(
+                                addr,
+                                target,
+                                MAX_WRITE_ATTEMPTS,
+                                &mut self.scrub_rng,
+                            )
+                            .unwrap_or(MAX_WRITE_ATTEMPTS);
+                        latency += self.write_cost.latency() * f64::from(pulses);
+                        energy += self.write_cost.energy() * f64::from(pulses);
+                        rewritten += 1;
+                    }
+                }
+                if rewritten > 0 {
+                    self.snap_stuck_cells();
+                }
+                self.telemetry.ecc.scrub_cells_rewritten += u64::from(rewritten);
+            }
+            _ => {
+                corrected = true;
+                self.telemetry.ecc.scrub_ce_corrected += 1;
+                self.telemetry.ecc.log_event(word, EccEventKind::ScrubCe);
+                // Repair: rewrite cells whose *stored* state disagrees with
+                // the corrected word. A transient mis-sense decodes to the
+                // stored state itself, so nothing is rewritten (and no RNG
+                // is drawn) — scrub stays a no-op on a healthy array.
+                for k in 0..span.len() {
+                    let addr = self.addr_of(span.start + k);
+                    let target = (decoded.data >> k) & 1 == 1;
+                    if self.array.read_state(addr).bit() != target {
+                        let pulses = self
+                            .array
+                            .write_bit_verified(
+                                addr,
+                                target,
+                                MAX_WRITE_ATTEMPTS,
+                                &mut self.scrub_rng,
+                            )
+                            .unwrap_or(MAX_WRITE_ATTEMPTS);
+                        latency += self.write_cost.latency() * f64::from(pulses);
+                        energy += self.write_cost.energy() * f64::from(pulses);
+                        rewritten += 1;
+                    }
+                }
+                if rewritten > 0 {
+                    self.snap_stuck_cells();
+                }
+                self.telemetry.ecc.scrub_cells_rewritten += u64::from(rewritten);
+            }
+        }
+        self.telemetry.ecc.scrub_words_scanned += 1;
+        if wrapped {
+            self.telemetry.ecc.scrub_passes += 1;
+        }
+        // Scrub occupancy is charged to its own accumulator: `busy_time` is
+        // the demand-traffic clock (and the retention-decay clock), so
+        // folding scrub into it would accelerate the decay scrub repairs
+        // and mismatch fault exposure across protection levels.
+        self.telemetry.ecc.scrub_busy_time += latency;
+        self.telemetry.energy += energy;
+        Some(ScrubOutcome {
+            word,
+            corrected,
+            uncorrectable,
+            cells_rewritten: rewritten,
+            completed_pass: wrapped,
+        })
+    }
+
+    /// Senses every cell of `span` once through the retry policy, on the
+    /// demand stream (`scrub == false`) or the scrub stream. Returns the
+    /// received word (bit `k` = cell `span.start + k`), the largest
+    /// per-cell attempt count, the total attempts, and whether any cell
+    /// fell back unconfidently.
+    fn sense_word(&mut self, span: Range<usize>, scrub: bool) -> (u64, u32, u64, bool) {
+        let scheme = self.scheme;
+        let retry = self.retry;
+        let cols = self.array.cols();
+        let mut received = 0u64;
+        let mut max_attempts = 1u32;
+        let mut total_attempts = 0u64;
+        let mut any_unconfident = false;
+        for (k, cell) in span.enumerate() {
+            let addr = Address::new(cell / cols, cell % cols);
+            let array = &mut self.array;
+            let rng = if scrub {
+                &mut self.scrub_rng
+            } else {
+                &mut self.rng
+            };
+            let resolution = retry.resolve(|| scheme.sense_once(array, addr, rng));
+            max_attempts = max_attempts.max(resolution.attempts);
+            total_attempts += u64::from(resolution.attempts);
+            any_unconfident |= !resolution.confident;
+            if resolution.bit {
+                received |= 1u64 << k;
+            }
+        }
+        (received, max_attempts, total_attempts, any_unconfident)
+    }
+
+    /// Materialises retention decay on every cell of `span`: each cell
+    /// flips with the exponential-hazard probability of its idle span on
+    /// the bank's busy-time clock, then has its clock reset. Draws nothing
+    /// when retention faults are off.
+    fn apply_retention(&mut self, span: Range<usize>, faults: &FaultPlan, scrub: bool) {
+        if faults.retention_rate_per_ns.is_none() {
+            return;
+        }
+        let now_ns = self.busy_now_ns();
+        let cols = self.array.cols();
+        for cell in span {
+            let p = faults.retention_flip_prob(now_ns - self.last_touch_ns[cell]);
+            self.last_touch_ns[cell] = now_ns;
+            if p <= 0.0 {
+                continue;
+            }
+            let rng = if scrub {
+                &mut self.scrub_rng
+            } else {
+                &mut self.fault_rng
+            };
+            if rng.gen_bool(p) {
+                let addr = Address::new(cell / cols, cell % cols);
+                let stored = self.array.read_state(addr).bit();
+                self.array.write_bit(addr, !stored);
+                self.telemetry.retention_flips += 1;
+            }
+        }
+    }
+
+    /// Read disturb: after a sense, each cell of the victim span flips with
+    /// the plan's per-read probability. Draws nothing when disabled.
+    fn apply_read_disturb(&mut self, span: Range<usize>, faults: &FaultPlan, scrub: bool) {
+        let Some(p) = faults.read_disturb_prob else {
+            return;
+        };
+        let cols = self.array.cols();
+        for cell in span {
+            let rng = if scrub {
+                &mut self.scrub_rng
+            } else {
+                &mut self.fault_rng
+            };
+            if rng.gen_bool(p) {
+                let addr = Address::new(cell / cols, cell % cols);
+                let stored = self.array.read_state(addr).bit();
+                self.array.write_bit(addr, !stored);
+                self.telemetry.read_disturb_flips += 1;
+            }
+        }
     }
 
     /// The bank's stored bits right now, row-major — the quantity the
@@ -239,6 +581,35 @@ impl Bank {
     fn truth_index(&self, addr: Address) -> usize {
         addr.row * self.array.cols() + addr.col
     }
+
+    fn addr_of(&self, cell: usize) -> Address {
+        let cols = self.array.cols();
+        Address::new(cell / cols, cell % cols)
+    }
+
+    /// The cell range of ECC word `word` (the last word may be partial; its
+    /// missing bits are constant zeros on both sides of the codec).
+    fn word_span(&self, word: usize) -> Range<usize> {
+        let start = word * WORD_BITS;
+        start..(start + WORD_BITS).min(self.truth.len())
+    }
+
+    fn busy_now_ns(&self) -> f64 {
+        self.telemetry.busy_time.get() * 1e9
+    }
+}
+
+/// The host-truth contents of ECC word `word` (bit `k` = cell
+/// `word * 64 + k`; cells past the end of the bank read as zero).
+fn truth_word(truth: &[bool], word: usize) -> u64 {
+    let start = word * WORD_BITS;
+    let mut bits = 0u64;
+    for k in 0..WORD_BITS {
+        if truth.get(start + k).copied().unwrap_or(false) {
+            bits |= 1u64 << k;
+        }
+    }
+    bits
 }
 
 /// Latency/energy of one programming pulse (decode + pulse + driver
@@ -265,17 +636,21 @@ fn write_cost(timing: &ChipTiming) -> OperationCost {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reliability::EccMode;
+    use stt_sense::SchemeKind;
+
+    fn small_config(kind: SchemeKind, faults: &FaultPlan) -> ControllerConfig {
+        ControllerConfig::small(kind, 1)
+            .with_seed(77)
+            .with_faults(faults.clone())
+    }
 
     fn small_bank(kind: SchemeKind, faults: &FaultPlan) -> Bank {
-        Bank::new(
-            0,
-            &ArraySpec::small_test_array(),
-            kind,
-            RetryPolicy::date2010(),
-            faults,
-            77,
-            &LatencyBounds::date2010(),
-        )
+        Bank::new(0, &small_config(kind, faults))
+    }
+
+    fn small_ecc_bank(kind: SchemeKind, faults: &FaultPlan) -> Bank {
+        Bank::new(0, &small_config(kind, faults).with_ecc(EccMode::Secded))
     }
 
     #[test]
@@ -283,6 +658,7 @@ mod tests {
         for kind in SchemeKind::ALL {
             let bank = small_bank(kind, &FaultPlan::none());
             assert_eq!(bank.audit_corrupted_bits(), 0, "{kind}");
+            assert!(!bank.has_ecc());
         }
     }
 
@@ -349,5 +725,162 @@ mod tests {
                 assert_eq!(bank.audit_corrupted_bits(), 0, "{kind}");
             }
         }
+    }
+
+    #[test]
+    fn ecc_read_classifies_and_absorbs_a_stuck_cell() {
+        // The 8×8 test array is exactly one ECC word. A stuck cell the host
+        // writes against is a persistent single-bit error: without ECC it
+        // is a misread, with ECC it is a corrected CE and the host gets the
+        // right bit.
+        let addr = Address::new(3, 3);
+        let faults = FaultPlan::none().with_stuck_cell(0, addr, false);
+        let mut bank = small_ecc_bank(SchemeKind::Nondestructive, &faults);
+        assert!(bank.has_ecc());
+        bank.execute(&Transaction::write(0, addr, true), &faults);
+        bank.execute(&Transaction::read(0, addr), &faults);
+        let ecc = &bank.telemetry().ecc;
+        assert_eq!(ecc.corrected_ce, 1, "{ecc:?}");
+        assert_eq!(ecc.detected_ue + ecc.silent_errors, 0);
+        assert_eq!(
+            bank.telemetry().misreads,
+            0,
+            "ECC must deliver the written bit despite the stuck cell"
+        );
+        assert_eq!(ecc.error_log.len(), 1);
+        assert_eq!(ecc.error_log[0].kind, EccEventKind::DemandCe);
+    }
+
+    #[test]
+    fn ecc_clean_reads_stay_clean() {
+        let faults = FaultPlan::none();
+        let mut bank = small_ecc_bank(SchemeKind::Nondestructive, &faults);
+        for col in 0..4 {
+            bank.execute(&Transaction::read(0, Address::new(0, col)), &faults);
+        }
+        let ecc = &bank.telemetry().ecc;
+        assert_eq!(
+            ecc.clean_reads + ecc.corrected_ce,
+            4,
+            "a healthy array decodes clean (or corrects a transient): {ecc:?}"
+        );
+        assert_eq!(ecc.detected_ue + ecc.silent_errors, 0);
+        assert_eq!(bank.telemetry().misreads, 0);
+        assert_eq!(ecc.words_total, 1);
+    }
+
+    #[test]
+    fn ecc_word_read_charges_word_energy_single_read_latency() {
+        let faults = FaultPlan::none();
+        let mut bank = small_ecc_bank(SchemeKind::Nondestructive, &faults);
+        bank.execute(&Transaction::read(0, Address::new(0, 0)), &faults);
+        let telemetry = bank.telemetry();
+        // 64 parallel sense amps: latency is one read times the slowest
+        // cell's attempts, far below 64 serial reads.
+        assert!(telemetry.read_latency_ns.mean() < 14.0 * 4.0);
+        // Energy covers every cell of the word at least once. The single-cell
+        // baseline may itself have retried (up to the policy's attempt cap),
+        // so compare against a retry-robust multiple.
+        let one_cell_read_energy = {
+            let mut single = small_bank(SchemeKind::Nondestructive, &faults);
+            single.execute(&Transaction::read(0, Address::new(0, 0)), &faults);
+            single.telemetry().energy
+        };
+        assert!(telemetry.energy.get() >= one_cell_read_energy.get() * 8.0);
+    }
+
+    #[test]
+    fn scrub_repairs_a_flipped_cell() {
+        let faults = FaultPlan::none();
+        let mut bank = small_ecc_bank(SchemeKind::Nondestructive, &faults);
+        // Corrupt one stored cell behind the host's back (as a power cut or
+        // retention flip would).
+        let victim = Address::new(5, 5);
+        let stored = bank.array.read_state(victim).bit();
+        bank.array.write_bit(victim, !stored);
+        assert_eq!(bank.audit_corrupted_bits(), 1);
+        let outcome = bank.scrub_next(&faults).expect("ECC bank must scrub");
+        assert!(outcome.corrected, "{outcome:?}");
+        assert_eq!(outcome.cells_rewritten, 1);
+        assert!(outcome.completed_pass, "single-word bank wraps every scan");
+        assert_eq!(bank.audit_corrupted_bits(), 0, "scrub must repair in place");
+        let ecc = &bank.telemetry().ecc;
+        assert_eq!(ecc.scrub_ce_corrected, 1);
+        assert_eq!(ecc.scrub_cells_rewritten, 1);
+        assert_eq!(ecc.scrub_passes, 1);
+    }
+
+    #[test]
+    fn scrub_without_ecc_is_refused() {
+        let mut bank = small_bank(SchemeKind::Nondestructive, &FaultPlan::none());
+        assert!(bank.scrub_next(&FaultPlan::none()).is_none());
+    }
+
+    #[test]
+    fn scrub_on_a_healthy_bank_leaves_state_and_demand_stream_alone() {
+        let faults = FaultPlan::none();
+        let mut scrubbed = small_ecc_bank(SchemeKind::Nondestructive, &faults);
+        let mut control = small_ecc_bank(SchemeKind::Nondestructive, &faults);
+        for _ in 0..8 {
+            let outcome = scrubbed.scrub_next(&faults).unwrap();
+            assert_eq!(outcome.cells_rewritten, 0);
+        }
+        assert_eq!(scrubbed.stored_bits(), control.stored_bits());
+        // Demand reads after scrubbing see the exact same RNG stream.
+        let addr = Address::new(2, 2);
+        for _ in 0..16 {
+            scrubbed.execute(&Transaction::read(0, addr), &faults);
+            control.execute(&Transaction::read(0, addr), &faults);
+        }
+        assert_eq!(scrubbed.telemetry().misreads, control.telemetry().misreads);
+        assert_eq!(
+            scrubbed.telemetry().read_retries,
+            control.telemetry().read_retries
+        );
+    }
+
+    #[test]
+    fn retention_faults_flip_idle_cells_and_ecc_corrects_them() {
+        // An aggressive decay rate against a bank kept busy by writes to one
+        // cell: other cells of the word accumulate idle time and flip.
+        let faults = FaultPlan::none().with_retention_rate(1e-3);
+        let mut bank = small_ecc_bank(SchemeKind::Nondestructive, &faults);
+        let hot = Address::new(0, 0);
+        for k in 0..200 {
+            bank.execute(&Transaction::write(0, hot, k % 2 == 0), &faults);
+            bank.execute(&Transaction::read(0, hot), &faults);
+        }
+        assert!(
+            bank.telemetry().retention_flips > 0,
+            "accelerated decay must flip something"
+        );
+    }
+
+    #[test]
+    fn read_disturb_flips_are_counted() {
+        let faults = FaultPlan::none().with_read_disturb(0.2);
+        let mut bank = small_bank(SchemeKind::Nondestructive, &faults);
+        let addr = Address::new(1, 1);
+        for _ in 0..50 {
+            bank.execute(&Transaction::read(0, addr), &faults);
+        }
+        assert!(bank.telemetry().read_disturb_flips > 0);
+    }
+
+    #[test]
+    fn soft_fault_streams_leave_quiet_plans_bit_identical() {
+        // A plan with soft-error models *present but the bank untouched by
+        // them* must not perturb the demand stream: same seed, same reads,
+        // same outcomes as a no-fault run.
+        let quiet = FaultPlan::none();
+        let mut a = small_bank(SchemeKind::Nondestructive, &quiet);
+        let mut b = small_bank(SchemeKind::Nondestructive, &quiet);
+        for col in 0..8 {
+            let addr = Address::new(4, col);
+            a.execute(&Transaction::read(0, addr), &quiet);
+            b.execute(&Transaction::read(0, addr), &quiet);
+        }
+        assert_eq!(a.telemetry(), b.telemetry());
+        assert_eq!(a.stored_bits(), b.stored_bits());
     }
 }

@@ -13,6 +13,7 @@ use stt_sense::SchemeKind;
 
 use crate::bank::Bank;
 use crate::faults::FaultPlan;
+use crate::reliability::EccMode;
 use crate::retry::RetryPolicy;
 use crate::telemetry::{LatencyBounds, Telemetry};
 use crate::txn::{Trace, Transaction};
@@ -46,6 +47,10 @@ pub struct ControllerConfig {
     /// 0–100 ns × 2 ns grid).
     #[serde(default)]
     pub latency_bounds: LatencyBounds,
+    /// Error-correction layer over bank reads (defaults to none, the seed
+    /// behaviour: every misread is silent).
+    #[serde(default)]
+    pub ecc: EccMode,
 }
 
 impl ControllerConfig {
@@ -60,6 +65,7 @@ impl ControllerConfig {
             faults: FaultPlan::none(),
             seed: 2010,
             latency_bounds: LatencyBounds::date2010(),
+            ecc: EccMode::None,
         }
     }
 
@@ -93,6 +99,13 @@ impl ControllerConfig {
         self
     }
 
+    /// Overrides the ECC layer.
+    #[must_use]
+    pub fn with_ecc(mut self, ecc: EccMode) -> Self {
+        self.ecc = ecc;
+        self
+    }
+
     /// The address space this configuration exposes, for workload
     /// generation.
     #[must_use]
@@ -123,17 +136,7 @@ impl Controller {
     #[must_use]
     pub fn new(config: ControllerConfig) -> Self {
         assert!(config.banks > 0, "a controller needs at least one bank");
-        let banks = stt_stats::fill_indexed(config.banks, |index| {
-            Bank::new(
-                index,
-                &config.spec,
-                config.kind,
-                config.retry,
-                &config.faults,
-                config.seed,
-                &config.latency_bounds,
-            )
-        });
+        let banks = stt_stats::fill_indexed(config.banks, |index| Bank::new(index, &config));
         Self { config, banks }
     }
 

@@ -13,6 +13,20 @@
 //!   a stuck cell appear to succeed but the cell snaps back, so reads
 //!   return the stuck value — the misreads an ECC/map-out layer would have
 //!   to absorb.
+//!
+//! Two more families come from the STT-MRAM testing literature (Wu et al.,
+//! 2020 survey), both drawn on a **dedicated per-bank fault RNG stream** so
+//! enabling them never perturbs sense or write randomness:
+//!
+//! * **Retention failures** — thermally-activated bit flips while a cell
+//!   sits idle. Modelled as a per-cell exponential hazard over the bank's
+//!   accumulated *busy time* (not wall time, so serial, parallel and
+//!   event-driven dispatch stay bit-identical): when an access touches a
+//!   cell that has been idle for `dt` ns, it first flips with probability
+//!   `1 − exp(−rate·dt)`.
+//! * **Read disturb** — the read current of every sensed cell nudges its own
+//!   free layer; each cell of a read word flips with a fixed probability per
+//!   read. Unlike retention this only hits words traffic actually touches.
 
 use serde::{Deserialize, Serialize};
 use stt_array::Address;
@@ -29,7 +43,7 @@ pub struct StuckCell {
 }
 
 /// What to inject while serving a trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Cut power mid-sequence on every Nth read of each bank
     /// (`None` = never). The count is per bank, so the plan is independent
@@ -37,6 +51,16 @@ pub struct FaultPlan {
     pub power_cut_every: Option<u64>,
     /// Manufacturing defects.
     pub stuck_cells: Vec<StuckCell>,
+    /// Retention-failure hazard rate per cell, per nanosecond of bank busy
+    /// time (`None` = perfect retention). Real rates are astronomically
+    /// small; campaign values are accelerated so failures appear within a
+    /// trace, like a bake test.
+    #[serde(default)]
+    pub retention_rate_per_ns: Option<f64>,
+    /// Probability that one read flips each sensed cell of the victim word
+    /// (`None` = no read disturb).
+    #[serde(default)]
+    pub read_disturb_prob: Option<f64>,
 }
 
 impl FaultPlan {
@@ -63,6 +87,56 @@ impl FaultPlan {
     pub fn with_stuck_cell(mut self, bank: usize, addr: Address, value: bool) -> Self {
         self.stuck_cells.push(StuckCell { bank, addr, value });
         self
+    }
+
+    /// Sets the retention-failure hazard rate (flips per cell per
+    /// nanosecond of bank busy time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    #[must_use]
+    pub fn with_retention_rate(mut self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "retention rate must be positive, got {rate}"
+        );
+        self.retention_rate_per_ns = Some(rate);
+        self
+    }
+
+    /// Sets the per-read, per-cell read-disturb flip probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_read_disturb(mut self, prob: f64) -> Self {
+        assert!(
+            prob.is_finite() && prob > 0.0 && prob <= 1.0,
+            "read-disturb probability must be in (0, 1], got {prob}"
+        );
+        self.read_disturb_prob = Some(prob);
+        self
+    }
+
+    /// Probability that a cell idle for `idle_ns` nanoseconds of bank busy
+    /// time has suffered a retention flip (0 when retention faults are off
+    /// or the cell was just touched).
+    #[must_use]
+    pub fn retention_flip_prob(&self, idle_ns: f64) -> f64 {
+        match self.retention_rate_per_ns {
+            Some(rate) if idle_ns > 0.0 => -(-rate * idle_ns).exp_m1(),
+            _ => 0.0,
+        }
+    }
+
+    /// `true` when retention or read-disturb injection is active — the bank
+    /// only draws from its fault RNG stream in that case, so disabled plans
+    /// stay bit-identical to builds that predate these fault models.
+    #[must_use]
+    pub fn has_soft_errors(&self) -> bool {
+        self.retention_rate_per_ns.is_some() || self.read_disturb_prob.is_some()
     }
 
     /// `true` if the `reads_served`-th read (1-based) on a bank should be
@@ -102,6 +176,32 @@ mod tests {
         assert!(!plan.cuts_power_on(99));
         assert!(plan.cuts_power_on(100));
         assert!(plan.cuts_power_on(200));
+    }
+
+    #[test]
+    fn retention_probability_follows_the_exponential_hazard() {
+        let plan = FaultPlan::none().with_retention_rate(1e-3);
+        assert_eq!(plan.retention_flip_prob(0.0), 0.0);
+        let p = plan.retention_flip_prob(1000.0);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!(plan.retention_flip_prob(1e9) > 0.999_999);
+        assert_eq!(FaultPlan::none().retention_flip_prob(1e9), 0.0);
+    }
+
+    #[test]
+    fn soft_error_flag_tracks_the_two_models() {
+        assert!(!FaultPlan::none().has_soft_errors());
+        assert!(FaultPlan::none()
+            .with_retention_rate(1e-6)
+            .has_soft_errors());
+        assert!(FaultPlan::none().with_read_disturb(0.01).has_soft_errors());
+        assert!(!FaultPlan::none().with_power_cut_every(5).has_soft_errors());
+    }
+
+    #[test]
+    #[should_panic(expected = "read-disturb probability")]
+    fn read_disturb_must_be_a_probability() {
+        let _ = FaultPlan::none().with_read_disturb(1.5);
     }
 
     #[test]

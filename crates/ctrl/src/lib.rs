@@ -15,9 +15,11 @@
 //! * [`bank`] — one bank: array + truth mirror + RNG + telemetry.
 //! * [`engine`] — the [`Controller`]: partition a trace per bank, serve it
 //!   serially or on one scoped thread per bank, bit-identically.
+//! * [`reliability`] — the (72,64) SECDED codec, background-scrub plumbing,
+//!   and the fault-injection campaign harness.
 //! * [`sched`] — the event-driven request frontend: timestamped arrivals,
 //!   bounded per-bank queues with backpressure, pluggable dispatch
-//!   policies, queueing-delay telemetry.
+//!   policies, a background scrub daemon, queueing-delay telemetry.
 //! * [`telemetry`] — per-bank and aggregate counters, latency histograms,
 //!   energy/latency totals, queueing summaries, post-run integrity audit.
 //!
@@ -56,6 +58,7 @@
 pub mod bank;
 pub mod engine;
 pub mod faults;
+pub mod reliability;
 pub mod retry;
 pub mod sched;
 pub mod sense;
@@ -66,9 +69,12 @@ pub mod workload;
 pub use bank::Bank;
 pub use engine::{Controller, ControllerConfig, Dispatch};
 pub use faults::{FaultPlan, StuckCell};
+pub use reliability::{
+    run_campaign, CampaignConfig, CampaignRow, EccMode, FaultIntensity, Protection, ScrubConfig,
+};
 pub use retry::{ReadResolution, RetryPolicy};
-pub use sched::{Backpressure, Frontend, FrontendConfig, Policy, SchedRun};
+pub use sched::{Backpressure, Frontend, FrontendConfig, Policy, PriorityClass, SchedRun};
 pub use sense::{Scheme, Sensed};
-pub use telemetry::{BankTelemetry, LatencyBounds, QueueTelemetry, Telemetry};
-pub use txn::{Op, Trace, TraceParseError, Transaction};
+pub use telemetry::{BankTelemetry, EccTelemetry, LatencyBounds, QueueTelemetry, Telemetry};
+pub use txn::{Op, Trace, TraceParseError, TraceParseErrorKind, Transaction};
 pub use workload::{Footprint, Workload};

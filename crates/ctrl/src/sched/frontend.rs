@@ -24,11 +24,12 @@ use serde::{Deserialize, Serialize};
 use crate::bank::Bank;
 use crate::engine::Controller;
 use crate::faults::FaultPlan;
+use crate::reliability::ScrubConfig;
 use crate::telemetry::{QueueTelemetry, Telemetry};
 use crate::txn::{Op, Trace, Transaction};
 
 use super::event::EventQueue;
-use super::policy::Policy;
+use super::policy::{Policy, PriorityClass};
 use super::queue::{BankQueue, Queued};
 
 /// What admission does when a transaction's bank queue is full.
@@ -56,6 +57,12 @@ pub struct FrontendConfig {
     pub policy: Policy,
     /// What to do when a bank queue is full.
     pub backpressure: Backpressure,
+    /// Background scrub daemon (see [`ScrubConfig`]): a
+    /// [`PriorityClass::Background`] traffic source offering one word-scrub
+    /// per bank per interval, served only in lane-idle gaps. Requires the
+    /// wrapped controller to run with ECC.
+    #[serde(default)]
+    pub scrub: Option<ScrubConfig>,
 }
 
 impl FrontendConfig {
@@ -67,7 +74,15 @@ impl FrontendConfig {
             queue_depth: usize::MAX,
             policy: Policy::Fcfs,
             backpressure: Backpressure::Stall,
+            scrub: None,
         }
+    }
+
+    /// Enables the background scrub daemon.
+    #[must_use]
+    pub fn with_scrub(mut self, scrub: ScrubConfig) -> Self {
+        self.scrub = Some(scrub);
+        self
     }
 
     /// Overrides the dispatch policy.
@@ -100,6 +115,13 @@ impl FrontendConfig {
             assert!(
                 delay_ns.is_finite() && delay_ns > 0.0,
                 "retry delay must be positive, got {delay_ns}"
+            );
+        }
+        if let Some(scrub) = self.scrub {
+            assert!(
+                scrub.interval_ns.is_finite() && scrub.interval_ns > 0.0,
+                "scrub interval must be positive, got {}",
+                scrub.interval_ns
             );
         }
     }
@@ -183,6 +205,12 @@ enum Event {
     Arrive { trace_index: usize, fresh: bool },
     /// A bank finished serving its in-flight transaction.
     Complete { bank: usize },
+    /// The scrub daemon's periodic tick: offer one word-scrub to `bank`.
+    /// Served only when the lane is idle and the policy arbitrates
+    /// [`PriorityClass::Background`]; deferred (and counted) otherwise.
+    Scrub { bank: usize },
+    /// A bank finished an in-flight word-scrub.
+    ScrubComplete { bank: usize },
 }
 
 /// A transaction currently occupying a bank's service stage.
@@ -197,6 +225,9 @@ struct InService {
 struct Lane {
     queue: BankQueue,
     in_service: Option<InService>,
+    /// A word-scrub occupies the service stage (mutually exclusive with
+    /// `in_service`; scrub is non-preemptive once started).
+    scrub_busy: bool,
     last_change_ns: f64,
     stats: QueueTelemetry,
 }
@@ -206,6 +237,7 @@ impl Lane {
         Self {
             queue: BankQueue::new(queue_depth),
             in_service: None,
+            scrub_busy: false,
             last_change_ns: 0.0,
             stats: QueueTelemetry::default(),
         }
@@ -271,10 +303,16 @@ impl Frontend {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (zero queue depth,
-    /// non-positive retry delay).
+    /// non-positive retry delay, non-positive scrub interval), or if scrub
+    /// is enabled on a controller without ECC (scrub re-reads words through
+    /// the codec; without check bits there is nothing to correct).
     #[must_use]
     pub fn new(controller: Controller, config: FrontendConfig) -> Self {
         config.validate();
+        assert!(
+            config.scrub.is_none() || controller.config().ecc.is_enabled(),
+            "the scrub daemon requires ECC (see ControllerConfig::with_ecc)"
+        );
         let banks = controller.config().banks;
         Self {
             controller,
@@ -327,6 +365,7 @@ impl Frontend {
             queue_depth,
             policy,
             backpressure,
+            scrub,
         } = self.config;
         let faults = self.controller.config().faults.clone();
         let bank_count = self.controller.config().banks;
@@ -351,17 +390,28 @@ impl Frontend {
         let mut cursor = 0usize;
         let mut stalled: Option<StalledAdmission> = None;
         let mut end_ns = 0.0f64;
+        // Demand transactions not yet completed or dropped. The scrub
+        // daemon's ticks reschedule themselves only while this is non-zero,
+        // so the event loop terminates as soon as demand drains.
+        let mut unfinished = txns.len();
 
         schedule_fresh(&mut events, &order, txns, &mut cursor, 0.0);
+        if let Some(scrub) = scrub {
+            if unfinished > 0 {
+                for bank in 0..bank_count {
+                    events.schedule(scrub.interval_ns, Event::Scrub { bank });
+                }
+            }
+        }
 
         while let Some((now, event)) = events.pop() {
-            end_ns = end_ns.max(now);
             match event {
                 Event::Arrive { trace_index, fresh } => {
+                    end_ns = end_ns.max(now);
                     let txn = txns[trace_index];
                     let lane = &mut lanes[txn.bank];
                     let mut advance_stream = fresh;
-                    if lane.in_service.is_none() && lane.queue.is_empty() {
+                    if lane.in_service.is_none() && !lane.scrub_busy && lane.queue.is_empty() {
                         // Idle bank, empty queue: straight into service.
                         lane.stats.admitted += 1;
                         let queued = Queued {
@@ -380,7 +430,10 @@ impl Frontend {
                         );
                     } else if lane.queue.is_full() {
                         match backpressure {
-                            Backpressure::Drop => lane.stats.dropped += 1,
+                            Backpressure::Drop => {
+                                lane.stats.dropped += 1;
+                                unfinished -= 1;
+                            }
                             Backpressure::Retry { delay_ns } => {
                                 lane.stats.retried_admissions += 1;
                                 events.schedule(
@@ -410,9 +463,11 @@ impl Frontend {
                     }
                 }
                 Event::Complete { bank } => {
+                    end_ns = end_ns.max(now);
                     let lane = &mut lanes[bank];
                     let served = lane.in_service.take().expect("completion without service");
                     lane.stats.completed += 1;
+                    unfinished -= 1;
                     let sojourn_ns = now - served.queued.arrival_ns;
                     lane.stats.sojourn_samples_ns.push(sojourn_ns);
                     completions.push(Completion {
@@ -432,7 +487,10 @@ impl Frontend {
                         if txn.bank == bank && !lane.queue.is_full() {
                             stalled = None;
                             lane.stats.stall_time_ns += now - blocked.offered_ns;
-                            if lane.in_service.is_none() && lane.queue.is_empty() {
+                            if lane.in_service.is_none()
+                                && !lane.scrub_busy
+                                && lane.queue.is_empty()
+                            {
                                 lane.stats.admitted += 1;
                                 let queued = Queued {
                                     txn,
@@ -457,6 +515,37 @@ impl Frontend {
                         }
                     }
                 }
+                Event::Scrub { bank } => {
+                    // The daemon dies with the demand stream: no reschedule
+                    // once everything completed or dropped, so the loop
+                    // drains. (An idle tick also leaves the makespan alone.)
+                    if unfinished == 0 {
+                        continue;
+                    }
+                    let interval_ns = scrub.expect("scrub event without scrub config").interval_ns;
+                    let lane = &mut lanes[bank];
+                    let busy = lane.in_service.is_some() || lane.scrub_busy;
+                    if busy || policy.arbitrate(!lane.queue.is_empty()) == PriorityClass::Demand {
+                        // Demand preempts at arbitration: skip this tick.
+                        lane.stats.scrub_deferred += 1;
+                    } else {
+                        let served = &mut banks[bank];
+                        let busy_before = served.telemetry().ecc.scrub_busy_time;
+                        served.scrub_next(&faults);
+                        let service_ns =
+                            (served.telemetry().ecc.scrub_busy_time - busy_before).get() * 1e9;
+                        lane.scrub_busy = true;
+                        events.schedule(now + service_ns, Event::ScrubComplete { bank });
+                    }
+                    events.schedule(now + interval_ns, Event::Scrub { bank });
+                }
+                Event::ScrubComplete { bank } => {
+                    end_ns = end_ns.max(now);
+                    let lane = &mut lanes[bank];
+                    debug_assert!(lane.scrub_busy, "scrub completion without scrub");
+                    lane.scrub_busy = false;
+                    try_dispatch(lane, &mut banks[bank], &faults, &mut events, policy, now);
+                }
             }
         }
 
@@ -465,7 +554,7 @@ impl Frontend {
             "event loop drained with a stalled admission"
         );
         for lane in &mut lanes {
-            debug_assert!(lane.queue.is_empty() && lane.in_service.is_none());
+            debug_assert!(lane.queue.is_empty() && lane.in_service.is_none() && !lane.scrub_busy);
             lane.flush_occupancy(end_ns);
             lane.stats.horizon_ns = end_ns;
         }
@@ -525,7 +614,7 @@ fn try_dispatch(
     policy: Policy,
     now: f64,
 ) {
-    if lane.in_service.is_some() {
+    if lane.in_service.is_some() || lane.scrub_busy {
         return;
     }
     let Some(index) = policy.choose(&mut lane.queue) else {
@@ -567,6 +656,7 @@ fn start_service(
 mod tests {
     use super::*;
     use crate::engine::ControllerConfig;
+    use crate::reliability::EccMode;
     use crate::workload::Workload;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -698,6 +788,78 @@ mod tests {
         let mut trace = Trace::new();
         trace.push(Transaction::read(9, stt_array::Address::new(0, 0)));
         frontend.run(&trace);
+    }
+
+    #[test]
+    fn scrub_runs_in_idle_gaps() {
+        let controller_config =
+            ControllerConfig::small(SchemeKind::Nondestructive, 2).with_ecc(EccMode::Secded);
+        let trace = timed_trace(&controller_config, 60, 2000.0);
+        let config = FrontendConfig::fcfs_unbounded().with_scrub(ScrubConfig::every_ns(500.0));
+        let run = Frontend::new(Controller::new(controller_config), config).run(&trace);
+        assert_eq!(run.completions.len(), 60);
+        let aggregate = run.telemetry.aggregate();
+        assert!(
+            aggregate.ecc.scrub_words_scanned > 0,
+            "sparse traffic leaves idle gaps the daemon must use"
+        );
+        assert!(
+            aggregate.ecc.scrub_passes > 0,
+            "small banks get full passes"
+        );
+    }
+
+    #[test]
+    fn scrub_defers_to_demand_under_saturation() {
+        let controller_config =
+            ControllerConfig::small(SchemeKind::Nondestructive, 2).with_ecc(EccMode::Secded);
+        // 1 ns gaps against ~14 ns reads: a demand transaction is always
+        // waiting, so arbitration never picks the background class.
+        let trace = timed_trace(&controller_config, 400, 1.0);
+        let config = FrontendConfig::fcfs_unbounded().with_scrub(ScrubConfig::every_ns(20.0));
+        let run = Frontend::new(Controller::new(controller_config), config).run(&trace);
+        let aggregate = run.telemetry.aggregate();
+        assert_eq!(aggregate.queue.completed, 400, "scrub must not lose demand");
+        assert!(
+            aggregate.queue.scrub_deferred > 0,
+            "saturation must defer scrub ticks"
+        );
+    }
+
+    #[test]
+    fn scrub_with_no_faults_leaves_demand_traffic_bit_identical() {
+        let controller_config =
+            ControllerConfig::small(SchemeKind::Nondestructive, 2).with_ecc(EccMode::Secded);
+        let trace = timed_trace(&controller_config, 200, 40.0);
+        let mut plain = Frontend::new(
+            Controller::new(controller_config.clone()),
+            FrontendConfig::fcfs_unbounded(),
+        );
+        let mut scrubbed = Frontend::new(
+            Controller::new(controller_config),
+            FrontendConfig::fcfs_unbounded().with_scrub(ScrubConfig::every_ns(100.0)),
+        );
+        let a = plain.run(&trace);
+        let b = scrubbed.run(&trace);
+        assert_eq!(
+            plain.controller().stored_state(),
+            scrubbed.controller().stored_state(),
+            "a healthy-array scrub must not disturb stored bits"
+        );
+        let (qa, qb) = (a.telemetry.aggregate(), b.telemetry.aggregate());
+        assert_eq!(qa.misreads, qb.misreads);
+        assert_eq!(qa.read_retries, qb.read_retries);
+        assert!(qb.ecc.scrub_words_scanned > 0, "the daemon did run");
+    }
+
+    #[test]
+    #[should_panic(expected = "scrub daemon requires ECC")]
+    fn scrub_without_ecc_is_rejected() {
+        let config = ControllerConfig::small(SchemeKind::Nondestructive, 1);
+        let _ = Frontend::new(
+            Controller::new(config),
+            FrontendConfig::fcfs_unbounded().with_scrub(ScrubConfig::every_ns(100.0)),
+        );
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //! * [`BankQueue`] — bounded per-bank admission queues that encode the
 //!   per-address ordering rule every policy must obey.
 //! * [`Policy`] — pluggable dispatch: FCFS, read-priority with write
-//!   draining, oldest-first anti-starvation.
+//!   draining, oldest-first anti-starvation — plus the [`PriorityClass`]
+//!   arbitration hook between demand and background traffic.
 //! * [`Frontend`] — the engine tying them together over a
 //!   [`Controller`](crate::Controller), with [`Backpressure`] (stall, drop,
-//!   retry) when queues fill and queueing telemetry
+//!   retry) when queues fill, an optional background scrub daemon
+//!   ([`ScrubConfig`](crate::reliability::ScrubConfig)) that repairs
+//!   correctable errors in lane-idle gaps, and queueing telemetry
 //!   ([`QueueTelemetry`](crate::QueueTelemetry)) the serial replay path
 //!   cannot measure.
 //!
@@ -36,5 +39,5 @@ pub mod queue;
 
 pub use event::EventQueue;
 pub use frontend::{Backpressure, Completion, Frontend, FrontendConfig, SchedRun};
-pub use policy::Policy;
+pub use policy::{Policy, PriorityClass};
 pub use queue::{BankQueue, Queued};

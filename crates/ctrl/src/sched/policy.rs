@@ -22,6 +22,24 @@ use serde::{Deserialize, Serialize};
 
 use super::queue::BankQueue;
 
+/// The two traffic classes a bank lane arbitrates between.
+///
+/// Demand traffic is the host's reads and writes; background traffic is
+/// currently the scrub daemon's word re-reads (see
+/// [`ScrubConfig`](crate::reliability::ScrubConfig)). The class is strict:
+/// every built-in [`Policy`] is work-conserving for demand, so background
+/// work runs only in lane-idle gaps and demand *preempts it at arbitration*
+/// — an in-progress background operation finishes (the service stage is not
+/// interruptible, like a real array access), but no new one starts while
+/// demand waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PriorityClass {
+    /// Host reads and writes.
+    Demand,
+    /// Best-effort maintenance traffic (scrub).
+    Background,
+}
+
 /// How a bank picks the next transaction to serve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Policy {
@@ -45,6 +63,20 @@ impl Policy {
             Policy::Fcfs => "fcfs",
             Policy::ReadPriority { .. } => "read-priority",
             Policy::OldestFirst => "oldest-first",
+        }
+    }
+
+    /// Which class an idle lane should serve next. Every built-in policy is
+    /// work-conserving for demand: [`PriorityClass::Background`] is chosen
+    /// only when no demand transaction is waiting. The hook is on `Policy`
+    /// so a future policy can trade differently (e.g. guarantee scrub
+    /// bandwidth under sustained load).
+    #[must_use]
+    pub fn arbitrate(&self, demand_waiting: bool) -> PriorityClass {
+        if demand_waiting {
+            PriorityClass::Demand
+        } else {
+            PriorityClass::Background
         }
     }
 
@@ -170,6 +202,20 @@ mod tests {
             queued(1, 10.0, Transaction::read(0, Address::new(0, 2))),
         ]);
         assert_eq!(Policy::OldestFirst.choose(&mut queue), Some(2));
+    }
+
+    #[test]
+    fn arbitration_is_demand_work_conserving() {
+        for policy in [
+            Policy::Fcfs,
+            Policy::OldestFirst,
+            Policy::ReadPriority {
+                write_high_water: 4,
+            },
+        ] {
+            assert_eq!(policy.arbitrate(true), PriorityClass::Demand);
+            assert_eq!(policy.arbitrate(false), PriorityClass::Background);
+        }
     }
 
     #[test]

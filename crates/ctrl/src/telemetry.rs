@@ -106,6 +106,10 @@ pub struct QueueTelemetry {
     /// Per-completion sojourn samples (nanoseconds), kept raw so tail
     /// quantiles are exact rather than histogram-interpolated.
     pub sojourn_samples_ns: Vec<f64>,
+    /// Scrub ticks that found the bank busy or demand waiting and yielded
+    /// (background priority: demand always preempts at arbitration).
+    #[serde(default)]
+    pub scrub_deferred: u64,
 }
 
 impl QueueTelemetry {
@@ -166,6 +170,139 @@ impl QueueTelemetry {
         self.wait_ns.merge(&other.wait_ns);
         self.sojourn_samples_ns
             .extend_from_slice(&other.sojourn_samples_ns);
+        self.scrub_deferred += other.scrub_deferred;
+    }
+}
+
+/// Cap on per-bank error-address log entries; overflow is counted in
+/// [`EccTelemetry::error_log_dropped`] so heavy fault campaigns stay
+/// bounded in memory without losing the totals.
+pub const ERROR_LOG_CAP: usize = 64;
+
+/// What kind of ECC event an [`EccEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EccEventKind {
+    /// A demand read corrected a single-bit error.
+    DemandCe,
+    /// A demand read detected an uncorrectable (double-bit) error.
+    DemandUe,
+    /// A demand read passed the codec but delivered a wrong word.
+    DemandSilent,
+    /// A scrub scan corrected (and rewrote) a single-bit error.
+    ScrubCe,
+    /// A scrub scan found an uncorrectable word it could not repair.
+    ScrubUe,
+}
+
+/// One entry of a bank's error-address log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccEvent {
+    /// ECC word index within the bank.
+    pub word: u32,
+    /// What happened there.
+    pub kind: EccEventKind,
+}
+
+/// ECC and scrub counters for one bank, filled only when the controller
+/// runs with [`EccMode::Secded`](crate::reliability::EccMode) (all zero
+/// otherwise, exactly like the queueing section under serial replay).
+///
+/// Demand-read classifications are mutually exclusive and sum to the
+/// ECC-served read count: `clean_reads + corrected_ce + detected_ue +
+/// silent_errors`. *Silent* means the codec reported clean-or-corrected
+/// but the delivered word still disagreed with the host's truth mirror —
+/// the residue (≥3-bit flips, miscorrections) that survives SECDED.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EccTelemetry {
+    /// Demand reads whose word decoded clean and matched the truth mirror.
+    pub clean_reads: u64,
+    /// Demand reads whose single-bit error was corrected to the truth.
+    pub corrected_ce: u64,
+    /// Demand reads whose word decoded uncorrectable (host is warned).
+    pub detected_ue: u64,
+    /// Demand reads the codec passed but whose delivered word was wrong.
+    pub silent_errors: u64,
+    /// Words scanned by the background scrub daemon.
+    pub scrub_words_scanned: u64,
+    /// Scrub scans that corrected a CE.
+    pub scrub_ce_corrected: u64,
+    /// Scrub scans that found an uncorrectable word.
+    pub scrub_ue_found: u64,
+    /// Cells the scrub physically rewrote (repairs of persistent damage).
+    pub scrub_cells_rewritten: u64,
+    /// Completed full scrub passes over the bank.
+    pub scrub_passes: u64,
+    /// Bank-occupancy time spent scrubbing (senses and repair writes).
+    /// Deliberately separate from [`BankTelemetry::busy_time`]: demand
+    /// busy time doubles as the retention-failure clock, and folding scrub
+    /// work into it would make scrubbing accelerate the decay it repairs —
+    /// and give protection levels mismatched fault exposure at matched
+    /// traffic.
+    #[serde(default)]
+    pub scrub_busy_time: Seconds,
+    /// ECC words in this bank (coverage-gauge denominator; 0 = ECC off).
+    pub words_total: u64,
+    /// Error-address log, capped at [`ERROR_LOG_CAP`] entries per bank.
+    pub error_log: Vec<EccEvent>,
+    /// Events that no longer fit in the log.
+    pub error_log_dropped: u64,
+}
+
+impl EccTelemetry {
+    /// Scrub-coverage gauge: words scanned per word of capacity. `1.0`
+    /// means one full pass; values above count repeat passes; `0.0` when
+    /// ECC is off or scrub never ran.
+    #[must_use]
+    pub fn scrub_coverage(&self) -> f64 {
+        if self.words_total == 0 {
+            0.0
+        } else {
+            self.scrub_words_scanned as f64 / self.words_total as f64
+        }
+    }
+
+    /// Uncorrectable-plus-silent rate over classified demand reads — the
+    /// campaign's graceful-degradation metric (0 when nothing classified).
+    #[must_use]
+    pub fn hazard_rate(&self) -> f64 {
+        let classified =
+            self.clean_reads + self.corrected_ce + self.detected_ue + self.silent_errors;
+        if classified == 0 {
+            0.0
+        } else {
+            (self.detected_ue + self.silent_errors) as f64 / classified as f64
+        }
+    }
+
+    /// Appends an event to the log, honouring the cap.
+    pub fn log_event(&mut self, word: usize, kind: EccEventKind) {
+        if self.error_log.len() < ERROR_LOG_CAP {
+            self.error_log.push(EccEvent {
+                word: word as u32,
+                kind,
+            });
+        } else {
+            self.error_log_dropped += 1;
+        }
+    }
+
+    /// Folds another bank's ECC counters into this one.
+    pub fn merge(&mut self, other: &EccTelemetry) {
+        self.clean_reads += other.clean_reads;
+        self.corrected_ce += other.corrected_ce;
+        self.detected_ue += other.detected_ue;
+        self.silent_errors += other.silent_errors;
+        self.scrub_words_scanned += other.scrub_words_scanned;
+        self.scrub_ce_corrected += other.scrub_ce_corrected;
+        self.scrub_ue_found += other.scrub_ue_found;
+        self.scrub_cells_rewritten += other.scrub_cells_rewritten;
+        self.scrub_passes += other.scrub_passes;
+        self.scrub_busy_time += other.scrub_busy_time;
+        self.words_total += other.words_total;
+        let room = ERROR_LOG_CAP.saturating_sub(self.error_log.len());
+        let taken = room.min(other.error_log.len());
+        self.error_log.extend_from_slice(&other.error_log[..taken]);
+        self.error_log_dropped += other.error_log_dropped + (other.error_log.len() - taken) as u64;
     }
 }
 
@@ -190,6 +327,14 @@ pub struct BankTelemetry {
     pub power_cuts: u64,
     /// Cells whose stored state a power cut changed.
     pub corrupted_bits: u64,
+    /// Cells flipped by retention failures (time-dependent decay between
+    /// accesses, see [`FaultPlan::retention_rate_per_ns`](crate::FaultPlan)).
+    #[serde(default)]
+    pub retention_flips: u64,
+    /// Cells flipped by read disturb (per-read victim-word flips, see
+    /// [`FaultPlan::read_disturb_prob`](crate::FaultPlan)).
+    #[serde(default)]
+    pub read_disturb_flips: u64,
     /// Completed-read latency in nanoseconds (retries included).
     pub read_latency_ns: Summary,
     /// Completed-read latency histogram (nanoseconds); out-of-range samples
@@ -202,6 +347,11 @@ pub struct BankTelemetry {
     /// Queueing counters, filled by the [`sched`](crate::sched) frontend
     /// (all zero under serial replay).
     pub queue: QueueTelemetry,
+    /// ECC and scrub counters, filled only under
+    /// [`EccMode::Secded`](crate::reliability::EccMode) (all zero when ECC
+    /// is off).
+    #[serde(default)]
+    pub ecc: EccTelemetry,
 }
 
 impl BankTelemetry {
@@ -224,11 +374,14 @@ impl BankTelemetry {
             write_failures: 0,
             power_cuts: 0,
             corrupted_bits: 0,
+            retention_flips: 0,
+            read_disturb_flips: 0,
             read_latency_ns: Summary::new(),
             read_latency_hist: bounds.histogram(),
             busy_time: Seconds::ZERO,
             energy: Joules::ZERO,
             queue: QueueTelemetry::default(),
+            ecc: EccTelemetry::default(),
         }
     }
 
@@ -250,11 +403,14 @@ impl BankTelemetry {
         self.write_failures += other.write_failures;
         self.power_cuts += other.power_cuts;
         self.corrupted_bits += other.corrupted_bits;
+        self.retention_flips += other.retention_flips;
+        self.read_disturb_flips += other.read_disturb_flips;
         self.read_latency_ns.merge(&other.read_latency_ns);
         self.read_latency_hist.merge(&other.read_latency_hist);
         self.busy_time += other.busy_time;
         self.energy += other.energy;
         self.queue.merge(&other.queue);
+        self.ecc.merge(&other.ecc);
     }
 
     /// Misread rate over served reads (0 when no reads ran).
@@ -414,5 +570,39 @@ mod tests {
         assert!((q.mean_depth() - 0.3).abs() < 1e-12);
         assert_eq!(QueueTelemetry::default().sojourn_quantile(0.99), None);
         assert_eq!(QueueTelemetry::default().sojourn_p99(), 0.0);
+    }
+
+    #[test]
+    fn ecc_gauges_handle_empty_and_filled() {
+        let mut ecc = EccTelemetry::default();
+        assert_eq!(ecc.scrub_coverage(), 0.0);
+        assert_eq!(ecc.hazard_rate(), 0.0);
+        ecc.clean_reads = 90;
+        ecc.corrected_ce = 6;
+        ecc.detected_ue = 3;
+        ecc.silent_errors = 1;
+        ecc.words_total = 256;
+        ecc.scrub_words_scanned = 512;
+        assert!((ecc.hazard_rate() - 0.04).abs() < 1e-12);
+        assert!((ecc.scrub_coverage() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecc_error_log_caps_and_merge_counts_drops() {
+        let mut a = EccTelemetry::default();
+        for word in 0..ERROR_LOG_CAP + 5 {
+            a.log_event(word, EccEventKind::DemandCe);
+        }
+        assert_eq!(a.error_log.len(), ERROR_LOG_CAP);
+        assert_eq!(a.error_log_dropped, 5);
+        let mut b = EccTelemetry::default();
+        b.log_event(7, EccEventKind::ScrubUe);
+        a.merge(&b);
+        assert_eq!(a.error_log.len(), ERROR_LOG_CAP);
+        assert_eq!(a.error_log_dropped, 6, "merge must count the overflow");
+        let mut c = EccTelemetry::default();
+        c.merge(&b);
+        assert_eq!(c.error_log, b.error_log);
+        assert_eq!(c.error_log_dropped, 0);
     }
 }

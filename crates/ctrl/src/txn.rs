@@ -94,12 +94,63 @@ pub struct TraceParseError {
     /// 1-based line number of the offending record.
     pub line: usize,
     /// What was wrong with it.
-    pub message: String,
+    pub kind: TraceParseErrorKind,
+}
+
+/// The ways a trace CSV record can be malformed. Each variant carries the
+/// offending text verbatim, so a caller can point at the exact column
+/// instead of grepping a prose message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseErrorKind {
+    /// Wrong number of comma-separated fields (truncated or overlong row).
+    FieldCount {
+        /// How many fields the record actually had.
+        got: usize,
+    },
+    /// A numeric column failed to parse.
+    BadNumber {
+        /// Which column (`"bank"`, `"row"`, `"col"`, `"arrival_ns"`).
+        column: &'static str,
+        /// The text that failed to parse.
+        value: String,
+    },
+    /// The `op`/`bit` pair is not one of `R,` / `W,0` / `W,1`.
+    BadOp {
+        /// The `op` field as written.
+        op: String,
+        /// The `bit` field as written.
+        bit: String,
+    },
+}
+
+impl TraceParseErrorKind {
+    /// The column the error anchors to, as named in the CSV header
+    /// ([`TraceParseErrorKind::FieldCount`] has no single column and
+    /// returns `None`; a bad op/bit pair anchors to `"op"`).
+    #[must_use]
+    pub fn column(&self) -> Option<&'static str> {
+        match self {
+            TraceParseErrorKind::FieldCount { .. } => None,
+            TraceParseErrorKind::BadNumber { column, .. } => Some(column),
+            TraceParseErrorKind::BadOp { .. } => Some("op"),
+        }
+    }
 }
 
 impl std::fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.message)
+        write!(f, "trace line {}: ", self.line)?;
+        match &self.kind {
+            TraceParseErrorKind::FieldCount { got } => {
+                write!(f, "expected 5 or 6 fields, got {got}")
+            }
+            TraceParseErrorKind::BadNumber { column, value } => {
+                write!(f, "bad {column} {value:?}")
+            }
+            TraceParseErrorKind::BadOp { op, bit } => {
+                write!(f, "bad op/bit pair {op:?}/{bit:?}")
+            }
+        }
     }
 }
 
@@ -215,7 +266,8 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Returns a [`TraceParseError`] naming the first malformed line.
+    /// Returns a [`TraceParseError`] naming the first malformed line and —
+    /// via [`TraceParseErrorKind`] — the offending column and text.
     pub fn from_csv(text: &str) -> Result<Self, TraceParseError> {
         let mut transactions = Vec::new();
         for (index, line) in text.lines().enumerate() {
@@ -223,18 +275,21 @@ impl Trace {
             if line.is_empty() || (index == 0 && line.starts_with("bank")) {
                 continue;
             }
-            let err = |message: String| TraceParseError {
+            let err = |kind: TraceParseErrorKind| TraceParseError {
                 line: index + 1,
-                message,
+                kind,
             };
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != 5 && fields.len() != 6 {
-                return Err(err(format!("expected 5 or 6 fields, got {}", fields.len())));
+                return Err(err(TraceParseErrorKind::FieldCount { got: fields.len() }));
             }
-            let parse = |field: &str, what: &str| {
-                field
-                    .parse::<usize>()
-                    .map_err(|_| err(format!("bad {what} {field:?}")))
+            let parse = |field: &str, column: &'static str| {
+                field.parse::<usize>().map_err(|_| {
+                    err(TraceParseErrorKind::BadNumber {
+                        column,
+                        value: field.to_string(),
+                    })
+                })
             };
             let bank = parse(fields[0], "bank")?;
             let addr = Address::new(parse(fields[1], "row")?, parse(fields[2], "col")?);
@@ -242,12 +297,20 @@ impl Trace {
                 ("R", "") => Op::Read,
                 ("W", "0") => Op::Write(false),
                 ("W", "1") => Op::Write(true),
-                (op, bit) => return Err(err(format!("bad op/bit pair {op:?}/{bit:?}"))),
+                (op, bit) => {
+                    return Err(err(TraceParseErrorKind::BadOp {
+                        op: op.to_string(),
+                        bit: bit.to_string(),
+                    }))
+                }
             };
             let arrival_ns = match fields.get(5) {
-                Some(field) => field
-                    .parse::<u64>()
-                    .map_err(|_| err(format!("bad arrival_ns {field:?}")))?,
+                Some(field) => field.parse::<u64>().map_err(|_| {
+                    err(TraceParseErrorKind::BadNumber {
+                        column: "arrival_ns",
+                        value: field.to_string(),
+                    })
+                })?,
                 None => 0,
             };
             transactions.push(Transaction {
@@ -307,10 +370,18 @@ mod tests {
     }
 
     #[test]
-    fn bad_arrival_names_its_line() {
+    fn non_numeric_arrival_names_line_and_column() {
         let error = Trace::from_csv("0,1,2,R,,soon\n").unwrap_err();
         assert_eq!(error.line, 1);
-        assert!(error.message.contains("arrival_ns"));
+        assert_eq!(
+            error.kind,
+            TraceParseErrorKind::BadNumber {
+                column: "arrival_ns",
+                value: "soon".to_string(),
+            }
+        );
+        assert_eq!(error.kind.column(), Some("arrival_ns"));
+        assert_eq!(error.to_string(), "trace line 1: bad arrival_ns \"soon\"");
     }
 
     #[test]
@@ -335,12 +406,54 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_name_their_line_number() {
+    fn bad_op_enum_carries_the_offending_pair() {
         let error = Trace::from_csv("0,1,2,X,9\n").unwrap_err();
         assert_eq!(error.line, 1);
-        assert!(error.message.contains("op/bit"));
+        assert_eq!(
+            error.kind,
+            TraceParseErrorKind::BadOp {
+                op: "X".to_string(),
+                bit: "9".to_string(),
+            }
+        );
+        assert_eq!(error.kind.column(), Some("op"));
+        // A write with a missing bit is an op/bit error too, not a count one.
+        let error = Trace::from_csv("0,1,2,W,\n").unwrap_err();
+        assert!(matches!(error.kind, TraceParseErrorKind::BadOp { .. }));
+    }
+
+    #[test]
+    fn truncated_and_overlong_rows_report_their_field_count() {
         let error = Trace::from_csv("bank,row,col,op,bit\n0,1\n").unwrap_err();
         assert_eq!(error.line, 2);
+        assert_eq!(error.kind, TraceParseErrorKind::FieldCount { got: 2 });
+        assert_eq!(error.kind.column(), None);
+        let error = Trace::from_csv("0,1,2,R,,7,extra\n").unwrap_err();
+        assert_eq!(error.kind, TraceParseErrorKind::FieldCount { got: 7 });
+        assert_eq!(
+            error.to_string(),
+            "trace line 1: expected 5 or 6 fields, got 7"
+        );
+    }
+
+    #[test]
+    fn non_numeric_address_fields_name_their_column() {
+        for (record, column, value) in [
+            ("x,1,2,R,\n", "bank", "x"),
+            ("0,♞,2,R,\n", "row", "♞"),
+            ("0,1,-3,W,1\n", "col", "-3"),
+        ] {
+            let error = Trace::from_csv(record).unwrap_err();
+            assert_eq!(
+                error.kind,
+                TraceParseErrorKind::BadNumber {
+                    column,
+                    value: value.to_string(),
+                },
+                "{record:?}"
+            );
+            assert_eq!(error.kind.column(), Some(column));
+        }
     }
 
     #[test]

@@ -18,6 +18,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The reliability acceptance gate first, under its own banner: SECDED
+# codec properties, the graceful-degradation campaign and scrub's
+# repair/bit-identity guarantees (also part of the full suite below).
+echo "==> cargo test -q -p stt-ctrl --test integration_reliability"
+cargo test -q -p stt-ctrl --test integration_reliability
+
 echo "==> cargo test -q"
 cargo test -q
 

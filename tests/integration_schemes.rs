@@ -92,7 +92,7 @@ fn sensing_works_on_all_three_resistance_models() {
 
 #[test]
 fn beta_derived_on_one_model_transfers_to_the_others() {
-    // Ablation (DESIGN.md §9): β* solved on the linear model must still
+    // Ablation (DESIGN.md §10): β* solved on the linear model must still
     // read correctly when the physical model is the truth.
     let spec = CellSpec::date2010_chip();
     let transistor = *spec.nominal_cell().transistor();
