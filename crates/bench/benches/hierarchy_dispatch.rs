@@ -1,0 +1,46 @@
+//! Wall-clock cost of the full-chip hierarchy engine, and the payoff of
+//! sharding dispatch across channel worker threads: since channels share
+//! nothing, a 4-channel sharded chip approaches 4x the single-channel
+//! throughput on a multi-core host while staying bit-identical to the
+//! serial schedule. On a single-core host the 4ch-sharded vs 4ch-serial
+//! gap instead measures pure thread spawn/join overhead — still worth
+//! tracking, since it bounds the smallest chip worth sharding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, SamplingMode, Throughput};
+use stt_ctrl::{Chip, ChipConfig, ClosedLoopSource, ShardDispatch, Topology};
+use stt_sense::SchemeKind;
+
+const OPS_PER_CHANNEL: usize = 1_500;
+const WINDOW: usize = 8;
+
+/// Closed-loop chips at three scales: one channel (the serial floor), four
+/// channels served one after another, and the same four channels on one
+/// worker thread each.
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_dispatch/closed_loop");
+    group.sampling_mode(SamplingMode::Flat);
+    group.sample_size(10);
+    let source = ClosedLoopSource::read_mostly(OPS_PER_CHANNEL, WINDOW);
+    for (label, channels, dispatch) in [
+        ("1ch-serial", 1, ShardDispatch::Serial),
+        ("4ch-serial", 4, ShardDispatch::Serial),
+        ("4ch-sharded", 4, ShardDispatch::Sharded),
+    ] {
+        let config =
+            ChipConfig::small(SchemeKind::Nondestructive, Topology::new(channels, 1, 2, 2));
+        group.throughput(Throughput::Elements((OPS_PER_CHANNEL * channels) as u64));
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || Chip::new(config.clone()),
+                |mut chip| {
+                    std::hint::black_box(chip.run_closed_loop(&source, dispatch));
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -24,8 +24,19 @@
 //! graceful degradation: at every intensity rung, adding ECC+scrub never
 //! worsens — and summed over the ladder strictly improves — the hazard.
 //!
+//! With `--topology-sweep` the binary drives the full-chip hierarchy
+//! (see [`stt_ctrl::hierarchy`]): a closed-loop, window-limited source per
+//! channel over a channels × ranks × bank groups × banks geometry
+//! (`--geometry CxRxGxB`, default `2x1x2x2`). Every point runs twice —
+//! serially and with one worker thread per channel — and the telemetry and
+//! stored state are asserted bit-identical before the row is recorded. Per
+//! scheme, the window sweep traces out the throughput/latency curve and
+//! reports its **knee**: the first window whose p99 sojourn exceeds 5× the
+//! unloaded (window = 1) p99. Results go to `results/topology_sweep.csv`.
+//!
 //! ```text
-//! trafficsim [--ops <per-config>] [--csv <dir>] [--load-sweep | --reliability-sweep]
+//! trafficsim [--ops <per-config>] [--csv <dir>] [--geometry CxRxGxB]
+//!            [--load-sweep | --reliability-sweep | --topology-sweep]
 //! ```
 
 use std::io::Write as _;
@@ -34,8 +45,9 @@ use std::path::Path;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stt_ctrl::{
-    run_campaign, CampaignConfig, Controller, ControllerConfig, Dispatch, Frontend, FrontendConfig,
-    Policy, Protection, Telemetry, Workload,
+    run_campaign, CampaignConfig, Chip, ChipConfig, ClosedLoopSource, Controller, ControllerConfig,
+    Dispatch, Frontend, FrontendConfig, InterleavePolicy, Policy, Protection, ShardDispatch,
+    Telemetry, Topology, Workload,
 };
 use stt_sense::SchemeKind;
 use stt_stats::Table;
@@ -54,6 +66,12 @@ const LOADS: [f64; 4] = [0.25, 0.5, 0.8, 1.2];
 const NOMINAL_READ_NS: f64 = 14.0;
 /// Banks driven by the load sweep.
 const LOAD_SWEEP_BANKS: usize = 4;
+/// Outstanding-request windows swept by `--topology-sweep`; the geometric
+/// ladder brackets the knee of the throughput/latency curve.
+const WINDOWS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// A window is past the knee once its p99 sojourn exceeds this multiple of
+/// the unloaded (window = 1) p99.
+const KNEE_FACTOR: f64 = 5.0;
 
 fn scheme_label(kind: SchemeKind) -> &'static str {
     match kind {
@@ -360,12 +378,177 @@ fn reliability_sweep(ops_per_config: usize) -> Table {
     table
 }
 
+/// Sweeps the full-chip hierarchy over scheme × outstanding-request window
+/// under a closed-loop source, locating the knee of each scheme's
+/// throughput/latency curve.
+///
+/// Every point runs twice — channels served serially and one worker thread
+/// per channel — and both the telemetry and the stored state are asserted
+/// bit-identical before the row is recorded, so the CSV doubles as the
+/// sharded-dispatch determinism proof. A sparse Zipf replay over a 256-bank
+/// chip then demonstrates lazy materialisation: only touched banks allocate.
+fn topology_sweep(ops_per_channel: usize, topology: Topology) -> Table {
+    let mut table = Table::new([
+        "scheme",
+        "geometry",
+        "window",
+        "issued",
+        "completed",
+        "achieved_mops",
+        "sojourn_p50_ns",
+        "sojourn_p99_ns",
+        "mean_bus_wait_ns",
+        "source_throttled",
+        "max_outstanding",
+        "resident_banks",
+    ]);
+    for kind in SchemeKind::ALL {
+        let mut unloaded_p99 = None;
+        let mut knee = None;
+        for window in WINDOWS {
+            // A 2 ns think gap keeps the source hotter than the channel bus
+            // (~6 ns per transfer), so the outstanding window — not the
+            // source's own pacing — is what limits load. Sweeping the
+            // window then traces the closed-loop throughput/latency curve
+            // from unloaded to saturated, which is where the knee lives.
+            let source =
+                ClosedLoopSource::read_mostly(ops_per_channel, window).with_mean_think_ns(2.0);
+            let config = ChipConfig::date2010(kind, topology);
+            let mut serial = Chip::new(config.clone());
+            let mut sharded = Chip::new(config);
+            let run = serial.run_closed_loop(&source, ShardDispatch::Serial);
+            let sharded_run = sharded.run_closed_loop(&source, ShardDispatch::Sharded);
+            assert_eq!(
+                run, sharded_run,
+                "{kind}/window {window}: sharded dispatch diverged from serial"
+            );
+            assert_eq!(
+                serial.stored_state(),
+                sharded.stored_state(),
+                "{kind}/window {window}: sharded stored state diverged from serial"
+            );
+            let totals = run.telemetry.aggregate();
+            let p99 = totals.queue.sojourn_p99();
+            let base = *unloaded_p99.get_or_insert(p99);
+            if knee.is_none() && window > 1 && p99 > KNEE_FACTOR * base {
+                knee = Some((window, run.ops_per_second(), p99));
+            }
+            let issued: u64 = run.telemetry.channels.iter().map(|c| c.issued).sum();
+            let throttled: u64 = run
+                .telemetry
+                .channels
+                .iter()
+                .map(|c| c.source_throttled)
+                .sum();
+            let max_outstanding = run
+                .telemetry
+                .channels
+                .iter()
+                .map(|c| c.max_outstanding)
+                .max()
+                .unwrap_or(0);
+            let mean_bus_wait = if run.completed > 0 {
+                run.telemetry
+                    .channels
+                    .iter()
+                    .map(|c| c.bus_wait_ns)
+                    .sum::<f64>()
+                    / run.completed as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:<15} window {window:>2}: {:.1} Mops, p50 {:.0} ns, p99 {:.0} ns, \
+                 throttled {throttled}  [serial == sharded ✓]",
+                scheme_label(kind),
+                run.ops_per_second() * 1e-6,
+                totals.queue.sojourn_p50(),
+                p99,
+            );
+            table.push_row([
+                scheme_label(kind).to_string(),
+                topology.to_string(),
+                window.to_string(),
+                issued.to_string(),
+                run.completed.to_string(),
+                format!("{:.3}", run.ops_per_second() * 1e-6),
+                format!("{:.1}", totals.queue.sojourn_p50()),
+                format!("{:.1}", p99),
+                format!("{mean_bus_wait:.2}"),
+                throttled.to_string(),
+                max_outstanding.to_string(),
+                run.telemetry.resident_banks().to_string(),
+            ]);
+        }
+        match knee {
+            Some((window, ops_per_second, p99)) => println!(
+                "{:<15} knee at window {window}: {:.1} Mops, p99 sojourn {p99:.0} ns \
+                 (> {KNEE_FACTOR}× unloaded {:.0} ns)\n",
+                scheme_label(kind),
+                ops_per_second * 1e-6,
+                unloaded_p99.unwrap_or(0.0),
+            ),
+            None => {
+                // Short smoke runs have too few samples for stable tails;
+                // full-size sweeps must find the knee inside the ladder.
+                assert!(
+                    ops_per_channel < 1_000,
+                    "{kind}: no knee found — p99 never exceeded {KNEE_FACTOR}× unloaded \
+                     across windows {WINDOWS:?}"
+                );
+                println!(
+                    "{:<15} no knee inside the window ladder (smoke run)\n",
+                    scheme_label(kind)
+                );
+            }
+        }
+    }
+
+    // Lazy materialisation on a sparse footprint: a 256-bank chip replaying
+    // a hot-set trace must allocate only the banks the trace touches.
+    let sparse_topology = Topology::new(4, 2, 4, 8);
+    let config = ChipConfig::date2010(SchemeKind::Nondestructive, sparse_topology);
+    let geometry = config.geometry();
+    let trace = Workload::Zipf {
+        theta: 1.2,
+        read_fraction: 0.9,
+    }
+    .generate_physical(
+        &geometry,
+        InterleavePolicy::BankXor,
+        ops_per_channel.min(2_000),
+        &mut StdRng::seed_from_u64(SEED),
+    );
+    let touched: std::collections::HashSet<usize> =
+        trace.transactions().iter().map(|t| t.bank).collect();
+    let mut chip = Chip::new(config);
+    let run = chip.run_trace(&trace, ShardDispatch::Sharded);
+    assert_eq!(run.completed as usize, trace.len());
+    assert!(
+        chip.resident_banks() <= touched.len(),
+        "lazy chip materialised {} banks for {} touched",
+        chip.resident_banks(),
+        touched.len()
+    );
+    println!(
+        "sparse Zipf replay: {} of {} banks resident ({} touched) — lazy materialisation ✓",
+        chip.resident_banks(),
+        sparse_topology.total_banks(),
+        touched.len(),
+    );
+    table
+}
+
 fn main() {
+    const USAGE: &str = "usage: trafficsim [--ops N] [--csv DIR] [--geometry CxRxGxB] \
+                         [--load-sweep | --reliability-sweep | --topology-sweep]";
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ops = DEFAULT_OPS;
     let mut csv_dir = String::from("results");
     let mut load_mode = false;
     let mut reliability_mode = false;
+    let mut topology_mode = false;
+    let mut topology = Topology::date2010();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -378,19 +561,37 @@ fn main() {
             "--csv" => {
                 csv_dir = iter.next().expect("--csv needs a directory").clone();
             }
+            "--geometry" => {
+                let text = iter.next().expect("--geometry needs a CxRxGxB value");
+                topology = match text.parse() {
+                    Ok(topology) => topology,
+                    Err(error) => {
+                        eprintln!("bad --geometry {text:?}: {error}");
+                        eprintln!("{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--load-sweep" => load_mode = true,
             "--reliability-sweep" => reliability_mode = true,
+            "--topology-sweep" => topology_mode = true,
             other => {
-                eprintln!(
-                    "unknown argument {other:?}; usage: trafficsim [--ops N] [--csv DIR] \
-                     [--load-sweep | --reliability-sweep]"
-                );
+                eprintln!("unknown argument {other:?}; {USAGE}");
                 std::process::exit(2);
             }
         }
     }
 
-    let (table, file_name) = if reliability_mode {
+    let (table, file_name) = if topology_mode {
+        println!(
+            "trafficsim: topology sweep, {} schemes × {:?} windows over {topology} \
+             ({} banks), {ops} transactions per channel\n",
+            SchemeKind::ALL.len(),
+            WINDOWS,
+            topology.total_banks(),
+        );
+        (topology_sweep(ops, topology), "topology_sweep.csv")
+    } else if reliability_mode {
         println!(
             "trafficsim: reliability campaign, {} schemes × {} intensity rungs × \
              {} protection levels, {ops} transactions each\n",

@@ -101,10 +101,15 @@ impl Bank {
         let mut array = spec.sample(&mut rng);
         let mut truth = vec![false; spec.capacity_bits()];
         let cols = spec.cols;
-        for addr in array.addresses().collect::<Vec<_>>() {
-            let bit = rng.gen_bool(0.5);
-            array.write_bit(addr, bit);
-            truth[addr.row * cols + addr.col] = bit;
+        // Row-major like `Array::addresses`, so the preload draw order (and
+        // every downstream stream) is unchanged — without materialising an
+        // address list per bank, which lazy chips build by the thousand.
+        for row in 0..spec.rows {
+            for col in 0..cols {
+                let bit = rng.gen_bool(0.5);
+                array.write_bit(Address::new(row, col), bit);
+                truth[row * cols + col] = bit;
+            }
         }
         let stuck: Vec<(Address, bool)> = config
             .faults

@@ -1,0 +1,357 @@
+//! Address interleaving: how a linear host address maps onto the hierarchy.
+//!
+//! A controller advertises one flat address space (`0..geometry.cells()`);
+//! an [`Interleave`] policy decides which physical cell each linear address
+//! lands on. The mapping is the lever that trades locality against
+//! parallelism: consecutive addresses can stay inside one bank (maximal
+//! row locality, zero bank parallelism) or stripe across channels (maximal
+//! parallelism, every access a different bus). Every policy must be a
+//! **bijection** — `decode ∘ encode = identity` and no two linear addresses
+//! alias the same cell — which the integration suite property-tests over
+//! random geometries.
+//!
+//! Three policies ship:
+//!
+//! * [`Linear`] — bank-major: address space filled one bank at a time.
+//!   Sequential traffic hammers a single bank and its group bus.
+//! * [`BankXor`] — the classic row-XOR-bank swizzle: within a channel the
+//!   serving bank is permuted by the row bits, so row-sequential streams
+//!   that would reuse one bank spread across the channel's bank pool.
+//! * [`ChannelStriped`] — consecutive addresses rotate through channels
+//!   first, recruiting every independent channel (and worker shard) even
+//!   for small hot sets.
+
+use serde::{Deserialize, Serialize};
+use stt_array::Address;
+
+use super::topology::{Geometry, PhysAddr};
+
+/// A bijective mapping between linear addresses and physical locations.
+///
+/// Implementations must satisfy, for every `geometry` and every
+/// `linear < geometry.cells()`:
+///
+/// * `encode(geometry, decode(geometry, linear)) == linear`;
+/// * `decode` never yields the same [`PhysAddr`] for two distinct linear
+///   addresses (which follows from the first law plus range preservation).
+pub trait Interleave {
+    /// Short machine-readable name for table/CSV rows.
+    fn name(&self) -> &'static str;
+
+    /// Maps a linear address to its physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear >= geometry.cells()`.
+    fn decode(&self, geometry: &Geometry, linear: usize) -> PhysAddr;
+
+    /// Maps a physical location back to its linear address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys` is outside the geometry.
+    fn encode(&self, geometry: &Geometry, phys: PhysAddr) -> usize;
+}
+
+/// Splits a linear address into `(global flat bank, row, col)` bank-major.
+fn split_bank_major(geometry: &Geometry, linear: usize) -> (usize, usize, usize) {
+    assert!(
+        linear < geometry.cells(),
+        "linear address {linear} outside geometry ({} cells)",
+        geometry.cells()
+    );
+    let per_bank = geometry.cells_per_bank();
+    let flat = linear / per_bank;
+    let offset = linear % per_bank;
+    (flat, offset / geometry.cols, offset % geometry.cols)
+}
+
+/// Joins `(global flat bank, row, col)` back into a bank-major linear
+/// address.
+fn join_bank_major(geometry: &Geometry, flat: usize, addr: Address) -> usize {
+    assert!(
+        addr.row < geometry.rows && addr.col < geometry.cols,
+        "address {addr:?} outside the {}x{} bank array",
+        geometry.rows,
+        geometry.cols
+    );
+    flat * geometry.cells_per_bank() + addr.row * geometry.cols + addr.col
+}
+
+/// Bank-major filling: linear address `a` lives in global bank
+/// `a / cells_per_bank` at row-major offset `a % cells_per_bank`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Linear;
+
+impl Interleave for Linear {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn decode(&self, geometry: &Geometry, linear: usize) -> PhysAddr {
+        let (flat, row, col) = split_bank_major(geometry, linear);
+        PhysAddr {
+            coord: geometry.topology.coord(flat),
+            addr: Address::new(row, col),
+        }
+    }
+
+    fn encode(&self, geometry: &Geometry, phys: PhysAddr) -> usize {
+        join_bank_major(geometry, geometry.topology.flatten(phys.coord), phys.addr)
+    }
+}
+
+/// Row-XOR-bank swizzle within each channel.
+///
+/// The linear address decomposes exactly like [`Linear`], but the serving
+/// bank *within the channel* is permuted by the row index: for a
+/// power-of-two per-channel bank count the permutation is the textbook
+/// `bank ^ (row & (n-1))` XOR swizzle; otherwise it falls back to the
+/// additive rotation `(bank + row) mod n`, which is equally bijective for
+/// any `n`. Either way, row-sequential streams that [`Linear`] would pin to
+/// one bank rotate across the channel's whole bank pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankXor;
+
+impl BankXor {
+    fn swizzle(per_channel: usize, local_bank: usize, row: usize) -> usize {
+        if per_channel.is_power_of_two() {
+            local_bank ^ (row & (per_channel - 1))
+        } else {
+            (local_bank + row) % per_channel
+        }
+    }
+
+    fn unswizzle(per_channel: usize, swizzled: usize, row: usize) -> usize {
+        if per_channel.is_power_of_two() {
+            // XOR is an involution.
+            swizzled ^ (row & (per_channel - 1))
+        } else {
+            (swizzled + per_channel - row % per_channel) % per_channel
+        }
+    }
+}
+
+impl Interleave for BankXor {
+    fn name(&self) -> &'static str {
+        "bank-xor"
+    }
+
+    fn decode(&self, geometry: &Geometry, linear: usize) -> PhysAddr {
+        let (flat, row, col) = split_bank_major(geometry, linear);
+        let per_channel = geometry.topology.banks_per_channel();
+        let channel = flat / per_channel;
+        let local = Self::swizzle(per_channel, flat % per_channel, row);
+        PhysAddr {
+            coord: geometry.topology.coord(channel * per_channel + local),
+            addr: Address::new(row, col),
+        }
+    }
+
+    fn encode(&self, geometry: &Geometry, phys: PhysAddr) -> usize {
+        let per_channel = geometry.topology.banks_per_channel();
+        let flat = geometry.topology.flatten(phys.coord);
+        let channel = flat / per_channel;
+        let local = Self::unswizzle(per_channel, flat % per_channel, phys.addr.row);
+        join_bank_major(geometry, channel * per_channel + local, phys.addr)
+    }
+}
+
+/// Cell-granular channel striping: consecutive linear addresses rotate
+/// through the channels, then fill each channel bank-major. Even a small
+/// hot set recruits every channel — and therefore every worker shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStriped;
+
+impl Interleave for ChannelStriped {
+    fn name(&self) -> &'static str {
+        "channel-striped"
+    }
+
+    fn decode(&self, geometry: &Geometry, linear: usize) -> PhysAddr {
+        assert!(
+            linear < geometry.cells(),
+            "linear address {linear} outside geometry ({} cells)",
+            geometry.cells()
+        );
+        let channels = geometry.topology.channels;
+        let channel = linear % channels;
+        let within = linear / channels;
+        let per_bank = geometry.cells_per_bank();
+        let local_bank = within / per_bank;
+        let offset = within % per_bank;
+        let flat = channel * geometry.topology.banks_per_channel() + local_bank;
+        PhysAddr {
+            coord: geometry.topology.coord(flat),
+            addr: Address::new(offset / geometry.cols, offset % geometry.cols),
+        }
+    }
+
+    fn encode(&self, geometry: &Geometry, phys: PhysAddr) -> usize {
+        let per_channel = geometry.topology.banks_per_channel();
+        let flat = geometry.topology.flatten(phys.coord);
+        let (channel, local_bank) = (flat / per_channel, flat % per_channel);
+        let offset = join_bank_major(geometry, local_bank, phys.addr);
+        offset * geometry.topology.channels + channel
+    }
+}
+
+/// The interleaving policies the harness sweeps, as a plain enum so configs
+/// stay `Copy`/serde-friendly while still dispatching through the
+/// [`Interleave`] trait objects behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterleavePolicy {
+    /// Bank-major filling (see [`Linear`]).
+    Linear,
+    /// Row-XOR-bank swizzle within each channel (see [`BankXor`]).
+    BankXor,
+    /// Cell-granular channel rotation (see [`ChannelStriped`]).
+    ChannelStriped,
+}
+
+impl InterleavePolicy {
+    /// Every shipped policy, in sweep order.
+    pub const ALL: [InterleavePolicy; 3] = [
+        InterleavePolicy::Linear,
+        InterleavePolicy::BankXor,
+        InterleavePolicy::ChannelStriped,
+    ];
+
+    /// The trait object this variant names.
+    #[must_use]
+    pub fn as_interleave(self) -> &'static dyn Interleave {
+        match self {
+            InterleavePolicy::Linear => &Linear,
+            InterleavePolicy::BankXor => &BankXor,
+            InterleavePolicy::ChannelStriped => &ChannelStriped,
+        }
+    }
+
+    /// Short machine-readable name for table/CSV rows.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.as_interleave().name()
+    }
+}
+
+impl Interleave for InterleavePolicy {
+    fn name(&self) -> &'static str {
+        (*self).name()
+    }
+
+    fn decode(&self, geometry: &Geometry, linear: usize) -> PhysAddr {
+        self.as_interleave().decode(geometry, linear)
+    }
+
+    fn encode(&self, geometry: &Geometry, phys: PhysAddr) -> usize {
+        self.as_interleave().encode(geometry, phys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::Topology;
+
+    fn geometries() -> Vec<Geometry> {
+        vec![
+            Geometry::new(Topology::new(2, 1, 2, 2), 8, 8),
+            Geometry::new(Topology::new(3, 2, 3, 5), 4, 8), // nothing power-of-two
+            Geometry::new(Topology::flat(1), 2, 2),
+        ]
+    }
+
+    #[test]
+    fn every_policy_round_trips_every_address() {
+        for geometry in geometries() {
+            for policy in InterleavePolicy::ALL {
+                for linear in 0..geometry.cells() {
+                    let phys = policy.decode(&geometry, linear);
+                    assert_eq!(
+                        policy.encode(&geometry, phys),
+                        linear,
+                        "{}: {geometry:?} @ {linear}",
+                        policy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_is_alias_free() {
+        for geometry in geometries() {
+            for policy in InterleavePolicy::ALL {
+                let mut seen = std::collections::HashSet::new();
+                for linear in 0..geometry.cells() {
+                    let phys = policy.decode(&geometry, linear);
+                    assert!(
+                        seen.insert((phys.coord, phys.addr.row, phys.addr.col)),
+                        "{}: linear {linear} aliases an earlier address",
+                        policy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_striping_rotates_channels_per_cell() {
+        let geometry = Geometry::new(Topology::new(4, 1, 2, 2), 8, 8);
+        for linear in 0..32 {
+            let phys = ChannelStriped.decode(&geometry, linear);
+            assert_eq!(phys.coord.channel, linear % 4);
+        }
+    }
+
+    #[test]
+    fn linear_keeps_sequential_addresses_in_one_bank() {
+        let geometry = Geometry::new(Topology::new(2, 1, 2, 2), 8, 8);
+        let first = Linear.decode(&geometry, 0).coord;
+        for linear in 0..geometry.cells_per_bank() {
+            assert_eq!(Linear.decode(&geometry, linear).coord, first);
+        }
+        assert_ne!(
+            Linear.decode(&geometry, geometry.cells_per_bank()).coord,
+            first
+        );
+    }
+
+    #[test]
+    fn bank_xor_spreads_row_sequential_streams() {
+        // Walk column 0 down the rows of what Linear would call "bank 0":
+        // the XOR swizzle must visit more than one bank of the channel.
+        let geometry = Geometry::new(Topology::new(1, 1, 2, 2), 8, 8);
+        let mut banks = std::collections::HashSet::new();
+        for row in 0..geometry.rows {
+            let linear = row * geometry.cols;
+            let coord = BankXor.decode(&geometry, linear).coord;
+            assert_eq!(coord.channel, 0);
+            banks.insert((coord.rank, coord.group, coord.bank));
+        }
+        assert!(
+            banks.len() > 1,
+            "row-sequential traffic must rotate banks, saw {banks:?}"
+        );
+    }
+
+    #[test]
+    fn bank_xor_swizzle_inverts_for_any_bank_count() {
+        for per_channel in 1..=9usize {
+            for row in 0..20 {
+                for bank in 0..per_channel {
+                    let swizzled = BankXor::swizzle(per_channel, bank, row);
+                    assert!(swizzled < per_channel);
+                    assert_eq!(BankXor::unswizzle(per_channel, swizzled, row), bank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside geometry")]
+    fn out_of_range_linear_addresses_panic() {
+        let geometry = Geometry::new(Topology::flat(2), 4, 4);
+        let _ = Linear.decode(&geometry, geometry.cells());
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`sched`] — the event-driven request frontend: timestamped arrivals,
 //!   bounded per-bank queues with backpressure, pluggable dispatch
 //!   policies, a background scrub daemon, queueing-delay telemetry.
+//! * [`hierarchy`] — the full-chip topology: channels × ranks × bank groups
+//!   × banks with shared data buses, bijective address interleaving, lazy
+//!   bank materialisation, a closed-loop traffic source and channel-sharded
+//!   dispatch that is bit-identical to serial.
 //! * [`telemetry`] — per-bank and aggregate counters, latency histograms,
 //!   energy/latency totals, queueing summaries, post-run integrity audit.
 //!
@@ -58,6 +62,7 @@
 pub mod bank;
 pub mod engine;
 pub mod faults;
+pub mod hierarchy;
 pub mod reliability;
 pub mod retry;
 pub mod sched;
@@ -69,12 +74,20 @@ pub mod workload;
 pub use bank::Bank;
 pub use engine::{Controller, ControllerConfig, Dispatch};
 pub use faults::{FaultPlan, StuckCell};
+pub use hierarchy::{
+    BankCoord, BusTiming, Chip, ChipConfig, ChipRun, ChipTelemetry, ClosedLoopSource, Geometry,
+    GeometryParseError, GeometryParseErrorKind, Interleave, InterleavePolicy, PhysAddr,
+    ShardDispatch, Topology,
+};
 pub use reliability::{
     run_campaign, CampaignConfig, CampaignRow, EccMode, FaultIntensity, Protection, ScrubConfig,
 };
 pub use retry::{ReadResolution, RetryPolicy};
 pub use sched::{Backpressure, Frontend, FrontendConfig, Policy, PriorityClass, SchedRun};
 pub use sense::{Scheme, Sensed};
-pub use telemetry::{BankTelemetry, EccTelemetry, LatencyBounds, QueueTelemetry, Telemetry};
+pub use telemetry::{
+    rollup_by, BankTelemetry, ChannelTelemetry, EccTelemetry, LatencyBounds, QueueTelemetry,
+    Telemetry,
+};
 pub use txn::{Op, Trace, TraceParseError, TraceParseErrorKind, Transaction};
 pub use workload::{Footprint, Workload};

@@ -25,6 +25,7 @@ use stt_sense::SchemeKind;
 
 use crate::engine::{Controller, ControllerConfig};
 use crate::faults::FaultPlan;
+use crate::hierarchy::Topology;
 use crate::reliability::{EccMode, ScrubConfig};
 use crate::sched::{Frontend, FrontendConfig};
 use crate::txn::Trace;
@@ -172,8 +173,11 @@ impl FaultIntensity {
 /// Everything a campaign sweep needs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
-    /// Banks per controller.
-    pub banks: usize,
+    /// Bank topology of the swept memory (the campaign replays through the
+    /// flat frontend, which addresses the topology's total bank count;
+    /// richer shapes let a campaign match a hierarchy experiment
+    /// bank-for-bank).
+    pub topology: Topology,
     /// Per-bank array recipe.
     pub spec: ArraySpec,
     /// Transactions per sweep cell.
@@ -204,7 +208,7 @@ impl CampaignConfig {
     #[must_use]
     pub fn date2010() -> Self {
         Self {
-            banks: 2,
+            topology: Topology::flat(2),
             spec: {
                 let mut spec = ArraySpec::date2010_chip();
                 spec.rows = 64;
@@ -225,6 +229,13 @@ impl CampaignConfig {
     #[must_use]
     pub fn with_ops(mut self, ops: usize) -> Self {
         self.ops = ops;
+        self
+    }
+
+    /// Overrides the bank topology.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -289,9 +300,9 @@ pub struct CampaignRow {
 /// Panics if the configuration is degenerate (no banks, no ops).
 #[must_use]
 pub fn run_campaign(config: &CampaignConfig) -> Vec<CampaignRow> {
-    assert!(config.banks > 0, "campaign needs at least one bank");
+    let banks = config.topology.total_banks();
     assert!(config.ops > 0, "campaign needs traffic");
-    let template = ControllerConfig::date2010(SchemeKind::Nondestructive, config.banks);
+    let template = ControllerConfig::date2010(SchemeKind::Nondestructive, banks);
     let footprint = ControllerConfig {
         spec: config.spec.clone(),
         ..template
@@ -311,9 +322,9 @@ pub fn run_campaign(config: &CampaignConfig) -> Vec<CampaignRow> {
     let mut rows = Vec::new();
     for &scheme in &config.schemes {
         for intensity in &config.intensities {
-            let plan = intensity.plan(config.banks, &config.spec, config.seed);
+            let plan = intensity.plan(banks, &config.spec, config.seed);
             for protection in Protection::ALL {
-                let mut controller_config = ControllerConfig::date2010(scheme, config.banks);
+                let mut controller_config = ControllerConfig::date2010(scheme, banks);
                 controller_config.spec = config.spec.clone();
                 let controller_config = controller_config
                     .with_seed(config.seed)
@@ -383,6 +394,26 @@ mod tests {
             assert_eq!(cells.len(), intensity.stuck_cells_per_bank);
             assert_eq!(cells.len(), deduped.len(), "defects must be distinct");
         }
+    }
+
+    #[test]
+    fn campaign_topology_sets_the_swept_bank_count() {
+        let mut config = CampaignConfig::date2010()
+            .with_topology(Topology::new(2, 1, 2, 1))
+            .with_ops(150)
+            .with_schemes(vec![SchemeKind::Nondestructive])
+            .with_intensities(vec![FaultIntensity::ladder().swap_remove(0)]);
+        config.spec = ArraySpec::small_test_array();
+        let plan =
+            config.intensities[0].plan(config.topology.total_banks(), &config.spec, config.seed);
+        assert_eq!(
+            plan.stuck_cells.len(),
+            4 * config.intensities[0].stuck_cells_per_bank,
+            "defect placement must cover every bank of the topology"
+        );
+        let rows = run_campaign(&config);
+        assert_eq!(rows.len(), Protection::ALL.len());
+        assert!(rows.iter().all(|row| row.reads > 0));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::txn::{Op, Trace, Transaction};
 
 use super::event::EventQueue;
 use super::policy::{Policy, PriorityClass};
-use super::queue::{BankQueue, Queued};
+use super::queue::{InService, Lane, Queued};
 
 /// What admission does when a transaction's bank queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -211,44 +211,6 @@ enum Event {
     Scrub { bank: usize },
     /// A bank finished an in-flight word-scrub.
     ScrubComplete { bank: usize },
-}
-
-/// A transaction currently occupying a bank's service stage.
-#[derive(Debug, Clone, Copy)]
-struct InService {
-    queued: Queued,
-    start_ns: f64,
-}
-
-/// Per-bank run state: the waiting queue, the in-flight transaction and
-/// this run's queueing counters.
-struct Lane {
-    queue: BankQueue,
-    in_service: Option<InService>,
-    /// A word-scrub occupies the service stage (mutually exclusive with
-    /// `in_service`; scrub is non-preemptive once started).
-    scrub_busy: bool,
-    last_change_ns: f64,
-    stats: QueueTelemetry,
-}
-
-impl Lane {
-    fn new(queue_depth: usize) -> Self {
-        Self {
-            queue: BankQueue::new(queue_depth),
-            in_service: None,
-            scrub_busy: false,
-            last_change_ns: 0.0,
-            stats: QueueTelemetry::default(),
-        }
-    }
-
-    /// Accumulates the depth integral up to `now` (call before any queue
-    /// length change).
-    fn flush_occupancy(&mut self, now: f64) {
-        self.stats.depth_time_ns += self.queue.len() as f64 * (now - self.last_change_ns);
-        self.last_change_ns = now;
-    }
 }
 
 /// An admission blocked on a full queue under [`Backpressure::Stall`].

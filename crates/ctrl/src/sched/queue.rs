@@ -8,6 +8,7 @@
 //! that rule once — [`BankQueue::eligible`] yields exactly the entries a
 //! policy may legally pick — so every policy inherits it for free.
 
+use crate::telemetry::QueueTelemetry;
 use crate::txn::Transaction;
 
 /// One admitted transaction waiting in a bank queue.
@@ -115,6 +116,47 @@ impl BankQueue {
     /// Panics if `index` is out of bounds.
     pub fn take(&mut self, index: usize) -> Queued {
         self.entries.remove(index)
+    }
+}
+
+/// A transaction currently occupying a bank's service stage.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InService {
+    pub(crate) queued: Queued,
+    pub(crate) start_ns: f64,
+}
+
+/// Per-bank run state shared by the scheduler frontend and the hierarchy
+/// chip engine: the waiting queue, the in-flight transaction and this run's
+/// queueing counters. The frontend keys lanes by bank index in a flat
+/// controller; the chip engine materialises them lazily per touched bank —
+/// the bookkeeping is identical either way, so it lives here once.
+pub(crate) struct Lane {
+    pub(crate) queue: BankQueue,
+    pub(crate) in_service: Option<InService>,
+    /// A word-scrub occupies the service stage (mutually exclusive with
+    /// `in_service`; scrub is non-preemptive once started).
+    pub(crate) scrub_busy: bool,
+    pub(crate) last_change_ns: f64,
+    pub(crate) stats: QueueTelemetry,
+}
+
+impl Lane {
+    pub(crate) fn new(queue_depth: usize) -> Self {
+        Self {
+            queue: BankQueue::new(queue_depth),
+            in_service: None,
+            scrub_busy: false,
+            last_change_ns: 0.0,
+            stats: QueueTelemetry::default(),
+        }
+    }
+
+    /// Accumulates the depth integral up to `now` (call before any queue
+    /// length change).
+    pub(crate) fn flush_occupancy(&mut self, now: f64) {
+        self.stats.depth_time_ns += self.queue.len() as f64 * (now - self.last_change_ns);
+        self.last_change_ns = now;
     }
 }
 

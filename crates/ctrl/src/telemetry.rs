@@ -430,6 +430,76 @@ impl Default for BankTelemetry {
     }
 }
 
+/// Engine counters for one hierarchy channel, filled by the
+/// [`hierarchy`](crate::hierarchy) chip engine: source activity, shared-bus
+/// contention and outstanding-window behaviour that no single bank can see.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChannelTelemetry {
+    /// Transactions the channel's source issued (or was offered).
+    pub issued: u64,
+    /// Transactions served to completion (data transferred off-chip).
+    pub completed: u64,
+    /// Closed-loop issue attempts gated by a full outstanding window — the
+    /// backpressure signal that makes the source's rate *react* to load.
+    pub source_throttled: u64,
+    /// Largest number of simultaneously outstanding transactions observed.
+    pub max_outstanding: u64,
+    /// Total time completed transfers waited for a busy group or channel
+    /// bus (nanoseconds) — the serialization cost the hierarchy exists to
+    /// expose.
+    pub bus_wait_ns: f64,
+    /// Total time the channel's buses spent transferring (nanoseconds).
+    pub bus_busy_ns: f64,
+    /// Observed horizon (nanoseconds) of the channel's event loop.
+    pub horizon_ns: f64,
+}
+
+impl ChannelTelemetry {
+    /// Folds another channel's counters into this one.
+    pub fn merge(&mut self, other: &ChannelTelemetry) {
+        self.issued += other.issued;
+        self.completed += other.completed;
+        self.source_throttled += other.source_throttled;
+        self.max_outstanding = self.max_outstanding.max(other.max_outstanding);
+        self.bus_wait_ns += other.bus_wait_ns;
+        self.bus_busy_ns += other.bus_busy_ns;
+        self.horizon_ns += other.horizon_ns;
+    }
+
+    /// Mean bus wait per completed transfer (0 when nothing completed).
+    #[must_use]
+    pub fn mean_bus_wait_ns(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.bus_wait_ns / self.completed as f64
+        }
+    }
+}
+
+/// Rolls per-bank telemetry up to an arbitrary hierarchy level: entries are
+/// merged per key (bank group, rank, channel — any projection of a bank's
+/// coordinate), in key order, so the result is deterministic. This is the
+/// one aggregation primitive behind every bank → group → rank → channel →
+/// chip roll-up the hierarchy reports.
+pub fn rollup_by<'a, K: Ord>(
+    entries: impl IntoIterator<Item = (K, &'a BankTelemetry)>,
+) -> std::collections::BTreeMap<K, BankTelemetry> {
+    let mut levels: std::collections::BTreeMap<K, BankTelemetry> =
+        std::collections::BTreeMap::new();
+    for (key, telemetry) in entries {
+        match levels.entry(key) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(telemetry.clone());
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                slot.get_mut().merge(telemetry);
+            }
+        }
+    }
+    levels
+}
+
 /// Telemetry for a full controller run: per-bank breakdown plus the final
 /// integrity audit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -570,6 +640,45 @@ mod tests {
         assert!((q.mean_depth() - 0.3).abs() < 1e-12);
         assert_eq!(QueueTelemetry::default().sojourn_quantile(0.99), None);
         assert_eq!(QueueTelemetry::default().sojourn_p99(), 0.0);
+    }
+
+    #[test]
+    fn rollup_by_merges_per_key_in_key_order() {
+        let banks = [
+            (1usize, telemetry_with(5, 1)),
+            (0, telemetry_with(2, 0)),
+            (1, telemetry_with(3, 1)),
+        ];
+        let levels = rollup_by(banks.iter().map(|(k, t)| (*k, t)));
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[&0].reads, 2);
+        assert_eq!(levels[&1].reads, 8);
+        assert_eq!(levels[&1].misreads, 2);
+        assert_eq!(levels[&1].read_latency_ns.len(), 8);
+    }
+
+    #[test]
+    fn channel_telemetry_merges_and_averages() {
+        let mut a = ChannelTelemetry {
+            issued: 10,
+            completed: 10,
+            source_throttled: 2,
+            max_outstanding: 4,
+            bus_wait_ns: 50.0,
+            bus_busy_ns: 60.0,
+            horizon_ns: 100.0,
+        };
+        assert!((a.mean_bus_wait_ns() - 5.0).abs() < 1e-12);
+        let b = ChannelTelemetry {
+            issued: 5,
+            completed: 5,
+            max_outstanding: 7,
+            ..ChannelTelemetry::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.issued, 15);
+        assert_eq!(a.max_outstanding, 7);
+        assert_eq!(ChannelTelemetry::default().mean_bus_wait_ns(), 0.0);
     }
 
     #[test]

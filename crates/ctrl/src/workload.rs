@@ -17,7 +17,17 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use stt_array::Address;
 
+use crate::hierarchy::{Geometry, Interleave, InterleavePolicy};
 use crate::txn::{Trace, Transaction};
+
+/// Cap on the Zipf rank table used by [`Workload::generate_physical`]. The
+/// flat-footprint generator precomputes one cumulative weight per cell,
+/// which is fine for a handful of 16 kb banks but impossible for a chip
+/// whose addressable space is multi-GB (the whole point of lazy bank
+/// materialisation). Capping the table keeps generation O(min(cells, 64k));
+/// ranks are then spread over the full space by a fixed stride, so the hot
+/// set still exercises every level of the hierarchy.
+const MAX_ZIPF_RANKS: usize = 1 << 16;
 
 /// The shape of the address space a workload targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -124,6 +134,60 @@ impl Workload {
                 Transaction::read(bank, addr)
             } else {
                 Transaction::write(bank, addr, rng.gen_bool(0.5))
+            };
+            trace.push(txn);
+        }
+        trace
+    }
+
+    /// Generates `count` transactions over a full-chip [`Geometry`]: the
+    /// workload draws *linear host addresses* under its popularity law and
+    /// `interleave` maps each onto a physical `(bank, cell)`, so the same
+    /// traffic stream lands differently under different interleaving
+    /// policies — which is exactly the comparison the topology sweep makes.
+    /// Transactions carry **global bank indices**
+    /// ([`Topology::flatten`](crate::hierarchy::Topology::flatten)), ready
+    /// for [`Chip::run_trace`](crate::hierarchy::Chip::run_trace).
+    ///
+    /// Zipf workloads sample a rank table capped at 64 k entries (strided
+    /// over the full space), so generation stays cheap even when the
+    /// geometry addresses gigabits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is empty or the read fraction is outside
+    /// `0.0..=1.0`.
+    pub fn generate_physical(
+        &self,
+        geometry: &Geometry,
+        interleave: InterleavePolicy,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Trace {
+        let cells = geometry.cells();
+        assert!(cells > 0, "workload needs a non-empty geometry");
+        let read_fraction = self.read_fraction();
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction {read_fraction} outside [0, 1]"
+        );
+        let (sampled, scale) = match self {
+            Workload::Zipf { .. } => {
+                let capped = cells.min(MAX_ZIPF_RANKS);
+                (capped, cells / capped)
+            }
+            Workload::Uniform { .. } | Workload::ReadMostly => (cells, 1),
+        };
+        let picker = CellPicker::new(self, sampled);
+        let mut trace = Trace::new();
+        for _ in 0..count {
+            let linear = picker.pick(rng) * scale;
+            let phys = interleave.decode(geometry, linear);
+            let bank = geometry.topology.flatten(phys.coord);
+            let txn = if rng.gen_bool(read_fraction) {
+                Transaction::read(bank, phys.addr)
+            } else {
+                Transaction::write(bank, phys.addr, rng.gen_bool(0.5))
             };
             trace.push(txn);
         }
@@ -261,6 +325,58 @@ mod tests {
         assert!(
             count_distinct(&zipf) < count_distinct(&uniform),
             "a skewed law must touch fewer distinct cells"
+        );
+    }
+
+    #[test]
+    fn physical_generation_is_deterministic_and_in_range() {
+        use crate::hierarchy::Topology;
+        let geometry = Geometry::new(Topology::new(2, 1, 2, 2), 8, 8);
+        for workload in Workload::ALL {
+            for policy in InterleavePolicy::ALL {
+                let make = || {
+                    workload.generate_physical(
+                        &geometry,
+                        policy,
+                        500,
+                        &mut StdRng::seed_from_u64(13),
+                    )
+                };
+                let trace = make();
+                assert_eq!(trace, make(), "{} / {}", workload.name(), policy.name());
+                for txn in trace.transactions() {
+                    assert!(txn.bank < geometry.topology.total_banks());
+                    assert!(txn.addr.row < geometry.rows && txn.addr.col < geometry.cols);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn physical_zipf_caps_its_rank_table_over_huge_geometries() {
+        use crate::hierarchy::Topology;
+        // 8 Gb addressable; an uncapped cumulative table would OOM.
+        let geometry = Geometry::new(Topology::new(4, 2, 4, 8), 4096, 8192);
+        let zipf = Workload::Zipf {
+            theta: 0.99,
+            read_fraction: 1.0,
+        };
+        let trace = zipf.generate_physical(
+            &geometry,
+            InterleavePolicy::ChannelStriped,
+            200,
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(trace.len(), 200);
+        let mut banks = std::collections::HashSet::new();
+        for txn in trace.transactions() {
+            assert!(txn.bank < geometry.topology.total_banks());
+            banks.insert(txn.bank);
+        }
+        assert!(
+            banks.len() < geometry.topology.total_banks(),
+            "a hot set should not need every one of {} banks",
+            geometry.topology.total_banks()
         );
     }
 

@@ -19,7 +19,7 @@ iterations="${BENCH_ITERATIONS:-15}"
 records="$(mktemp)"
 trap 'rm -f "$records"' EXIT
 
-for bench in mna_solver trace_engine sched_frontend reliability_codec; do
+for bench in mna_solver trace_engine sched_frontend reliability_codec hierarchy_dispatch; do
     echo "==> cargo bench -p stt-bench --bench $bench"
     CRITERION_JSON="$records" CRITERION_ITERATIONS="$iterations" \
         cargo bench -p stt-bench --bench "$bench"

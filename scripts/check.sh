@@ -37,4 +37,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+# Fast end-to-end smoke of the full-chip hierarchy: a small topology sweep
+# that asserts sharded == serial at every point and exercises the lazy
+# sparse-chip path (200 ops keeps it to a few seconds; the knee assertion
+# only arms at >= 1000 ops).
+echo "==> trafficsim --topology-sweep smoke"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -q -p stt-bench --bin trafficsim -- \
+    --topology-sweep --ops 200 --geometry 2x1x2x2 --csv "$smoke_dir" > /dev/null
+test -s "$smoke_dir/topology_sweep.csv"
+
 echo "all checks passed"

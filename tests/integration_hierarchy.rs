@@ -1,0 +1,334 @@
+//! Integration tests for the `stt-ctrl` full-chip memory hierarchy.
+//!
+//! The properties the subsystem stakes its design on:
+//!
+//! 1. **Sharded ≡ serial, bit-identically** — one worker thread per channel
+//!    produces exactly the telemetry and stored state of serving channels
+//!    one after another, across every sensing scheme, with and without
+//!    fault injection, for closed-loop and trace-replay driving alike.
+//! 2. **Interleaving is bijective** — for every policy and random geometry,
+//!    `encode ∘ decode` is the identity over the whole address space and no
+//!    two linear addresses alias one physical cell (property-tested).
+//! 3. **Lazy materialisation** — a chip allocates state only for the banks
+//!    traffic actually touches, so multi-GB-addressable topologies cost
+//!    memory proportional to the working set, not the chip.
+//! 4. **Closed-loop backpressure** — the source never exceeds its window,
+//!    and a tight window visibly throttles issue.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stt_array::Address;
+use stt_ctrl::{
+    Chip, ChipConfig, ClosedLoopSource, FaultPlan, Geometry, GeometryParseErrorKind, Interleave,
+    InterleavePolicy, QueueTelemetry, ShardDispatch, Topology, Trace, Transaction, Workload,
+};
+use stt_sense::SchemeKind;
+
+/// Runs the same closed-loop source through two identically-configured
+/// chips, one serial and one sharded, and asserts bit-identity of the run
+/// result (telemetry, counters, makespan) and the stored bits.
+fn assert_sharded_identity(config: ChipConfig, source: &ClosedLoopSource) {
+    let kind = config.kind;
+    let mut serial = Chip::new(config.clone());
+    let mut sharded = Chip::new(config);
+    let a = serial.run_closed_loop(source, ShardDispatch::Serial);
+    let b = sharded.run_closed_loop(source, ShardDispatch::Sharded);
+    assert_eq!(
+        a, b,
+        "{kind}: sharded closed-loop run must be bit-identical to serial"
+    );
+    assert_eq!(
+        serial.stored_state(),
+        sharded.stored_state(),
+        "{kind}: sharded chips must store the exact bits serial chips store"
+    );
+}
+
+#[test]
+fn sharded_dispatch_is_bit_identical_to_serial_for_every_scheme() {
+    for kind in SchemeKind::ALL {
+        let config = ChipConfig::small(kind, Topology::new(3, 1, 2, 2)).with_seed(314);
+        assert_sharded_identity(config, &ClosedLoopSource::read_mostly(600, 4));
+    }
+}
+
+#[test]
+fn sharded_dispatch_is_bit_identical_to_serial_under_faults() {
+    let topology = Topology::new(2, 2, 2, 1);
+    let plan = FaultPlan::none()
+        .with_power_cut_every(120)
+        .with_retention_rate(4e-7)
+        .with_read_disturb(2e-7)
+        .with_stuck_cell(0, Address::new(1, 1), true)
+        .with_stuck_cell(5, Address::new(2, 3), false);
+    for kind in SchemeKind::ALL {
+        let config = ChipConfig::small(kind, topology)
+            .with_seed(99)
+            .with_faults(plan.clone());
+        assert_sharded_identity(config, &ClosedLoopSource::read_mostly(500, 3));
+    }
+}
+
+#[test]
+fn sharded_trace_replay_matches_serial_for_every_interleave() {
+    let config = ChipConfig::small(SchemeKind::Nondestructive, Topology::new(2, 1, 2, 2));
+    let geometry = config.geometry();
+    for policy in InterleavePolicy::ALL {
+        let trace = Workload::Zipf {
+            theta: 0.9,
+            read_fraction: 0.8,
+        }
+        .generate_physical(&geometry, policy, 700, &mut StdRng::seed_from_u64(17));
+        let mut serial = Chip::new(config.clone());
+        let mut sharded = Chip::new(config.clone());
+        let a = serial.run_trace(&trace, ShardDispatch::Serial);
+        let b = sharded.run_trace(&trace, ShardDispatch::Sharded);
+        assert_eq!(a, b, "{}: sharded replay diverged", policy.name());
+        assert_eq!(a.completed, 700);
+        assert_eq!(serial.stored_state(), sharded.stored_state());
+    }
+}
+
+#[test]
+fn lazy_chips_materialise_at_most_the_touched_banks() {
+    // 512 banks addressable; a hot-set trace touches only a few.
+    let topology = Topology::new(4, 2, 8, 8);
+    let config = ChipConfig::small(SchemeKind::Nondestructive, topology);
+    let geometry = config.geometry();
+    let trace = Workload::Zipf {
+        theta: 1.3,
+        read_fraction: 0.9,
+    }
+    .generate_physical(
+        &geometry,
+        InterleavePolicy::BankXor,
+        400,
+        &mut StdRng::seed_from_u64(23),
+    );
+    let touched: HashSet<usize> = trace.transactions().iter().map(|t| t.bank).collect();
+    let mut chip = Chip::new(config);
+    assert_eq!(chip.resident_banks(), 0, "an untouched chip holds no banks");
+    let run = chip.run_trace(&trace, ShardDispatch::Sharded);
+    assert_eq!(run.completed, 400);
+    assert_eq!(
+        chip.resident_banks(),
+        touched.len(),
+        "exactly the touched banks materialise"
+    );
+    assert!(
+        chip.resident_banks() < topology.total_banks(),
+        "a hot set must not populate all {} banks",
+        topology.total_banks()
+    );
+    // Telemetry reports only resident banks, in global bank order.
+    let reported: Vec<usize> = run
+        .telemetry
+        .banks
+        .iter()
+        .map(|(coord, _)| topology.flatten(*coord))
+        .collect();
+    let mut expected: Vec<usize> = touched.iter().copied().collect();
+    expected.sort_unstable();
+    assert_eq!(reported, expected);
+}
+
+#[test]
+fn materialisation_order_does_not_change_a_banks_behaviour() {
+    // Same physical traffic, opposite first-touch order: bank RNG streams
+    // derive from the global index, so each bank's sensing behaviour must
+    // be equal. (Queue *timing* legitimately differs — the reversed trace
+    // serves banks in a different order — so it is masked out.)
+    let config = ChipConfig::small(SchemeKind::Nondestructive, Topology::flat(4)).with_seed(5);
+    let addr = Address::new(1, 1);
+    let forward: Vec<Transaction> = (0..4).map(|b| Transaction::read(b, addr)).collect();
+    let reverse: Vec<Transaction> = (0..4).rev().map(|b| Transaction::read(b, addr)).collect();
+    let run_of = |txns: Vec<Transaction>| {
+        let mut chip = Chip::new(config.clone());
+        chip.run_trace(&Trace::from_transactions(txns), ShardDispatch::Serial);
+        let mut banks = chip.telemetry().banks;
+        for (_, telemetry) in &mut banks {
+            telemetry.queue = QueueTelemetry::default();
+        }
+        banks
+    };
+    assert_eq!(
+        run_of(forward),
+        run_of(reverse),
+        "touch order must be invisible"
+    );
+}
+
+#[test]
+fn closed_loop_window_bounds_outstanding_and_throttles() {
+    let config = ChipConfig::small(SchemeKind::Nondestructive, Topology::date2010());
+    // A think gap far shorter than service time guarantees the source hits
+    // its window and goes quiet until completions wake it.
+    let source = ClosedLoopSource::read_mostly(400, 2).with_mean_think_ns(0.5);
+    let mut chip = Chip::new(config);
+    let run = chip.run_closed_loop(&source, ShardDispatch::Sharded);
+    for channel in &run.telemetry.channels {
+        assert_eq!(channel.issued, 400);
+        assert_eq!(channel.completed, 400);
+        assert!(
+            channel.max_outstanding <= 2,
+            "window 2 exceeded: {}",
+            channel.max_outstanding
+        );
+        assert!(
+            channel.source_throttled > 0,
+            "a saturating source must report throttling"
+        );
+    }
+    // A wider window at the same think rate completes no later and keeps
+    // more requests in flight.
+    let mut wide_chip = Chip::new(ChipConfig::small(
+        SchemeKind::Nondestructive,
+        Topology::date2010(),
+    ));
+    let wide = wide_chip.run_closed_loop(&source.with_window(16), ShardDispatch::Sharded);
+    assert!(wide.makespan_ns <= run.makespan_ns);
+    assert!(wide.telemetry.channels[0].max_outstanding > run.telemetry.channels[0].max_outstanding);
+}
+
+#[test]
+fn geometry_flag_errors_are_typed_and_name_the_level() {
+    let error = "2x1x2".parse::<Topology>().unwrap_err();
+    assert_eq!(error.kind, GeometryParseErrorKind::FieldCount { got: 3 });
+    assert_eq!(
+        error.to_string(),
+        "geometry: expected CxRxGxB (4 fields), got 3"
+    );
+    let error = "2x1x2xmany".parse::<Topology>().unwrap_err();
+    assert_eq!(
+        error.kind,
+        GeometryParseErrorKind::BadCount {
+            level: "banks",
+            value: "many".to_string(),
+        }
+    );
+    let error = "0x1x2x2".parse::<Topology>().unwrap_err();
+    assert_eq!(
+        error.kind,
+        GeometryParseErrorKind::ZeroCount { level: "channels" }
+    );
+    assert_eq!(error.kind.level(), Some("channels"));
+    assert_eq!("4x2x4x4".parse::<Topology>(), Ok(Topology::new(4, 2, 4, 4)));
+}
+
+#[test]
+fn per_level_rollups_partition_chip_traffic() {
+    let config = ChipConfig::small(SchemeKind::Nondestructive, Topology::new(2, 2, 2, 2));
+    let mut chip = Chip::new(config);
+    let run = chip.run_closed_loop(
+        &ClosedLoopSource::read_mostly(300, 4),
+        ShardDispatch::Sharded,
+    );
+    let total = run.telemetry.aggregate();
+    assert_eq!(total.reads + total.writes, 600);
+    for (label, rollup_reads) in [
+        (
+            "channel",
+            run.telemetry
+                .by_channel()
+                .values()
+                .map(|b| b.reads)
+                .sum::<u64>(),
+        ),
+        (
+            "rank",
+            run.telemetry
+                .by_rank()
+                .values()
+                .map(|b| b.reads)
+                .sum::<u64>(),
+        ),
+        (
+            "group",
+            run.telemetry
+                .by_group()
+                .values()
+                .map(|b| b.reads)
+                .sum::<u64>(),
+        ),
+    ] {
+        assert_eq!(
+            rollup_reads, total.reads,
+            "the {label} roll-up must partition the chip"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every interleave policy is a bijection over every geometry: encoding
+    /// a decoded address returns the original, decoded locations stay in
+    /// range, and no two linear addresses alias one physical cell.
+    #[test]
+    fn every_interleave_policy_is_a_bijection(
+        channels in 1usize..5,
+        ranks in 1usize..3,
+        groups in 1usize..4,
+        banks in 1usize..5,
+        rows in 1usize..9,
+        cols in 1usize..9,
+        policy_pick in 0usize..3,
+    ) {
+        let geometry = Geometry::new(
+            Topology::new(channels, ranks, groups, banks),
+            rows,
+            cols,
+        );
+        let policy = InterleavePolicy::ALL[policy_pick];
+        let mut seen = HashSet::with_capacity(geometry.cells());
+        for linear in 0..geometry.cells() {
+            let phys = policy.decode(&geometry, linear);
+            prop_assert!(phys.addr.row < rows && phys.addr.col < cols);
+            prop_assert!(
+                geometry.topology.flatten(phys.coord) < geometry.topology.total_banks()
+            );
+            prop_assert!(
+                policy.encode(&geometry, phys) == linear,
+                "{}: decode/encode must invert at {}",
+                policy.name(),
+                linear
+            );
+            prop_assert!(
+                seen.insert((phys.coord, phys.addr.row, phys.addr.col)),
+                "{}: linear {} aliases an earlier physical cell",
+                policy.name(),
+                linear
+            );
+        }
+        // Right-inverse over the full finite domain + no aliasing = bijection.
+        prop_assert_eq!(seen.len(), geometry.cells());
+    }
+
+    /// The sharded ≡ serial identity holds across randomly drawn topologies,
+    /// windows and seeds, not just the hand-picked cases.
+    #[test]
+    fn sharded_identity_holds_over_random_topologies(
+        channels in 1usize..4,
+        groups in 1usize..3,
+        banks in 1usize..3,
+        window in 1usize..6,
+        ops in 50usize..200,
+        seed in 0u64..500,
+    ) {
+        let config = ChipConfig::small(
+            SchemeKind::Nondestructive,
+            Topology::new(channels, 1, groups, banks),
+        )
+        .with_seed(seed);
+        let source = ClosedLoopSource::read_mostly(ops, window).with_seed(seed ^ 0xc0ffee);
+        let mut serial = Chip::new(config.clone());
+        let mut sharded = Chip::new(config);
+        let a = serial.run_closed_loop(&source, ShardDispatch::Serial);
+        let b = sharded.run_closed_loop(&source, ShardDispatch::Sharded);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(serial.stored_state(), sharded.stored_state());
+    }
+}
