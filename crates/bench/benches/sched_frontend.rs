@@ -1,18 +1,64 @@
 //! Wall-clock cost of the scheduler frontend's event loop: the hot path is
 //! heap scheduling + policy choice + queue bookkeeping per transaction, on
 //! top of the same `Bank::execute` the serial engine pays.
+//!
+//! This binary installs a counting global allocator wired to
+//! `stt_ctrl::alloc_probe`, so every run's `steady_state_allocs` reports
+//! real heap traffic inside the event loop — and the benches *assert* it is
+//! zero for the fault-free hot path (DESIGN.md §12). A regression that
+//! reintroduces per-transaction allocation fails the bench run outright
+//! instead of just showing up as a slower median.
+
+use std::alloc::{GlobalAlloc, Layout, System};
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, SamplingMode, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stt_ctrl::Workload;
 use stt_ctrl::{
-    Backpressure, Controller, ControllerConfig, Dispatch, Frontend, FrontendConfig, Policy, Trace,
+    Backpressure, Controller, ControllerConfig, Dispatch, Frontend, FrontendConfig, Policy,
+    SchedRun, Trace,
 };
 use stt_sense::SchemeKind;
 
+/// The system allocator with an allocation counter bolted on: every
+/// `alloc`/`realloc` reports to [`stt_ctrl::alloc_probe`] before
+/// delegating, which is what makes `SchedRun::steady_state_allocs`
+/// meaningful in this process.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to `System`; the probe bump
+// is a relaxed atomic increment with no allocator interaction.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        stt_ctrl::alloc_probe::on_alloc();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        stt_ctrl::alloc_probe::on_alloc();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 const OPS: usize = 2_000;
 const BANKS: usize = 4;
+
+/// Fails the bench if the event loop touched the heap.
+fn assert_alloc_free(label: &str, run: &SchedRun) {
+    assert_eq!(
+        run.steady_state_allocs, 0,
+        "{label}: steady-state event loop allocated {} times",
+        run.steady_state_allocs
+    );
+}
 
 /// A timed trace loading the banks to ~0.9 of the nondestructive service
 /// rate — deep enough queues that policy choice and heap churn dominate.
@@ -62,7 +108,9 @@ fn bench_frontend(c: &mut Criterion) {
                     )
                 },
                 |mut frontend| {
-                    std::hint::black_box(frontend.run(&trace));
+                    let run = frontend.run(&trace);
+                    assert_alloc_free(label, &run);
+                    std::hint::black_box(run);
                 },
                 BatchSize::LargeInput,
             )
@@ -99,7 +147,9 @@ fn bench_backpressure(c: &mut Criterion) {
                     )
                 },
                 |mut frontend| {
-                    std::hint::black_box(frontend.run(&trace));
+                    let run = frontend.run(&trace);
+                    assert_alloc_free(label, &run);
+                    std::hint::black_box(run);
                 },
                 BatchSize::LargeInput,
             )

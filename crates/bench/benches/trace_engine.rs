@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, SamplingMode, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use stt_ctrl::{Controller, ControllerConfig, Dispatch, Trace, Workload};
+use stt_ctrl::{Controller, ControllerConfig, Dispatch, Trace, TraceView, Workload};
 use stt_sense::SchemeKind;
 
 const OPS: usize = 2_000;
@@ -62,5 +62,40 @@ fn bench_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schemes, bench_dispatch);
+/// Replay-source cost: the owned `Trace` (a `Vec` of decoded transactions)
+/// against the zero-copy `TraceView` decoding each 24-byte record straight
+/// out of the binary buffer. Both drive the identical generic engine, so
+/// the gap is pure decode cost — and both runs are bit-identical, which the
+/// integration suite asserts.
+fn bench_replay_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_engine/source");
+    group.sampling_mode(SamplingMode::Flat);
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+    let config = ControllerConfig::small(SchemeKind::Nondestructive, BANKS);
+    let trace = trace_for(&config);
+    let binary = trace.to_binary();
+    group.bench_function("owned-trace", |b| {
+        b.iter_batched(
+            || Controller::new(config.clone()),
+            |mut controller| {
+                std::hint::black_box(controller.run(&trace, Dispatch::Serial));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("trace-view", |b| {
+        b.iter_batched(
+            || Controller::new(config.clone()),
+            |mut controller| {
+                let view = TraceView::new(&binary).expect("valid binary trace");
+                std::hint::black_box(controller.run(&view, Dispatch::Serial));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_dispatch, bench_replay_source);
 criterion_main!(benches);

@@ -47,7 +47,7 @@ use rand::SeedableRng;
 use stt_ctrl::{
     run_campaign, CampaignConfig, Chip, ChipConfig, ClosedLoopSource, Controller, ControllerConfig,
     Dispatch, Frontend, FrontendConfig, InterleavePolicy, Policy, Protection, ShardDispatch,
-    Telemetry, Topology, Workload,
+    Telemetry, Topology, Trace, Workload,
 };
 use stt_sense::SchemeKind;
 use stt_stats::Table;
@@ -226,9 +226,13 @@ fn load_sweep(ops_per_config: usize) -> Table {
                     &mut StdRng::seed_from_u64(SEED ^ load.to_bits()),
                 )
                 .with_poisson_arrivals(gap_ns, &mut StdRng::seed_from_u64(SEED + 77));
+            // The sweep asserts on tail quantiles, so it pays for exact
+            // per-completion samples instead of the streaming estimators.
             let mut frontend = Frontend::new(
                 Controller::new(config),
-                FrontendConfig::fcfs_unbounded().with_policy(policy),
+                FrontendConfig::fcfs_unbounded()
+                    .with_policy(policy)
+                    .with_exact_sojourn(),
             );
             let run = frontend.run(&trace);
             let totals = run.telemetry.aggregate();
@@ -539,9 +543,37 @@ fn topology_sweep(ops_per_channel: usize, topology: Topology) -> Table {
     table
 }
 
+/// `--convert IN OUT`: translate a trace between the CSV and binary
+/// on-disk formats, direction chosen by the *input* extension — `.csv`
+/// parses CSV and writes binary, anything else parses binary and writes
+/// CSV. Both formats round-trip losslessly (asserted by the integration
+/// proptests), so converting is safe to do in either direction repeatedly.
+fn convert(input: &str, output: &str) {
+    let trace = if input.ends_with(".csv") {
+        let text =
+            std::fs::read_to_string(input).unwrap_or_else(|error| panic!("read {input}: {error}"));
+        Trace::from_csv(&text).unwrap_or_else(|error| panic!("parse {input}: {error}"))
+    } else {
+        let bytes = std::fs::read(input).unwrap_or_else(|error| panic!("read {input}: {error}"));
+        Trace::from_binary(&bytes).unwrap_or_else(|error| panic!("parse {input}: {error}"))
+    };
+    if input.ends_with(".csv") {
+        std::fs::write(output, trace.to_binary())
+            .unwrap_or_else(|error| panic!("write {output}: {error}"));
+    } else {
+        std::fs::write(output, trace.to_csv())
+            .unwrap_or_else(|error| panic!("write {output}: {error}"));
+    }
+    println!(
+        "converted {input} -> {output} ({} transactions)",
+        trace.len()
+    );
+}
+
 fn main() {
     const USAGE: &str = "usage: trafficsim [--ops N] [--csv DIR] [--geometry CxRxGxB] \
-                         [--load-sweep | --reliability-sweep | --topology-sweep]";
+                         [--load-sweep | --reliability-sweep | --topology-sweep] \
+                         [--convert IN OUT]";
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ops = DEFAULT_OPS;
     let mut csv_dir = String::from("results");
@@ -571,6 +603,12 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
+            }
+            "--convert" => {
+                let input = iter.next().expect("--convert needs IN and OUT paths");
+                let output = iter.next().expect("--convert needs IN and OUT paths");
+                convert(input, output);
+                return;
             }
             "--load-sweep" => load_mode = true,
             "--reliability-sweep" => reliability_mode = true,

@@ -1,0 +1,45 @@
+//! Heap-allocation counting hook for allocation-free assertions.
+//!
+//! The scheduler frontend claims its steady-state event loop performs **no
+//! heap allocation** (DESIGN.md §12). That claim is only worth having if it
+//! is asserted, and asserting it needs a counting allocator — but this crate
+//! forbids `unsafe`, and a `#[global_allocator]` cannot be written without
+//! it. The split: this module owns a process-global atomic counter with a
+//! safe API, and the *bench binary* (which may use `unsafe`) installs a
+//! `GlobalAlloc` wrapper that calls [`on_alloc`] on every allocation.
+//!
+//! When no counting allocator is installed the counter simply never moves,
+//! so [`SchedRun::steady_state_allocs`](crate::sched::SchedRun) reads zero
+//! and the assertion is vacuously true; under the bench's counting allocator
+//! it becomes a real regression gate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one heap allocation. Called by an instrumented global allocator;
+/// never called by this crate itself.
+#[inline]
+pub fn on_alloc() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total allocations recorded so far (monotone; wraps only after 2⁶⁴).
+#[must_use]
+pub fn count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone() {
+        let before = count();
+        on_alloc();
+        on_alloc();
+        // Other test threads may also bump it; only monotonicity is ours.
+        assert!(count() >= before + 2);
+    }
+}

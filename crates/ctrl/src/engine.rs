@@ -16,7 +16,7 @@ use crate::faults::FaultPlan;
 use crate::reliability::EccMode;
 use crate::retry::RetryPolicy;
 use crate::telemetry::{LatencyBounds, Telemetry};
-use crate::txn::{Trace, Transaction};
+use crate::txn::{Transaction, TxnSource};
 use crate::workload::Footprint;
 
 /// How [`Controller::run`] drives its banks.
@@ -163,20 +163,26 @@ impl Controller {
     /// Serves every transaction of `trace` and returns the run's telemetry
     /// (including the post-run integrity audit).
     ///
+    /// Generic over [`TxnSource`]: an owned [`Trace`](crate::Trace) and a
+    /// zero-copy
+    /// [`TraceView`](crate::TraceView) partition into the same per-bank
+    /// slices and replay bit-identically.
+    ///
     /// # Panics
     ///
     /// Panics if a transaction addresses a bank the controller does not
     /// have.
-    pub fn run(&mut self, trace: &Trace, dispatch: Dispatch) -> Telemetry {
+    pub fn run<S: TxnSource + ?Sized>(&mut self, trace: &S, dispatch: Dispatch) -> Telemetry {
         let mut per_bank: Vec<Vec<Transaction>> = vec![Vec::new(); self.banks.len()];
-        for txn in trace.transactions() {
+        for i in 0..trace.len() {
+            let txn = trace.get(i);
             assert!(
                 txn.bank < per_bank.len(),
                 "transaction targets bank {} of a {}-bank controller",
                 txn.bank,
                 per_bank.len()
             );
-            per_bank[txn.bank].push(*txn);
+            per_bank[txn.bank].push(txn);
         }
         let Self { config, banks } = self;
         let faults = &config.faults;
@@ -218,6 +224,7 @@ impl Controller {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::txn::Trace;
     use crate::workload::Workload;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

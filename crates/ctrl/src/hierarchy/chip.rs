@@ -36,7 +36,7 @@ use crate::sched::event::EventQueue;
 use crate::sched::policy::Policy;
 use crate::sched::queue::{InService, Lane, Queued};
 use crate::telemetry::{BankTelemetry, ChannelTelemetry, LatencyBounds, QueueTelemetry};
-use crate::txn::{Trace, Transaction};
+use crate::txn::{Transaction, TxnSource};
 
 use super::interleave::InterleavePolicy;
 use super::source::ClosedLoopSource;
@@ -467,19 +467,26 @@ impl Chip {
     /// closed-loop source's job; replay measures what a fixed offered
     /// stream costs.
     ///
+    /// Generic over [`TxnSource`], so an owned [`Trace`](crate::Trace) and
+    /// a zero-copy [`TraceView`](crate::TraceView) shard into the same
+    /// per-channel work lists and replay bit-identically.
+    ///
     /// # Panics
     ///
     /// Panics if a transaction addresses a bank outside the topology.
-    pub fn run_trace(&mut self, trace: &Trace, dispatch: ShardDispatch) -> ChipRun {
-        let txns = trace.transactions();
+    pub fn run_trace<S: TxnSource + ?Sized>(
+        &mut self,
+        trace: &S,
+        dispatch: ShardDispatch,
+    ) -> ChipRun {
         let total_banks = self.config.topology.total_banks();
         let per_channel = self.config.topology.banks_per_channel();
-        let mut order: Vec<usize> = (0..txns.len()).collect();
-        order.sort_by_key(|&i| (txns[i].arrival_ns, i));
+        let mut order: Vec<usize> = (0..trace.len()).collect();
+        order.sort_by_key(|&i| (trace.get(i).arrival_ns, i));
         let mut work: Vec<Vec<(usize, Transaction)>> =
             vec![Vec::new(); self.config.topology.channels];
         for index in order {
-            let txn = txns[index];
+            let txn = trace.get(index);
             assert!(
                 txn.bank < total_banks,
                 "transaction targets bank {} of a {total_banks}-bank chip",
@@ -643,9 +650,7 @@ impl<'a> ChannelSim<'a> {
         let lane = self.lanes.get_mut(&bank).expect("completion without lane");
         let served = lane.in_service.take().expect("completion without service");
         lane.stats.completed += 1;
-        lane.stats
-            .sojourn_samples_ns
-            .push(now - served.queued.arrival_ns);
+        lane.stats.sojourn.observe(now - served.queued.arrival_ns);
         self.stats.completed += 1;
         self.completed += 1;
         self.outstanding -= 1;
@@ -807,6 +812,7 @@ fn try_dispatch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::txn::Trace;
     use crate::workload::Workload;
     use rand::SeedableRng;
 

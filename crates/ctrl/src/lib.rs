@@ -6,7 +6,9 @@
 //! to a device — a handheld whose battery gets pulled, a store full of
 //! variation-heavy bits — when real traffic runs through each read path?
 //!
-//! * [`txn`] — transactions and replayable [`Trace`]s (CSV round-trip).
+//! * [`txn`] — transactions and replayable [`Trace`]s: CSV interchange, a
+//!   fixed-stride binary format, and the zero-copy [`TraceView`] replay path
+//!   (everything downstream is generic over [`TxnSource`]).
 //! * [`workload`] — synthetic generators: uniform, Zipf hot-set,
 //!   read-mostly.
 //! * [`sense`] — run-time scheme dispatch over the three read paths.
@@ -59,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_probe;
 pub mod bank;
 pub mod engine;
 pub mod faults;
@@ -83,11 +86,17 @@ pub use reliability::{
     run_campaign, CampaignConfig, CampaignRow, EccMode, FaultIntensity, Protection, ScrubConfig,
 };
 pub use retry::{ReadResolution, RetryPolicy};
-pub use sched::{Backpressure, Frontend, FrontendConfig, Policy, PriorityClass, SchedRun};
+pub use sched::{
+    Backpressure, Completion, CompletionLog, Frontend, FrontendConfig, Policy, PriorityClass,
+    SchedRun,
+};
 pub use sense::{Scheme, Sensed};
 pub use telemetry::{
     rollup_by, BankTelemetry, ChannelTelemetry, EccTelemetry, LatencyBounds, QueueTelemetry,
-    Telemetry,
+    SojournStats, Telemetry,
 };
-pub use txn::{Op, Trace, TraceParseError, TraceParseErrorKind, Transaction};
+pub use txn::{
+    Op, Trace, TraceBinaryError, TraceParseError, TraceParseErrorKind, TraceView, Transaction,
+    TxnSource,
+};
 pub use workload::{Footprint, Workload};

@@ -1,0 +1,126 @@
+//! Slab arena: stable `u32` keys over a flat `Vec` with a free list.
+//!
+//! The queueing layer parks every admitted transaction in one of these
+//! instead of shifting `Queued` structs around a `Vec`: inserts reuse freed
+//! slots (LIFO free list), removals are O(1), and once the backing `Vec`
+//! has grown to the queue's high-water mark the slab never allocates again
+//! — which is what makes the frontend's steady-state loop allocation-free.
+
+/// A slot map with `u32` keys and a LIFO free list.
+#[derive(Debug, Clone)]
+pub(crate) struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    /// Head of the free list, or `NONE`.
+    free: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Entry<T> {
+    Occupied(T),
+    /// Next free slot, or `NONE` at the list tail.
+    Free(u32),
+}
+
+const NONE: u32 = u32::MAX;
+
+impl<T> Slab<T> {
+    /// An empty slab with `capacity` slots preallocated (`0` defers
+    /// allocation to the first insert).
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+            free: NONE,
+        }
+    }
+
+    /// Stores `value`, reusing a freed slot when one exists.
+    pub(crate) fn insert(&mut self, value: T) -> u32 {
+        if self.free == NONE {
+            let key = u32::try_from(self.entries.len()).expect("slab capacity exceeds u32 keys");
+            self.entries.push(Entry::Occupied(value));
+            return key;
+        }
+        let key = self.free;
+        let slot = &mut self.entries[key as usize];
+        match *slot {
+            Entry::Free(next) => self.free = next,
+            Entry::Occupied(_) => unreachable!("free list points at an occupied slot"),
+        }
+        *slot = Entry::Occupied(value);
+        key
+    }
+
+    /// Removes and returns the value under `key`, freeing the slot.
+    ///
+    /// # Panics
+    /// Panics when `key` does not name an occupied slot.
+    pub(crate) fn remove(&mut self, key: u32) -> T {
+        let slot = &mut self.entries[key as usize];
+        match std::mem::replace(slot, Entry::Free(self.free)) {
+            Entry::Occupied(value) => {
+                self.free = key;
+                value
+            }
+            Entry::Free(next) => {
+                // Undo the replace so the free list stays intact, then panic.
+                *slot = Entry::Free(next);
+                panic!("slab key {key} is not occupied");
+            }
+        }
+    }
+
+    /// Borrows the value under `key`.
+    ///
+    /// # Panics
+    /// Panics when `key` does not name an occupied slot.
+    pub(crate) fn get(&self, key: u32) -> &T {
+        match &self.entries[key as usize] {
+            Entry::Occupied(value) => value,
+            Entry::Free(_) => panic!("slab key {key} is not occupied"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_reuses_slots() {
+        let mut slab = Slab::with_capacity(0);
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.entries.len(), 2);
+        assert_eq!(*slab.get(a), "a");
+        assert_eq!(slab.remove(a), "a");
+        // The freed slot is reused before the vec grows.
+        let c = slab.insert("c");
+        assert_eq!(c, a);
+        assert_eq!(slab.entries.len(), 2);
+        assert_eq!(*slab.get(b), "b");
+        assert_eq!(*slab.get(c), "c");
+    }
+
+    #[test]
+    fn preallocated_slab_does_not_regrow_within_capacity() {
+        let mut slab = Slab::with_capacity(8);
+        let cap = slab.entries.capacity();
+        let keys: Vec<u32> = (0..8).map(|i| slab.insert(i)).collect();
+        for &k in &keys {
+            slab.remove(k);
+        }
+        for i in 0..8 {
+            slab.insert(i);
+        }
+        assert_eq!(slab.entries.capacity(), cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "not occupied")]
+    fn double_remove_panics() {
+        let mut slab = Slab::with_capacity(0);
+        let k = slab.insert(1);
+        slab.remove(k);
+        slab.remove(k);
+    }
+}

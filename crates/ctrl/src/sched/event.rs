@@ -8,9 +8,14 @@
 //! bit-identical replay — so the queue breaks timestamp ties by insertion
 //! sequence number: two events at the same instant always pop in the order
 //! they were scheduled, independent of heap internals or float quirks.
+//!
+//! Storage is index-based: entries live in one flat `Vec` used as an
+//! implicit binary min-heap (parent/child navigation is index arithmetic,
+//! sift operations swap in place), so there is no per-event box and — once
+//! the frontend has reserved the run's worst-case event count up front —
+//! scheduling and popping never allocate.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// One scheduled entry: a timestamp, a tie-breaking sequence number and the
 /// payload.
@@ -21,28 +26,14 @@ struct Scheduled<E> {
     event: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time_ns.total_cmp(&other.time_ns) == Ordering::Equal && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: `BinaryHeap` is a max-heap and we want the *earliest*
-        // event (smallest time, then smallest sequence number) on top.
-        other
-            .time_ns
-            .total_cmp(&self.time_ns)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Scheduled<E> {
+    /// Min-heap priority: earliest timestamp first, ties by insertion order.
+    fn before(&self, other: &Self) -> bool {
+        match self.time_ns.total_cmp(&other.time_ns) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => self.seq < other.seq,
+        }
     }
 }
 
@@ -64,7 +55,9 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Implicit binary heap: `heap[0]` is the earliest event, children of
+    /// index `i` sit at `2i + 1` and `2i + 2`.
+    heap: Vec<Scheduled<E>>,
     seq: u64,
 }
 
@@ -73,9 +66,23 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             seq: 0,
         }
+    }
+
+    /// An empty event queue with room for `capacity` pending events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: Vec::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Schedules `event` at `time_ns`.
@@ -92,18 +99,28 @@ impl<E> EventQueue<E> {
             event,
         });
         self.seq += 1;
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// The timestamp of the earliest pending event.
     #[must_use]
     pub fn next_time(&self) -> Option<f64> {
-        self.heap.peek().map(|entry| entry.time_ns)
+        self.heap.first().map(|entry| entry.time_ns)
     }
 
     /// Removes and returns the earliest pending event (ties in scheduling
     /// order).
     pub fn pop(&mut self) -> Option<(f64, E)> {
-        self.heap.pop().map(|entry| (entry.time_ns, entry.event))
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let entry = self.heap.pop().expect("heap checked non-empty");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((entry.time_ns, entry.event))
     }
 
     /// Number of pending events.
@@ -116,6 +133,37 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].before(&self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (left, right) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if left < n && self.heap[left].before(&self.heap[smallest]) {
+                smallest = left;
+            }
+            if right < n && self.heap[right].before(&self.heap[smallest]) {
+                smallest = right;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
     }
 }
 
@@ -155,6 +203,33 @@ mod tests {
         assert_eq!(queue.next_time(), Some(2.5));
         assert_eq!(queue.len(), 1);
         assert!(!queue.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut queue = EventQueue::with_capacity(8);
+        queue.schedule(10.0, 10u64);
+        queue.schedule(30.0, 30);
+        assert_eq!(queue.pop(), Some((10.0, 10)));
+        queue.schedule(20.0, 20);
+        queue.schedule(5.0, 5);
+        assert_eq!(queue.pop(), Some((5.0, 5)));
+        assert_eq!(queue.pop(), Some((20.0, 20)));
+        assert_eq!(queue.pop(), Some((30.0, 30)));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn reserved_queue_does_not_regrow_within_capacity() {
+        let mut queue = EventQueue::with_capacity(64);
+        let cap = queue.heap.capacity();
+        for round in 0..10 {
+            for i in 0..64u64 {
+                queue.schedule((i % 7) as f64, round * 64 + i);
+            }
+            while queue.pop().is_some() {}
+        }
+        assert_eq!(queue.heap.capacity(), cap);
     }
 
     #[test]

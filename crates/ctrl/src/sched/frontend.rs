@@ -19,18 +19,21 @@
 //! That identity is asserted by the integration suite the same way the
 //! `Serial ≡ Parallel` dispatch property already is.
 
+use std::collections::VecDeque;
+
 use serde::{Deserialize, Serialize};
 
+use crate::alloc_probe;
 use crate::bank::Bank;
 use crate::engine::Controller;
 use crate::faults::FaultPlan;
 use crate::reliability::ScrubConfig;
-use crate::telemetry::{QueueTelemetry, Telemetry};
-use crate::txn::{Op, Trace, Transaction};
+use crate::telemetry::{QueueTelemetry, SojournStats, Telemetry};
+use crate::txn::{Op, Transaction, TxnSource};
 
 use super::event::EventQueue;
 use super::policy::{Policy, PriorityClass};
-use super::queue::{InService, Lane, Queued};
+use super::queue::{InService, Lane, ParkedRetry, Queued};
 
 /// What admission does when a transaction's bank queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,6 +66,13 @@ pub struct FrontendConfig {
     /// wrapped controller to run with ECC.
     #[serde(default)]
     pub scrub: Option<ScrubConfig>,
+    /// Retain raw per-completion sojourn samples
+    /// ([`SojournStats::Exact`]) instead of the default fixed-memory
+    /// streaming quantile estimators. Exact mode grows telemetry by one
+    /// `f64` per completion; use it for tests and sweeps that assert on
+    /// exact order-statistic quantiles.
+    #[serde(default)]
+    pub exact_sojourn: bool,
 }
 
 impl FrontendConfig {
@@ -75,7 +85,16 @@ impl FrontendConfig {
             policy: Policy::Fcfs,
             backpressure: Backpressure::Stall,
             scrub: None,
+            exact_sojourn: false,
         }
+    }
+
+    /// Opts into exact per-completion sojourn samples (see
+    /// [`FrontendConfig::exact_sojourn`]).
+    #[must_use]
+    pub fn with_exact_sojourn(mut self) -> Self {
+        self.exact_sojourn = true;
+        self
     }
 
     /// Enables the background scrub daemon.
@@ -172,6 +191,127 @@ impl Completion {
     }
 }
 
+/// Struct-of-arrays completion log: one column per [`Completion`] field.
+///
+/// The frontend appends one row per served transaction; columnar storage
+/// keeps the hot-loop push down to seven independent `Vec` writes (all
+/// preallocated to the trace length, so steady state never reallocates) and
+/// lets post-run analysis scan a single column without striding over the
+/// rest. Rows decode back into [`Completion`] on demand via
+/// [`CompletionLog::get`] / [`CompletionLog::iter`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompletionLog {
+    trace_index: Vec<u32>,
+    bank: Vec<u32>,
+    op: Vec<Op>,
+    arrival_ns: Vec<f64>,
+    admit_ns: Vec<f64>,
+    start_ns: Vec<f64>,
+    complete_ns: Vec<f64>,
+}
+
+impl CompletionLog {
+    /// An empty log with room for `capacity` rows in every column.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            trace_index: Vec::with_capacity(capacity),
+            bank: Vec::with_capacity(capacity),
+            op: Vec::with_capacity(capacity),
+            arrival_ns: Vec::with_capacity(capacity),
+            admit_ns: Vec::with_capacity(capacity),
+            start_ns: Vec::with_capacity(capacity),
+            complete_ns: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of completions recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.complete_ns.len()
+    }
+
+    /// `true` when nothing completed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.complete_ns.is_empty()
+    }
+
+    /// Appends one completion row.
+    ///
+    /// # Panics
+    /// Panics when `trace_index` or `bank` exceeds `u32::MAX` (the columns
+    /// store them as 32-bit words).
+    pub fn push(&mut self, completion: Completion) {
+        self.trace_index
+            .push(u32::try_from(completion.trace_index).expect("trace index fits u32"));
+        self.bank
+            .push(u32::try_from(completion.bank).expect("bank index fits u32"));
+        self.op.push(completion.op);
+        self.arrival_ns.push(completion.arrival_ns);
+        self.admit_ns.push(completion.admit_ns);
+        self.start_ns.push(completion.start_ns);
+        self.complete_ns.push(completion.complete_ns);
+    }
+
+    /// Decodes row `index` back into a [`Completion`].
+    ///
+    /// # Panics
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Completion {
+        Completion {
+            trace_index: self.trace_index[index] as usize,
+            bank: self.bank[index] as usize,
+            op: self.op[index],
+            arrival_ns: self.arrival_ns[index],
+            admit_ns: self.admit_ns[index],
+            start_ns: self.start_ns[index],
+            complete_ns: self.complete_ns[index],
+        }
+    }
+
+    /// Iterates the rows as [`Completion`] values, in completion order.
+    pub fn iter(&self) -> impl Iterator<Item = Completion> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The completion-timestamp column (nanoseconds, completion order).
+    #[must_use]
+    pub fn complete_ns(&self) -> &[f64] {
+        &self.complete_ns
+    }
+}
+
+impl<'a> IntoIterator for &'a CompletionLog {
+    type Item = Completion;
+    type IntoIter = CompletionIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        CompletionIter { log: self, next: 0 }
+    }
+}
+
+/// Iterator over a [`CompletionLog`]'s decoded rows.
+#[derive(Debug)]
+pub struct CompletionIter<'a> {
+    log: &'a CompletionLog,
+    next: usize,
+}
+
+impl Iterator for CompletionIter<'_> {
+    type Item = Completion;
+
+    fn next(&mut self) -> Option<Completion> {
+        if self.next >= self.log.len() {
+            return None;
+        }
+        let row = self.log.get(self.next);
+        self.next += 1;
+        Some(row)
+    }
+}
+
 /// The outcome of one [`Frontend::run`]: telemetry (with the queueing
 /// section filled in), the per-transaction completion log in completion
 /// order, and the run's makespan.
@@ -179,10 +319,16 @@ impl Completion {
 pub struct SchedRun {
     /// Controller telemetry with [`QueueTelemetry`] populated per bank.
     pub telemetry: Telemetry,
-    /// Every served transaction, in completion order (deterministic).
-    pub completions: Vec<Completion>,
+    /// Every served transaction, in completion order (deterministic),
+    /// stored column-wise.
+    pub completions: CompletionLog,
     /// Time of the last completion (nanoseconds); 0 for an empty trace.
     pub makespan_ns: f64,
+    /// Heap allocations observed *inside* the event loop, via
+    /// [`alloc_probe`]. Always 0 unless the process installed a counting
+    /// allocator (the `sched_frontend` bench does, and asserts 0 for the
+    /// fault-free hot path).
+    pub steady_state_allocs: u64,
 }
 
 impl SchedRun {
@@ -315,49 +461,135 @@ impl Frontend {
     /// Offers every transaction of `trace` at its arrival time and runs the
     /// event loop to completion (all queues drained, all banks idle).
     ///
+    /// Generic over [`TxnSource`], so an owned [`Trace`](crate::Trace) and a
+    /// zero-copy [`TraceView`](crate::TraceView) replay through identical
+    /// code and produce bit-identical results.
+    ///
     /// The simulated clock restarts at zero for each call; accumulated
     /// telemetry (including queueing horizons) sums across calls.
+    ///
+    /// All working storage (event heap, lane arenas, completion columns,
+    /// retry waitlists) is preallocated from the trace length before the
+    /// event loop starts, so the fault-free steady state performs no heap
+    /// allocation — [`SchedRun::steady_state_allocs`] reports what a
+    /// counting allocator observed inside the loop, when one is installed.
     ///
     /// # Panics
     ///
     /// Panics if a transaction addresses a bank the controller does not
     /// have.
-    pub fn run(&mut self, trace: &Trace) -> SchedRun {
+    pub fn run<S: TxnSource + ?Sized>(&mut self, trace: &S) -> SchedRun {
         let FrontendConfig {
             queue_depth,
             policy,
             backpressure,
             scrub,
+            exact_sojourn,
         } = self.config;
         let faults = self.controller.config().faults.clone();
         let bank_count = self.controller.config().banks;
-        let txns = trace.transactions();
-        for txn in txns {
+        let n = trace.len();
+
+        // One validation pass tripling as a monotonicity probe (so the
+        // offer-order sort below is skipped for the common case of a
+        // generator- or converter-produced trace with non-decreasing
+        // arrivals) and a per-bank census (so each lane preallocates
+        // exactly the entries that could ever wait in it, instead of the
+        // whole trace length per bank).
+        let mut monotone = true;
+        let mut prev_arrival = 0u64;
+        let mut bank_load = vec![0usize; bank_count];
+        for i in 0..n {
+            let txn = trace.get(i);
             assert!(
                 txn.bank < bank_count,
                 "transaction targets bank {} of a {bank_count}-bank controller",
                 txn.bank
             );
+            bank_load[txn.bank] += 1;
+            monotone &= txn.arrival_ns >= prev_arrival;
+            prev_arrival = txn.arrival_ns;
         }
 
         // Offer order: by arrival time, trace order breaking ties — so a
         // monotonically-timed (or untimed) trace is offered in trace order.
-        let mut order: Vec<usize> = (0..txns.len()).collect();
-        order.sort_by_key(|&i| (txns[i].arrival_ns, i));
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        if !monotone {
+            order.sort_by_key(|&i| (trace.get(i as usize).arrival_ns, i));
+        }
 
         let banks = self.controller.banks_mut();
-        let mut lanes: Vec<Lane> = (0..bank_count).map(|_| Lane::new(queue_depth)).collect();
-        let mut events: EventQueue<Event> = EventQueue::new();
-        let mut completions: Vec<Completion> = Vec::new();
+        // FCFS at unbounded depth with no scrub daemon is the hot
+        // configuration (it is also the serial-replay anchor): backpressure
+        // can never fire, banks never interact, and the only event kinds
+        // are fresh arrivals and completions. That specialisation replaces
+        // the event heap with a sorted-arrival cursor merged against one
+        // pending-completion slot per bank, and the shared slab queue with
+        // lane-local FIFO rings, preserving the heap's exact `(time, seq)`
+        // pop order — see DESIGN.md §12. The bank-count gate bounds the
+        // per-event completion-slot scan.
+        let fast_path = matches!(policy, Policy::Fcfs)
+            && queue_depth == usize::MAX
+            && scrub.is_none()
+            && bank_count <= FAST_PATH_MAX_BANKS;
+        // Lane arenas sized to the deepest each queue can get this run (a
+        // lane can only ever hold its own bank's transactions); the retry
+        // waitlist can hold every one of them in the worst case. The fast
+        // path queues in its own rings, so its slab stays unallocated.
+        let retrying = matches!(backpressure, Backpressure::Retry { .. });
+        let mut lanes: Vec<Lane> = bank_load
+            .iter()
+            .map(|&load| {
+                let hint = if fast_path { 0 } else { queue_depth.min(load) };
+                let mut lane = Lane::with_capacity_hint(queue_depth, hint);
+                if exact_sojourn {
+                    lane.stats.sojourn = SojournStats::exact();
+                }
+                if retrying {
+                    lane.parked.reserve(load);
+                }
+                lane
+            })
+            .collect();
+        let mut completions = CompletionLog::with_capacity(n);
+        let mut end_ns = 0.0f64;
+
+        if fast_path {
+            let mut slots = vec![CompletionSlot::idle(); bank_count];
+            let mut in_flight = vec![FastInFlight::default(); bank_count];
+            let mut rings: Vec<VecDeque<FastQueued>> = bank_load
+                .iter()
+                .map(|&load| VecDeque::with_capacity(load))
+                .collect();
+            let allocs_before = alloc_probe::count();
+            end_ns = fcfs_unbounded_loop(
+                trace,
+                &order,
+                &mut lanes,
+                banks,
+                &faults,
+                &mut slots,
+                &mut rings,
+                &mut in_flight,
+                &mut completions,
+            );
+            let steady_state_allocs = alloc_probe::count() - allocs_before;
+            return self.finish_run(lanes, completions, end_ns, steady_state_allocs);
+        }
+
+        // In flight at any instant: one fresh arrival, per bank one
+        // completion + one scrub tick + one scrub completion, plus at most
+        // one re-offer per parked transaction.
+        let mut events: EventQueue<Event> =
+            EventQueue::with_capacity(if retrying { n } else { 0 } + 3 * bank_count + 4);
         let mut cursor = 0usize;
         let mut stalled: Option<StalledAdmission> = None;
-        let mut end_ns = 0.0f64;
         // Demand transactions not yet completed or dropped. The scrub
         // daemon's ticks reschedule themselves only while this is non-zero,
         // so the event loop terminates as soon as demand drains.
-        let mut unfinished = txns.len();
+        let mut unfinished = n;
 
-        schedule_fresh(&mut events, &order, txns, &mut cursor, 0.0);
+        schedule_fresh(&mut events, &order, trace, &mut cursor, 0.0);
         if let Some(scrub) = scrub {
             if unfinished > 0 {
                 for bank in 0..bank_count {
@@ -366,11 +598,12 @@ impl Frontend {
             }
         }
 
+        let allocs_before = alloc_probe::count();
         while let Some((now, event)) = events.pop() {
             match event {
                 Event::Arrive { trace_index, fresh } => {
                     end_ns = end_ns.max(now);
-                    let txn = txns[trace_index];
+                    let txn = trace.get(trace_index);
                     let lane = &mut lanes[txn.bank];
                     let mut advance_stream = fresh;
                     if lane.in_service.is_none() && !lane.scrub_busy && lane.queue.is_empty() {
@@ -382,14 +615,9 @@ impl Frontend {
                             arrival_ns: txn.arrival_ns as f64,
                             admit_ns: now,
                         };
-                        start_service(
-                            lane,
-                            &mut banks[txn.bank],
-                            &faults,
-                            &mut events,
-                            queued,
-                            now,
-                        );
+                        let complete_ns =
+                            start_service(lane, &mut banks[txn.bank], &faults, queued, now);
+                        events.schedule(complete_ns, Event::Complete { bank: txn.bank });
                     } else if lane.queue.is_full() {
                         match backpressure {
                             Backpressure::Drop => {
@@ -397,14 +625,18 @@ impl Frontend {
                                 unfinished -= 1;
                             }
                             Backpressure::Retry { delay_ns } => {
+                                // Park off-queue instead of re-enqueueing a
+                                // poll event: the transaction waits in lane
+                                // FIFO order and is re-offered on its
+                                // original polling grid when a slot frees
+                                // (see wake_parked). This failed poll counts
+                                // now; skipped ones are reconstructed
+                                // arithmetically at wake time.
                                 lane.stats.retried_admissions += 1;
-                                events.schedule(
-                                    now + delay_ns,
-                                    Event::Arrive {
-                                        trace_index,
-                                        fresh: false,
-                                    },
-                                );
+                                lane.parked.push_back(ParkedRetry {
+                                    trace_index: trace_index as u32,
+                                    next_poll_ns: now + delay_ns,
+                                });
                             }
                             Backpressure::Stall => {
                                 lane.stats.stalls += 1;
@@ -421,7 +653,7 @@ impl Frontend {
                         admit(lane, txn, trace_index, now);
                     }
                     if advance_stream {
-                        schedule_fresh(&mut events, &order, txns, &mut cursor, now);
+                        schedule_fresh(&mut events, &order, trace, &mut cursor, now);
                     }
                 }
                 Event::Complete { bank } => {
@@ -431,7 +663,7 @@ impl Frontend {
                     lane.stats.completed += 1;
                     unfinished -= 1;
                     let sojourn_ns = now - served.queued.arrival_ns;
-                    lane.stats.sojourn_samples_ns.push(sojourn_ns);
+                    lane.stats.sojourn.observe(sojourn_ns);
                     completions.push(Completion {
                         trace_index: served.queued.trace_index,
                         bank,
@@ -442,10 +674,11 @@ impl Frontend {
                         complete_ns: now,
                     });
                     try_dispatch(lane, &mut banks[bank], &faults, &mut events, policy, now);
+                    wake_parked(lane, &mut events, backpressure, now);
                     // Dispatch freed a slot (or the queue was empty): a
                     // stalled admission targeting this bank can land now.
                     if let Some(blocked) = stalled {
-                        let txn = txns[blocked.trace_index];
+                        let txn = trace.get(blocked.trace_index);
                         if txn.bank == bank && !lane.queue.is_full() {
                             stalled = None;
                             lane.stats.stall_time_ns += now - blocked.offered_ns;
@@ -460,20 +693,15 @@ impl Frontend {
                                     arrival_ns: txn.arrival_ns as f64,
                                     admit_ns: now,
                                 };
-                                start_service(
-                                    lane,
-                                    &mut banks[bank],
-                                    &faults,
-                                    &mut events,
-                                    queued,
-                                    now,
-                                );
+                                let complete_ns =
+                                    start_service(lane, &mut banks[bank], &faults, queued, now);
+                                events.schedule(complete_ns, Event::Complete { bank });
                             } else {
                                 admit(lane, txn, blocked.trace_index, now);
                             }
                             // The host unblocks: resume the arrival stream,
                             // no earlier than now.
-                            schedule_fresh(&mut events, &order, txns, &mut cursor, now);
+                            schedule_fresh(&mut events, &order, trace, &mut cursor, now);
                         }
                     }
                 }
@@ -507,16 +735,32 @@ impl Frontend {
                     debug_assert!(lane.scrub_busy, "scrub completion without scrub");
                     lane.scrub_busy = false;
                     try_dispatch(lane, &mut banks[bank], &faults, &mut events, policy, now);
+                    wake_parked(lane, &mut events, backpressure, now);
                 }
             }
         }
+        let steady_state_allocs = alloc_probe::count() - allocs_before;
 
         debug_assert!(
             stalled.is_none(),
             "event loop drained with a stalled admission"
         );
+        self.finish_run(lanes, completions, end_ns, steady_state_allocs)
+    }
+
+    /// Shared epilogue of both loop flavours: seals per-lane telemetry at
+    /// the run horizon, folds it into the accumulated totals and assembles
+    /// the [`SchedRun`].
+    fn finish_run(
+        &mut self,
+        mut lanes: Vec<Lane>,
+        completions: CompletionLog,
+        end_ns: f64,
+        steady_state_allocs: u64,
+    ) -> SchedRun {
         for lane in &mut lanes {
             debug_assert!(lane.queue.is_empty() && lane.in_service.is_none() && !lane.scrub_busy);
+            debug_assert!(lane.parked.is_empty(), "drained loop left parked retries");
             lane.flush_occupancy(end_ns);
             lane.stats.horizon_ns = end_ns;
         }
@@ -527,22 +771,24 @@ impl Frontend {
             telemetry: self.telemetry(),
             completions,
             makespan_ns: end_ns,
+            steady_state_allocs,
         }
     }
 }
 
 /// Schedules the next not-yet-offered trace transaction, no earlier than
 /// `floor_ns` (a stall pushes later arrivals back in time).
-fn schedule_fresh(
+fn schedule_fresh<S: TxnSource + ?Sized>(
     events: &mut EventQueue<Event>,
-    order: &[usize],
-    txns: &[Transaction],
+    order: &[u32],
+    trace: &S,
     cursor: &mut usize,
     floor_ns: f64,
 ) {
     if let Some(&next) = order.get(*cursor) {
         *cursor += 1;
-        let time_ns = (txns[next].arrival_ns as f64).max(floor_ns);
+        let next = next as usize;
+        let time_ns = (trace.get(next).arrival_ns as f64).max(floor_ns);
         events.schedule(
             time_ns,
             Event::Arrive {
@@ -551,6 +797,259 @@ fn schedule_fresh(
             },
         );
     }
+}
+
+/// Widest controller the FCFS-unbounded fast path serves: each event pops
+/// via a linear scan of the per-bank completion slots, so the scan must
+/// stay trivially cheap. Wider controllers fall back to the event heap.
+const FAST_PATH_MAX_BANKS: usize = 16;
+
+/// One bank's pending completion in the fast path: the instant service
+/// finishes, plus the sequence number the equivalent heap event would have
+/// carried (the tie-breaker that keeps pop order bit-compatible with the
+/// general loop).
+///
+/// Packed as `(time_ns.to_bits() << 64) | seq`: every instant the loop
+/// schedules is non-negative and non-NaN, and over those floats IEEE-754
+/// bit order equals numeric order — so a single `u128` compare reproduces
+/// the heap's `(time, seq)` lexicographic pop order branchlessly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CompletionSlot {
+    key: u128,
+}
+
+impl CompletionSlot {
+    fn new(time_ns: f64, seq: u64) -> Self {
+        debug_assert!(time_ns >= 0.0, "event instants are non-negative");
+        Self {
+            key: (u128::from(time_ns.to_bits()) << 64) | u128::from(seq),
+        }
+    }
+
+    fn idle() -> Self {
+        Self::new(f64::INFINITY, u64::MAX)
+    }
+
+    fn time_ns(self) -> f64 {
+        f64::from_bits((self.key >> 64) as u64)
+    }
+}
+
+/// Fast-path queue entry: the transaction is re-decoded from the trace at
+/// dispatch time, so a waiting ring holds 16 bytes per entry instead of a
+/// full [`Queued`]. (Arrival time is implied: under FCFS-unbounded it is
+/// always the transaction's own `arrival_ns`.)
+#[derive(Debug, Clone, Copy)]
+struct FastQueued {
+    trace_index: u32,
+    admit_ns: f64,
+}
+
+/// Fast-path in-flight record — the lane's `in_service` equivalent, kept
+/// in a flat per-bank array so service start and completion never touch
+/// the `Option` machinery. Valid exactly while the bank's completion slot
+/// is non-idle.
+#[derive(Debug, Clone, Copy, Default)]
+struct FastInFlight {
+    trace_index: u32,
+    admit_ns: f64,
+    start_ns: f64,
+}
+
+/// The service-start half of the fast path: identical telemetry and bank
+/// work to [`start_service`], minus the `InService` store (the caller
+/// records a [`FastInFlight`] instead). Returns the completion instant.
+fn fast_start_service(
+    lane: &mut Lane,
+    bank: &mut Bank,
+    faults: &FaultPlan,
+    txn: &Transaction,
+    admit_ns: f64,
+    now: f64,
+) -> f64 {
+    lane.stats.wait_ns.push(now - admit_ns);
+    let busy_before = bank.telemetry().busy_time;
+    bank.execute(txn, faults);
+    let service_ns = (bank.telemetry().busy_time - busy_before).get() * 1e9;
+    now + service_ns
+}
+
+/// The raw-speed specialisation of the event loop for FCFS dispatch at
+/// unbounded queue depth with no scrub daemon (DESIGN.md §12).
+///
+/// Under that configuration backpressure can never fire and the only
+/// event kinds are fresh arrivals — already sorted in `order` — and bank
+/// completions, of which at most one per bank is pending. The heap
+/// therefore collapses to a cursor over `order` merged against
+/// `bank_count` completion slots by `(time, seq)`, with sequence numbers
+/// assigned at exactly the points the general loop calls
+/// `EventQueue::schedule`. Pop order, per-lane telemetry, completion-log
+/// order and bank state are bit-identical to the general loop — the
+/// integration suite asserts it by replaying the same trace down both
+/// paths. Returns the run horizon.
+// The arguments are the loop's working set, preallocated by the caller so
+// the loop itself stays allocation-free; a bundling struct would only
+// rename the problem.
+#[allow(clippy::too_many_arguments)]
+fn fcfs_unbounded_loop<S: TxnSource + ?Sized>(
+    trace: &S,
+    order: &[u32],
+    lanes: &mut [Lane],
+    banks: &mut [Bank],
+    faults: &FaultPlan,
+    slots: &mut [CompletionSlot],
+    rings: &mut [VecDeque<FastQueued>],
+    in_flight: &mut [FastInFlight],
+    completions: &mut CompletionLog,
+) -> f64 {
+    let Some(&first) = order.first() else {
+        return 0.0;
+    };
+    let mut end_ns = 0.0f64;
+    // The one pending fresh arrival (mirrors `schedule_fresh`); idle (time
+    // = INFINITY) once the trace is exhausted. The transaction itself is
+    // cached so the handler does not decode it a second time.
+    let mut arr_index = first as usize;
+    let mut arr_txn = trace.get(arr_index);
+    let mut arr_slot = CompletionSlot::new((arr_txn.arrival_ns as f64).max(0.0), 0);
+    let mut next_seq = 1u64;
+    let mut cursor = 1usize;
+    loop {
+        // Earliest pending event by (time, seq) — the heap's exact pop
+        // order, found by scanning one arrival and ≤ bank_count slots.
+        let mut bank = usize::MAX;
+        let mut best = arr_slot;
+        for (b, slot) in slots.iter().enumerate() {
+            if *slot < best {
+                bank = b;
+                best = *slot;
+            }
+        }
+        if best == CompletionSlot::idle() {
+            break;
+        }
+        let now = best.time_ns();
+        // Events pop in time order, so the horizon only ever advances.
+        end_ns = now;
+        if bank == usize::MAX {
+            // Fresh arrival (Event::Arrive with fresh = true).
+            let trace_index = arr_index;
+            let txn = arr_txn;
+            let b = txn.bank;
+            let lane = &mut lanes[b];
+            // Slot idle ⟺ the bank is not serving (fast-path invariant),
+            // and the slot is already hot from the scan above.
+            if slots[b] == CompletionSlot::idle() && rings[b].is_empty() {
+                // Idle bank, empty queue: straight into service.
+                lane.stats.admitted += 1;
+                let complete_ns = fast_start_service(lane, &mut banks[b], faults, &txn, now, now);
+                in_flight[b] = FastInFlight {
+                    trace_index: trace_index as u32,
+                    admit_ns: now,
+                    start_ns: now,
+                };
+                slots[b] = CompletionSlot::new(complete_ns, next_seq);
+                next_seq += 1;
+            } else {
+                // `admit` against the lane-local FIFO ring: same counter
+                // and depth-integral updates, no slab indirection.
+                lane.stats.admitted += 1;
+                lane.stats.depth_time_ns += rings[b].len() as f64 * (now - lane.last_change_ns);
+                lane.last_change_ns = now;
+                rings[b].push_back(FastQueued {
+                    trace_index: trace_index as u32,
+                    admit_ns: now,
+                });
+                lane.stats.max_depth = lane.stats.max_depth.max(rings[b].len() as u64);
+            }
+            // schedule_fresh: offer the next trace transaction.
+            if let Some(&next) = order.get(cursor) {
+                cursor += 1;
+                arr_index = next as usize;
+                arr_txn = trace.get(arr_index);
+                arr_slot = CompletionSlot::new((arr_txn.arrival_ns as f64).max(now), next_seq);
+                next_seq += 1;
+            } else {
+                arr_slot = CompletionSlot::idle();
+            }
+        } else {
+            // Event::Complete.
+            slots[bank] = CompletionSlot::idle();
+            let lane = &mut lanes[bank];
+            let served = in_flight[bank];
+            let txn = trace.get(served.trace_index as usize);
+            let arrival_ns = txn.arrival_ns as f64;
+            lane.stats.completed += 1;
+            let sojourn_ns = now - arrival_ns;
+            lane.stats.sojourn.observe(sojourn_ns);
+            completions.push(Completion {
+                trace_index: served.trace_index as usize,
+                bank,
+                op: txn.op,
+                arrival_ns,
+                admit_ns: served.admit_ns,
+                start_ns: served.start_ns,
+                complete_ns: now,
+            });
+            // try_dispatch under FCFS: the head is the choice.
+            if let Some(head) = {
+                lane.stats.depth_time_ns += rings[bank].len() as f64 * (now - lane.last_change_ns);
+                lane.last_change_ns = now;
+                rings[bank].pop_front()
+            } {
+                let txn = trace.get(head.trace_index as usize);
+                let complete_ns =
+                    fast_start_service(lane, &mut banks[bank], faults, &txn, head.admit_ns, now);
+                in_flight[bank] = FastInFlight {
+                    trace_index: head.trace_index,
+                    admit_ns: head.admit_ns,
+                    start_ns: now,
+                };
+                slots[bank] = CompletionSlot::new(complete_ns, next_seq);
+                next_seq += 1;
+            }
+        }
+    }
+    end_ns
+}
+
+/// Re-offers the lane's oldest parked retry if a queue slot is now free.
+///
+/// A parked transaction polls on the grid `p0, p0 + d, p0 + 2d, …` fixed
+/// when it parked. The queue stayed full at every grid point before `now`
+/// (this function runs at every queue-shrink instant), so those polls all
+/// failed: their count is reconstructed arithmetically and the re-offer
+/// lands on the first grid point at or after `now`. If a fresh arrival
+/// steals the slot first, the re-offer parks again at the back of the FIFO.
+fn wake_parked(
+    lane: &mut Lane,
+    events: &mut EventQueue<Event>,
+    backpressure: Backpressure,
+    now: f64,
+) {
+    let Backpressure::Retry { delay_ns } = backpressure else {
+        return;
+    };
+    if lane.queue.is_full() {
+        return;
+    }
+    let Some(parked) = lane.parked.pop_front() else {
+        return;
+    };
+    let mut next_poll = parked.next_poll_ns;
+    if now > next_poll {
+        // Grid points in [next_poll, now) all polled a full queue.
+        let skipped = ((now - next_poll) / delay_ns).ceil();
+        lane.stats.retried_admissions += skipped as u64;
+        next_poll += skipped * delay_ns;
+    }
+    events.schedule(
+        next_poll,
+        Event::Arrive {
+            trace_index: parked.trace_index as usize,
+            fresh: false,
+        },
+    );
 }
 
 /// Admits a transaction into a lane's waiting queue at `now`.
@@ -584,34 +1083,31 @@ fn try_dispatch(
     };
     lane.flush_occupancy(now);
     let queued = lane.queue.take(index);
-    start_service(lane, bank, faults, events, queued, now);
+    let bank_index = queued.txn.bank;
+    let complete_ns = start_service(lane, bank, faults, queued, now);
+    events.schedule(complete_ns, Event::Complete { bank: bank_index });
 }
 
-/// Runs `Bank::execute` for `queued` and schedules its completion at
-/// `now + service time`. The service time is whatever the bank actually
-/// charged (attempt-dependent), read off its busy-time accumulator.
+/// Runs `Bank::execute` for `queued` and returns the completion instant
+/// `now + service time` for the caller to schedule. The service time is
+/// whatever the bank actually charged (attempt-dependent), read off its
+/// busy-time accumulator.
 fn start_service(
     lane: &mut Lane,
     bank: &mut Bank,
     faults: &FaultPlan,
-    events: &mut EventQueue<Event>,
     queued: Queued,
     now: f64,
-) {
+) -> f64 {
     lane.stats.wait_ns.push(now - queued.admit_ns);
     let busy_before = bank.telemetry().busy_time;
     bank.execute(&queued.txn, faults);
     let service_ns = (bank.telemetry().busy_time - busy_before).get() * 1e9;
-    events.schedule(
-        now + service_ns,
-        Event::Complete {
-            bank: queued.txn.bank,
-        },
-    );
     lane.in_service = Some(InService {
         queued,
         start_ns: now,
     });
+    now + service_ns
 }
 
 #[cfg(test)]
@@ -619,6 +1115,7 @@ mod tests {
     use super::*;
     use crate::engine::ControllerConfig;
     use crate::reliability::EccMode;
+    use crate::txn::Trace;
     use crate::workload::Workload;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -670,8 +1167,14 @@ mod tests {
         // Completion log is in completion-time order.
         assert!(run
             .completions
+            .complete_ns()
             .windows(2)
-            .all(|w| w[0].complete_ns <= w[1].complete_ns));
+            .all(|w| w[0] <= w[1]));
+        // Columns decode back to the same rows the iterator yields.
+        assert_eq!(
+            run.completions.get(0),
+            run.completions.iter().next().unwrap()
+        );
     }
 
     #[test]

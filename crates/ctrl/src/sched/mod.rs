@@ -32,12 +32,15 @@
 //! stored state, same audit counters — while additionally reporting sojourn
 //! quantiles, occupancy and backpressure counts.
 
+pub(crate) mod arena;
 pub mod event;
 pub mod frontend;
 pub mod policy;
 pub mod queue;
 
 pub use event::EventQueue;
-pub use frontend::{Backpressure, Completion, Frontend, FrontendConfig, SchedRun};
+pub use frontend::{
+    Backpressure, Completion, CompletionIter, CompletionLog, Frontend, FrontendConfig, SchedRun,
+};
 pub use policy::{Policy, PriorityClass};
 pub use queue::{BankQueue, Queued};

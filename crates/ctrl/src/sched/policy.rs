@@ -90,7 +90,7 @@ impl Policy {
             // The head of the queue is always eligible.
             Policy::Fcfs => Some(0),
             Policy::OldestFirst => queue.eligible().min_by(|&a, &b| {
-                let (qa, qb) = (&queue.entries()[a], &queue.entries()[b]);
+                let (qa, qb) = (queue.entry(a), queue.entry(b));
                 qa.arrival_ns
                     .total_cmp(&qb.arrival_ns)
                     .then(qa.trace_index.cmp(&qb.trace_index))
@@ -105,7 +105,7 @@ impl Policy {
                 let want_read = !queue.draining;
                 queue
                     .eligible()
-                    .find(|&i| queue.entries()[i].txn.op.is_read() == want_read)
+                    .find(|&i| queue.entry(i).txn.op.is_read() == want_read)
                     .or(Some(0))
             }
         }

@@ -7,7 +7,17 @@
 //! admission order, or replay stops being meaningful. The queue encodes
 //! that rule once — [`BankQueue::eligible`] yields exactly the entries a
 //! policy may legally pick — so every policy inherits it for free.
+//!
+//! Storage is arena-backed (DESIGN.md §12): entries live in a
+//! `Slab` (`sched::arena`) under stable `u32` keys and the FIFO is a
+//! ring of keys, so admitting moves one 64-byte struct into a reused slot,
+//! serving the head is an O(1) ring pop, and — after the preallocation the
+//! frontend requests via [`BankQueue::with_capacity_hint`] — the steady
+//! state allocates nothing.
 
+use std::collections::VecDeque;
+
+use crate::sched::arena::Slab;
 use crate::telemetry::QueueTelemetry;
 use crate::txn::Transaction;
 
@@ -28,7 +38,10 @@ pub struct Queued {
 /// A bounded FIFO of waiting transactions for one bank.
 #[derive(Debug, Clone)]
 pub struct BankQueue {
-    entries: Vec<Queued>,
+    /// Entry storage; freed slots are reused LIFO.
+    slab: Slab<Queued>,
+    /// Admission-order ring of slab keys.
+    order: VecDeque<u32>,
     capacity: usize,
     /// Write-drain hysteresis flag for the read-priority policy: set when
     /// queued writes reach the high-water mark, cleared when they drain to
@@ -46,12 +59,24 @@ impl BankQueue {
     /// burst and every admission would backpressure.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_capacity_hint(capacity, 0)
+    }
+
+    /// Like [`BankQueue::new`], but preallocates `hint` slots so a run whose
+    /// queue never exceeds that depth performs no allocation after setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity_hint(capacity: usize, hint: usize) -> Self {
         assert!(
             capacity > 0,
             "bank queues need capacity for at least one entry"
         );
         Self {
-            entries: Vec::new(),
+            slab: Slab::with_capacity(hint),
+            order: VecDeque::with_capacity(hint),
             capacity,
             draining: false,
         }
@@ -60,31 +85,41 @@ impl BankQueue {
     /// Number of waiting transactions.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.order.len()
     }
 
     /// `true` when nothing is waiting.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.order.is_empty()
     }
 
     /// `true` when the queue cannot admit another transaction.
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.order.len() >= self.capacity
     }
 
-    /// Waiting transactions, in admission order.
+    /// The waiting transaction at queue position `index` (admission order;
+    /// position 0 is the head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
     #[must_use]
-    pub fn entries(&self) -> &[Queued] {
-        &self.entries
+    pub fn entry(&self, index: usize) -> &Queued {
+        self.slab.get(self.order[index])
+    }
+
+    /// Iterates the waiting transactions in admission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Queued> + '_ {
+        self.order.iter().map(|&key| self.slab.get(key))
     }
 
     /// Number of waiting writes.
     #[must_use]
     pub fn queued_writes(&self) -> usize {
-        self.entries.iter().filter(|q| !q.txn.op.is_read()).count()
+        self.iter().filter(|q| !q.txn.op.is_read()).count()
     }
 
     /// Admits a transaction at the tail.
@@ -95,27 +130,38 @@ impl BankQueue {
     /// by the time an entry reaches the queue the decision is already made.
     pub fn admit(&mut self, queued: Queued) {
         assert!(!self.is_full(), "admit() on a full queue");
-        self.entries.push(queued);
+        let key = self.slab.insert(queued);
+        self.order.push_back(key);
     }
 
     /// Indices of entries a policy may legally serve next: an entry is
     /// eligible iff no *earlier-admitted* entry targets the same address.
     /// The head of the queue is therefore always eligible.
     pub fn eligible(&self) -> impl Iterator<Item = usize> + '_ {
-        self.entries.iter().enumerate().filter_map(|(i, q)| {
-            let blocked = self.entries[..i].iter().any(|p| p.txn.addr == q.txn.addr);
+        self.order.iter().enumerate().filter_map(move |(i, &key)| {
+            let addr = self.slab.get(key).txn.addr;
+            let blocked = self
+                .order
+                .iter()
+                .take(i)
+                .any(|&p| self.slab.get(p).txn.addr == addr);
             (!blocked).then_some(i)
         })
     }
 
-    /// Removes and returns the entry at `index`, preserving the relative
-    /// order of the rest.
+    /// Removes and returns the entry at queue position `index`, preserving
+    /// the relative order of the rest. Position 0 (the FCFS head) is O(1).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
     pub fn take(&mut self, index: usize) -> Queued {
-        self.entries.remove(index)
+        let key = if index == 0 {
+            self.order.pop_front().expect("take(0) on an empty queue")
+        } else {
+            self.order.remove(index).expect("queue position in bounds")
+        };
+        self.slab.remove(key)
     }
 }
 
@@ -124,6 +170,18 @@ impl BankQueue {
 pub(crate) struct InService {
     pub(crate) queued: Queued,
     pub(crate) start_ns: f64,
+}
+
+/// A transaction parked by [`Backpressure::Retry`](super::Backpressure)
+/// after its poll found the queue full: it waits off-queue (FIFO per lane)
+/// until a slot frees, then re-enters on its original polling grid. See
+/// DESIGN.md §12 — parking replaces the old poll-event churn, with the
+/// skipped polls reconstructed arithmetically.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ParkedRetry {
+    pub(crate) trace_index: u32,
+    /// The next instant on the transaction's `delay_ns` polling grid.
+    pub(crate) next_poll_ns: f64,
 }
 
 /// Per-bank run state shared by the scheduler frontend and the hierarchy
@@ -139,16 +197,23 @@ pub(crate) struct Lane {
     pub(crate) scrub_busy: bool,
     pub(crate) last_change_ns: f64,
     pub(crate) stats: QueueTelemetry,
+    /// Retry-backpressure waitlist (empty except under `Retry`).
+    pub(crate) parked: VecDeque<ParkedRetry>,
 }
 
 impl Lane {
     pub(crate) fn new(queue_depth: usize) -> Self {
+        Self::with_capacity_hint(queue_depth, 0)
+    }
+
+    pub(crate) fn with_capacity_hint(queue_depth: usize, hint: usize) -> Self {
         Self {
-            queue: BankQueue::new(queue_depth),
+            queue: BankQueue::with_capacity_hint(queue_depth, hint),
             in_service: None,
             scrub_busy: false,
             last_change_ns: 0.0,
             stats: QueueTelemetry::default(),
+            parked: VecDeque::new(),
         }
     }
 
@@ -221,7 +286,22 @@ mod tests {
         assert_eq!(first.trace_index, 0);
         let eligible: Vec<usize> = queue.eligible().collect();
         assert_eq!(eligible, vec![0]);
-        assert_eq!(queue.entries()[0].trace_index, 1);
+        assert_eq!(queue.entry(0).trace_index, 1);
+    }
+
+    #[test]
+    fn take_from_the_middle_preserves_order() {
+        let mut queue = BankQueue::new(8);
+        for i in 0..4 {
+            queue.admit(queued(i, Transaction::read(0, Address::new(i, 0))));
+        }
+        let mid = queue.take(2);
+        assert_eq!(mid.trace_index, 2);
+        let remaining: Vec<usize> = queue.iter().map(|q| q.trace_index).collect();
+        assert_eq!(remaining, vec![0, 1, 3]);
+        // Freed slot is reused: admitting again does not grow the arena.
+        queue.admit(queued(9, Transaction::read(0, Address::new(9, 0))));
+        assert_eq!(queue.entry(3).trace_index, 9);
     }
 
     #[test]

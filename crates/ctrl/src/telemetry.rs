@@ -6,8 +6,226 @@
 //! The engine's determinism test leans on the `PartialEq` here.
 
 use serde::{Deserialize, Serialize};
-use stt_stats::{quantile, Histogram, Summary};
+use stt_stats::{quantile, Histogram, P2Quantile, Summary};
 use stt_units::{Joules, Seconds};
+
+/// How many leading samples streaming mode folds into the P² estimators
+/// at full rate before decimation starts.
+pub const STREAMING_WARMUP: u64 = 64;
+
+/// Post-warm-up decimation stride of streaming mode: every `STRIDE`-th
+/// sample is folded, the rest only counted.
+pub const STREAMING_STRIDE: u64 = 8;
+
+/// Sojourn-time statistics for one bank queue — columnar accumulators, not
+/// per-transaction rows.
+///
+/// The default [`SojournStats::Streaming`] mode estimates p50/p95/p99 with
+/// three fixed-memory P² estimators, so telemetry stays O(1) per bank no
+/// matter how many transactions flow through — the raw-speed contract of
+/// DESIGN.md §12. Folding a sample into all three estimators costs ~50 ns
+/// on the reference host — alone more than the frontend's whole per-txn
+/// overhead budget — so streaming mode feeds them on a deterministic
+/// schedule instead of per sample: the first [`STREAMING_WARMUP`] samples
+/// of a stream are folded at full rate, after which every
+/// [`STREAMING_STRIDE`]-th sample is folded and the rest are only counted.
+/// Systematic (fixed-stride) subsampling of a stationary stream is an
+/// unbiased quantile estimate; the added error shrinks with stream length
+/// and is documented in DESIGN.md §12. [`SojournStats::Exact`] retains
+/// every sample for true order-statistic quantiles; tests and sweeps that
+/// assert on exact sample quantiles opt in via
+/// [`FrontendConfig::with_exact_sojourn`](crate::sched::FrontendConfig).
+///
+/// Both modes are pure functions of the observation sequence, so
+/// deterministic replays still compare equal with `==`.
+// The large variant is the default one, live in every lane of every run;
+// boxing it would buy nothing but a pointer chase on the per-completion
+// observe path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SojournStats {
+    /// Fixed-memory streaming estimators (the default).
+    Streaming {
+        /// Number of sojourn samples observed.
+        count: u64,
+        /// Streaming median estimator.
+        p50: P2Quantile,
+        /// Streaming 95th-percentile estimator.
+        p95: P2Quantile,
+        /// Streaming 99th-percentile estimator.
+        p99: P2Quantile,
+    },
+    /// Raw per-completion samples (opt-in; exact quantiles, unbounded
+    /// memory).
+    Exact {
+        /// Sojourn samples in completion order (nanoseconds).
+        samples: Vec<f64>,
+    },
+}
+
+impl SojournStats {
+    /// An empty streaming accumulator.
+    #[must_use]
+    pub fn streaming() -> Self {
+        SojournStats::Streaming {
+            count: 0,
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// An empty exact-sample accumulator.
+    #[must_use]
+    pub fn exact() -> Self {
+        SojournStats::Exact {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Folds one sojourn sample (nanoseconds) in.
+    ///
+    /// Streaming mode counts every sample but folds only the deterministic
+    /// warm-up/stride subsequence into the P² estimators (see the type
+    /// docs); exact mode stores everything.
+    pub fn observe(&mut self, sojourn_ns: f64) {
+        match self {
+            SojournStats::Streaming {
+                count,
+                p50,
+                p95,
+                p99,
+            } => {
+                *count += 1;
+                let n = *count;
+                if n <= STREAMING_WARMUP
+                    || (n - STREAMING_WARMUP - 1).is_multiple_of(STREAMING_STRIDE)
+                {
+                    p50.observe(sojourn_ns);
+                    p95.observe(sojourn_ns);
+                    p99.observe(sojourn_ns);
+                }
+            }
+            SojournStats::Exact { samples } => samples.push(sojourn_ns),
+        }
+    }
+
+    /// Number of samples observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        match self {
+            SojournStats::Streaming { count, .. } => *count,
+            SojournStats::Exact { samples } => samples.len() as u64,
+        }
+    }
+
+    /// The `q`-quantile, or `None` before any sample. Exact mode serves any
+    /// `q` as an order statistic; streaming mode serves the *nearest tracked*
+    /// quantile (0.50, 0.95, 0.99) — the only ones the frontend reports.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        match self {
+            SojournStats::Exact { samples } => {
+                if samples.is_empty() {
+                    None
+                } else {
+                    Some(quantile(samples, q))
+                }
+            }
+            SojournStats::Streaming { p50, p95, p99, .. } => {
+                let nearest = [p50, p95, p99]
+                    .into_iter()
+                    .min_by(|a, b| (a.q() - q).abs().total_cmp(&(b.q() - q).abs()))
+                    .expect("three candidates");
+                nearest.estimate()
+            }
+        }
+    }
+
+    /// Folds another accumulator in. Same-mode merges are natural (estimator
+    /// merge / sample concatenation). When the modes differ, an *empty* side
+    /// adopts the other's mode — so aggregating exact-mode banks into a
+    /// default accumulator stays exact — and two non-empty sides degrade to
+    /// streaming by re-observing the exact side's samples.
+    pub fn merge(&mut self, other: &SojournStats) {
+        if other.count() == 0 {
+            return;
+        }
+        if self.count() == 0 && std::mem::discriminant(self) != std::mem::discriminant(other) {
+            *self = other.clone();
+            return;
+        }
+        // Mixed-mode with an exact left side: degrade to streaming by
+        // replaying our samples into a copy of the streaming right side.
+        if matches!(self, SojournStats::Exact { .. })
+            && matches!(other, SojournStats::Streaming { .. })
+        {
+            let own = std::mem::replace(self, other.clone());
+            if let SojournStats::Exact { samples } = own {
+                for x in samples {
+                    self.observe(x);
+                }
+            }
+            return;
+        }
+        match (self, other) {
+            (
+                SojournStats::Streaming {
+                    count,
+                    p50,
+                    p95,
+                    p99,
+                },
+                SojournStats::Streaming {
+                    count: oc,
+                    p50: o50,
+                    p95: o95,
+                    p99: o99,
+                },
+            ) => {
+                *count += oc;
+                p50.merge(o50);
+                p95.merge(o95);
+                p99.merge(o99);
+            }
+            (SojournStats::Exact { samples }, SojournStats::Exact { samples: os }) => {
+                samples.extend_from_slice(os);
+            }
+            (
+                SojournStats::Streaming {
+                    count,
+                    p50,
+                    p95,
+                    p99,
+                },
+                SojournStats::Exact { samples },
+            ) => {
+                // Re-observe on the same warm-up/stride schedule observe()
+                // uses, so the result is a pure function of the sequence.
+                for &x in samples {
+                    *count += 1;
+                    let n = *count;
+                    if n <= STREAMING_WARMUP
+                        || (n - STREAMING_WARMUP - 1).is_multiple_of(STREAMING_STRIDE)
+                    {
+                        p50.observe(x);
+                        p95.observe(x);
+                        p99.observe(x);
+                    }
+                }
+            }
+            (SojournStats::Exact { .. }, SojournStats::Streaming { .. }) => {
+                unreachable!("handled above")
+            }
+        }
+    }
+}
+
+impl Default for SojournStats {
+    fn default() -> Self {
+        Self::streaming()
+    }
+}
 
 /// Binning for the read-latency histogram.
 ///
@@ -103,9 +321,10 @@ pub struct QueueTelemetry {
     pub horizon_ns: f64,
     /// Waiting time from admission to start of service (nanoseconds).
     pub wait_ns: Summary,
-    /// Per-completion sojourn samples (nanoseconds), kept raw so tail
-    /// quantiles are exact rather than histogram-interpolated.
-    pub sojourn_samples_ns: Vec<f64>,
+    /// Columnar sojourn-time statistics: fixed-memory streaming quantiles by
+    /// default, raw samples when the run opted into exact mode.
+    #[serde(default)]
+    pub sojourn: SojournStats,
     /// Scrub ticks that found the bank busy or demand waiting and yielded
     /// (background priority: demand always preempts at arbitration).
     #[serde(default)]
@@ -124,14 +343,12 @@ impl QueueTelemetry {
     }
 
     /// The `q`-quantile of completed-transaction sojourn time, or `None`
-    /// when nothing completed.
+    /// when nothing completed. Exact in exact-sample mode; in the default
+    /// streaming mode this serves the nearest tracked quantile (see
+    /// [`SojournStats::quantile`]).
     #[must_use]
     pub fn sojourn_quantile(&self, q: f64) -> Option<f64> {
-        if self.sojourn_samples_ns.is_empty() {
-            None
-        } else {
-            Some(quantile(&self.sojourn_samples_ns, q))
-        }
+        self.sojourn.quantile(q)
     }
 
     /// Median sojourn time in nanoseconds (0 when nothing completed).
@@ -168,8 +385,7 @@ impl QueueTelemetry {
         self.depth_time_ns += other.depth_time_ns;
         self.horizon_ns += other.horizon_ns;
         self.wait_ns.merge(&other.wait_ns);
-        self.sojourn_samples_ns
-            .extend_from_slice(&other.sojourn_samples_ns);
+        self.sojourn.merge(&other.sojourn);
         self.scrub_deferred += other.scrub_deferred;
     }
 }
@@ -615,9 +831,13 @@ mod tests {
 
     #[test]
     fn queue_telemetry_quantiles_and_merge() {
+        let mut exact = SojournStats::exact();
+        for x in [10.0, 20.0, 30.0, 40.0] {
+            exact.observe(x);
+        }
         let mut q = QueueTelemetry {
             completed: 4,
-            sojourn_samples_ns: vec![10.0, 20.0, 30.0, 40.0],
+            sojourn: exact,
             depth_time_ns: 50.0,
             horizon_ns: 100.0,
             max_depth: 3,
@@ -625,9 +845,11 @@ mod tests {
         };
         assert!((q.sojourn_p50() - 25.0).abs() < 1e-12);
         assert!((q.mean_depth() - 0.5).abs() < 1e-12);
+        let mut one = SojournStats::exact();
+        one.observe(100.0);
         let other = QueueTelemetry {
             completed: 1,
-            sojourn_samples_ns: vec![100.0],
+            sojourn: one,
             depth_time_ns: 10.0,
             horizon_ns: 100.0,
             max_depth: 5,
@@ -636,10 +858,45 @@ mod tests {
         q.merge(&other);
         assert_eq!(q.completed, 5);
         assert_eq!(q.max_depth, 5);
-        assert_eq!(q.sojourn_samples_ns.len(), 5);
+        assert_eq!(q.sojourn.count(), 5);
         assert!((q.mean_depth() - 0.3).abs() < 1e-12);
         assert_eq!(QueueTelemetry::default().sojourn_quantile(0.99), None);
         assert_eq!(QueueTelemetry::default().sojourn_p99(), 0.0);
+    }
+
+    #[test]
+    fn streaming_sojourn_matches_exact_on_small_streams() {
+        // Below five samples the P² warm-up phase is exact, so streaming and
+        // exact modes agree to the bit.
+        let mut streaming = SojournStats::streaming();
+        let mut exact = SojournStats::exact();
+        for x in [30.0, 10.0, 20.0] {
+            streaming.observe(x);
+            exact.observe(x);
+        }
+        assert_eq!(streaming.quantile(0.5), exact.quantile(0.5));
+        assert_eq!(streaming.count(), exact.count());
+    }
+
+    #[test]
+    fn mixed_mode_sojourn_merge_degrades_to_streaming() {
+        let mut streaming = SojournStats::streaming();
+        streaming.observe(50.0);
+        let mut exact = SojournStats::exact();
+        exact.observe(10.0);
+        exact.observe(90.0);
+
+        let mut a = streaming.clone();
+        a.merge(&exact);
+        assert!(matches!(a, SojournStats::Streaming { .. }));
+        assert_eq!(a.count(), 3);
+
+        let mut b = exact.clone();
+        b.merge(&streaming);
+        assert!(matches!(b, SojournStats::Streaming { .. }));
+        assert_eq!(b.count(), 3);
+        // Same multiset, same warm-up exactness → same median.
+        assert_eq!(a.quantile(0.5), Some(50.0));
     }
 
     #[test]

@@ -14,6 +14,15 @@
 //! its arrival time, which is what turns a trace into an offered load. The
 //! CSV dialect grows a sixth `arrival_ns` column only when a trace is timed,
 //! so untimed traces round-trip through the original five-column format.
+//!
+//! Two on-disk formats exist. CSV is the human-readable interchange format;
+//! the **binary format** ([`Trace::to_binary`]/[`Trace::from_binary`], laid
+//! out in DESIGN.md §12) is the fast path: fixed-stride little-endian
+//! records that a [`TraceView`] can replay **zero-copy** straight out of a
+//! borrowed `&[u8]` (e.g. an mmap-ed file) without materialising a
+//! `Vec<Transaction>`. Everything that replays traffic is generic over
+//! [`TxnSource`], so owned traces and borrowed views drive the engines
+//! through the same code path and produce bit-identical results.
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -324,6 +333,296 @@ impl Trace {
     }
 }
 
+/// Read access to an ordered transaction stream.
+///
+/// Implemented by the owned [`Trace`] and the zero-copy [`TraceView`]; every
+/// replay engine ([`Controller::run`](crate::Controller::run), the
+/// [`sched`](crate::sched) frontend, the [`hierarchy`](crate::hierarchy)
+/// chip) is generic over this trait, so both representations run through
+/// identical code and produce bit-identical results.
+pub trait TxnSource {
+    /// Number of transactions in the stream.
+    fn len(&self) -> usize;
+
+    /// The `index`-th transaction, decoded by value.
+    ///
+    /// # Panics
+    /// Panics when `index >= len()`.
+    fn get(&self, index: usize) -> Transaction;
+
+    /// `true` when the stream holds no transactions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TxnSource for Trace {
+    fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    fn get(&self, index: usize) -> Transaction {
+        self.transactions[index]
+    }
+}
+
+/// Binary trace magic: the first four bytes of every binary trace file.
+pub const TRACE_MAGIC: [u8; 4] = *b"STTR";
+/// Binary trace format version written by [`Trace::to_binary`].
+pub const TRACE_BINARY_VERSION: u8 = 1;
+/// Header size in bytes: magic (4) + version (1) + flags (1) + reserved (2)
+/// + record count u64 LE (8).
+pub const TRACE_HEADER_BYTES: usize = 16;
+/// Fixed record stride in bytes: bank u32, row u32, col u32, op u8,
+/// padding ×3, arrival_ns u64 — all little-endian.
+pub const TRACE_RECORD_BYTES: usize = 24;
+
+const OP_READ: u8 = 0;
+const OP_WRITE_ZERO: u8 = 1;
+const OP_WRITE_ONE: u8 = 2;
+
+/// A malformed binary trace buffer. Unlike CSV parse errors these are typed
+/// on the *structural* failure — a truncated header, a body that is not a
+/// whole number of records, an op byte outside the encoding — because binary
+/// traces are machine-written and any damage means the file, not a line, is
+/// suspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceBinaryError {
+    /// Shorter than the 16-byte header.
+    Truncated {
+        /// Actual buffer length in bytes.
+        got: usize,
+    },
+    /// The first four bytes are not [`TRACE_MAGIC`].
+    BadMagic {
+        /// The four bytes actually found.
+        got: [u8; 4],
+    },
+    /// Unknown format version byte.
+    BadVersion {
+        /// The version byte actually found.
+        got: u8,
+    },
+    /// The body is not a whole number of 24-byte records.
+    Misaligned {
+        /// Body length in bytes (buffer length minus the header).
+        body_bytes: usize,
+    },
+    /// The header's record count disagrees with the body length.
+    CountMismatch {
+        /// Record count claimed by the header.
+        header: u64,
+        /// Whole records actually present in the body.
+        body: usize,
+    },
+    /// A record's op byte is outside the `{0, 1, 2}` encoding.
+    BadOp {
+        /// 0-based index of the offending record.
+        record: usize,
+        /// The op byte actually found.
+        code: u8,
+    },
+}
+
+impl std::fmt::Display for TraceBinaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceBinaryError::Truncated { got } => {
+                write!(
+                    f,
+                    "binary trace truncated: {got} bytes < {TRACE_HEADER_BYTES}-byte header"
+                )
+            }
+            TraceBinaryError::BadMagic { got } => {
+                write!(
+                    f,
+                    "bad binary trace magic {got:?} (expected {TRACE_MAGIC:?})"
+                )
+            }
+            TraceBinaryError::BadVersion { got } => {
+                write!(
+                    f,
+                    "unsupported binary trace version {got} (expected {TRACE_BINARY_VERSION})"
+                )
+            }
+            TraceBinaryError::Misaligned { body_bytes } => {
+                write!(
+                    f,
+                    "binary trace body misaligned: {body_bytes} bytes is not a multiple of {TRACE_RECORD_BYTES}"
+                )
+            }
+            TraceBinaryError::CountMismatch { header, body } => {
+                write!(
+                    f,
+                    "binary trace header claims {header} records, body holds {body}"
+                )
+            }
+            TraceBinaryError::BadOp { record, code } => {
+                write!(f, "binary trace record {record}: bad op byte {code}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceBinaryError {}
+
+/// A zero-copy view over a binary trace buffer.
+///
+/// [`TraceView::new`] validates the whole buffer once — header, alignment,
+/// record count, every op byte — so that [`TxnSource::get`] is an infallible
+/// constant-time decode of four little-endian loads. The view borrows the
+/// bytes; nothing is copied until a [`Transaction`] is decoded on demand.
+///
+/// ```
+/// use stt_ctrl::{Trace, TraceView, Transaction, TxnSource};
+/// use stt_array::Address;
+///
+/// let trace = Trace::from_transactions(vec![
+///     Transaction::read(0, Address::new(1, 2)).at(5),
+/// ]);
+/// let bytes = trace.to_binary();
+/// let view = TraceView::new(&bytes).unwrap();
+/// assert_eq!(view.len(), 1);
+/// assert_eq!(view.get(0), trace.get(0));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    /// Record bytes only (header stripped during validation).
+    body: &'a [u8],
+    len: usize,
+}
+
+impl<'a> TraceView<'a> {
+    /// Validates `bytes` as a binary trace and wraps it without copying.
+    ///
+    /// # Errors
+    /// Returns a [`TraceBinaryError`] describing the first structural
+    /// problem: short buffer, wrong magic/version, a body that is not a
+    /// whole number of records, a count mismatch, or an invalid op byte.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, TraceBinaryError> {
+        if bytes.len() < TRACE_HEADER_BYTES {
+            return Err(TraceBinaryError::Truncated { got: bytes.len() });
+        }
+        let magic: [u8; 4] = bytes[..4].try_into().expect("4-byte slice");
+        if magic != TRACE_MAGIC {
+            return Err(TraceBinaryError::BadMagic { got: magic });
+        }
+        if bytes[4] != TRACE_BINARY_VERSION {
+            return Err(TraceBinaryError::BadVersion { got: bytes[4] });
+        }
+        let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+        let body = &bytes[TRACE_HEADER_BYTES..];
+        if !body.len().is_multiple_of(TRACE_RECORD_BYTES) {
+            return Err(TraceBinaryError::Misaligned {
+                body_bytes: body.len(),
+            });
+        }
+        let records = body.len() / TRACE_RECORD_BYTES;
+        if count != records as u64 {
+            return Err(TraceBinaryError::CountMismatch {
+                header: count,
+                body: records,
+            });
+        }
+        for record in 0..records {
+            let code = body[record * TRACE_RECORD_BYTES + 12];
+            if code > OP_WRITE_ONE {
+                return Err(TraceBinaryError::BadOp { record, code });
+            }
+        }
+        Ok(Self { body, len: records })
+    }
+
+    /// Iterates the transactions, decoding each on demand.
+    pub fn iter(&self) -> impl Iterator<Item = Transaction> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Copies the view into an owned [`Trace`].
+    #[must_use]
+    pub fn to_trace(&self) -> Trace {
+        Trace::from_transactions(self.iter().collect())
+    }
+}
+
+impl TxnSource for TraceView<'_> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, index: usize) -> Transaction {
+        assert!(
+            index < self.len,
+            "record {index} out of range ({})",
+            self.len
+        );
+        let r = &self.body[index * TRACE_RECORD_BYTES..(index + 1) * TRACE_RECORD_BYTES];
+        let word = |o: usize| u32::from_le_bytes(r[o..o + 4].try_into().expect("4-byte slice"));
+        let op = match r[12] {
+            OP_READ => Op::Read,
+            OP_WRITE_ZERO => Op::Write(false),
+            OP_WRITE_ONE => Op::Write(true),
+            // `new()` validated every op byte.
+            code => unreachable!("op byte {code} survived validation"),
+        };
+        Transaction {
+            bank: word(0) as usize,
+            addr: Address::new(word(4) as usize, word(8) as usize),
+            op,
+            arrival_ns: u64::from_le_bytes(r[16..24].try_into().expect("8-byte slice")),
+        }
+    }
+}
+
+impl Trace {
+    /// Serialises to the fixed-stride binary format (DESIGN.md §12): a
+    /// 16-byte header (magic `STTR`, version, flags, reserved, record count
+    /// u64 LE) followed by one 24-byte little-endian record per transaction.
+    /// The result always round-trips losslessly through
+    /// [`Trace::from_binary`], timed or not.
+    ///
+    /// # Panics
+    /// Panics when a bank, row or column index exceeds `u32::MAX` — the
+    /// binary format stores them as 32-bit words, which comfortably covers
+    /// every geometry the chip model can express.
+    #[must_use]
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(TRACE_HEADER_BYTES + TRACE_RECORD_BYTES * self.len());
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.push(TRACE_BINARY_VERSION);
+        out.push(0); // flags
+        out.extend_from_slice(&[0, 0]); // reserved
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        let narrow = |value: usize, what: &str| {
+            u32::try_from(value).unwrap_or_else(|_| panic!("{what} {value} exceeds u32 range"))
+        };
+        for txn in &self.transactions {
+            out.extend_from_slice(&narrow(txn.bank, "bank").to_le_bytes());
+            out.extend_from_slice(&narrow(txn.addr.row, "row").to_le_bytes());
+            out.extend_from_slice(&narrow(txn.addr.col, "col").to_le_bytes());
+            let op = match txn.op {
+                Op::Read => OP_READ,
+                Op::Write(false) => OP_WRITE_ZERO,
+                Op::Write(true) => OP_WRITE_ONE,
+            };
+            out.extend_from_slice(&[op, 0, 0, 0]);
+            out.extend_from_slice(&txn.arrival_ns.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the binary format written by [`Trace::to_binary`] into an
+    /// owned trace. Use [`TraceView::new`] instead to replay straight from
+    /// the buffer without materialising the `Vec`.
+    ///
+    /// # Errors
+    /// Returns a [`TraceBinaryError`] on any structural damage (see
+    /// [`TraceView::new`]).
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, TraceBinaryError> {
+        Ok(TraceView::new(bytes)?.to_trace())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,5 +762,101 @@ mod tests {
         assert_eq!(trace.reads(), 2);
         assert!(!trace.is_empty());
         assert!(Trace::new().is_empty());
+    }
+
+    #[test]
+    fn binary_round_trips_timed_and_untimed() {
+        for timed in [false, true] {
+            let mut trace = sample_trace();
+            if timed {
+                for (k, txn) in trace.transactions.iter_mut().enumerate() {
+                    txn.arrival_ns = 7 * k as u64;
+                }
+            }
+            let bytes = trace.to_binary();
+            assert_eq!(
+                bytes.len(),
+                TRACE_HEADER_BYTES + TRACE_RECORD_BYTES * trace.len()
+            );
+            assert_eq!(Trace::from_binary(&bytes).unwrap(), trace);
+        }
+        let empty = Trace::new().to_binary();
+        assert_eq!(empty.len(), TRACE_HEADER_BYTES);
+        assert!(Trace::from_binary(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn view_decodes_without_copying() {
+        let trace = sample_trace();
+        let bytes = trace.to_binary();
+        let view = TraceView::new(&bytes).unwrap();
+        assert_eq!(view.len(), trace.len());
+        assert!(!view.is_empty());
+        for (i, txn) in view.iter().enumerate() {
+            assert_eq!(txn, trace.get(i));
+        }
+        assert_eq!(view.to_trace(), trace);
+    }
+
+    #[test]
+    fn binary_errors_are_typed() {
+        let good = sample_trace().to_binary();
+
+        assert_eq!(
+            TraceView::new(&good[..10]).unwrap_err(),
+            TraceBinaryError::Truncated { got: 10 }
+        );
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            TraceView::new(&bad_magic).unwrap_err(),
+            TraceBinaryError::BadMagic { got: *b"XTTR" }
+        );
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            TraceView::new(&bad_version).unwrap_err(),
+            TraceBinaryError::BadVersion { got: 9 }
+        );
+
+        // Chop one byte off the last record: body no longer a whole stride.
+        let misaligned = &good[..good.len() - 1];
+        assert_eq!(
+            TraceView::new(misaligned).unwrap_err(),
+            TraceBinaryError::Misaligned {
+                body_bytes: misaligned.len() - TRACE_HEADER_BYTES
+            }
+        );
+
+        // Chop a whole record: aligned, but the header count disagrees.
+        let short = &good[..good.len() - TRACE_RECORD_BYTES];
+        assert_eq!(
+            TraceView::new(short).unwrap_err(),
+            TraceBinaryError::CountMismatch { header: 4, body: 3 }
+        );
+
+        let mut bad_op = good.clone();
+        bad_op[TRACE_HEADER_BYTES + 2 * TRACE_RECORD_BYTES + 12] = 7;
+        assert_eq!(
+            TraceView::new(&bad_op).unwrap_err(),
+            TraceBinaryError::BadOp { record: 2, code: 7 }
+        );
+        // Errors render a human-readable description.
+        assert!(TraceView::new(&bad_op)
+            .unwrap_err()
+            .to_string()
+            .contains("record 2"));
+    }
+
+    #[test]
+    fn csv_and_binary_agree() {
+        use rand::SeedableRng;
+        let trace = sample_trace().with_poisson_arrivals(12.0, &mut StdRng::seed_from_u64(2010));
+        let via_csv = Trace::from_csv(&trace.to_csv()).unwrap();
+        let via_bin = Trace::from_binary(&trace.to_binary()).unwrap();
+        assert_eq!(via_csv, via_bin);
+        assert_eq!(via_bin, trace);
     }
 }

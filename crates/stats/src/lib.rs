@@ -12,6 +12,8 @@
 //!   standard normal CDF and quantile for analytic cross-checks.
 //! * [`summary`] — streaming moments (Welford), order statistics and
 //!   histograms.
+//! * [`p2`] — fixed-memory streaming quantiles (the P² algorithm), for
+//!   telemetry that cannot afford to retain every sample.
 //! * [`yields`] — pass/fail counting with Wilson confidence intervals.
 //! * [`regression`] — least-squares line fits (used to extract roll-off
 //!   slopes from simulated sweeps).
@@ -23,6 +25,7 @@
 
 pub mod dist;
 pub mod mc;
+pub mod p2;
 pub mod regression;
 pub mod summary;
 pub mod table;
@@ -30,6 +33,7 @@ pub mod yields;
 
 pub use dist::{LogNormal, Normal, Uniform};
 pub use mc::{fill_indexed, run_trials, trial_rng};
+pub use p2::P2Quantile;
 pub use regression::{pearson, LinearFit};
 pub use summary::{quantile, Histogram, Summary};
 pub use table::Table;

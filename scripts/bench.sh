@@ -30,13 +30,24 @@ awk -v iterations="$iterations" '
     {
         line = $0
         sub(/^\{/, "", line); sub(/\}$/, "", line)
-        ids[count] = line
-        # Pull out the id and median for the speedup computation.
+        # Pull out the id and median for the headline computations.
         id = $0
         sub(/.*"id": "/, "", id); sub(/".*/, "", id)
         median = $0
-        sub(/.*"median_s": /, "", median); sub(/,.*/, "", median)
+        sub(/.*"median_s": /, "", median); sub(/[,}].*/, "", median)
         medians[id] = median + 0
+        # Benches declaring Throughput::Elements carry an "elements"
+        # field; derive the throughput each median implies so the
+        # committed baseline reads in Mtxn/s directly.
+        if ($0 ~ /"elements": /) {
+            elements = $0
+            sub(/.*"elements": /, "", elements); sub(/[,}].*/, "", elements)
+            if (medians[id] > 0) {
+                mtxn[id] = (elements + 0) / medians[id] / 1e6
+                line = line sprintf(", \"mtxn_per_s\": %.3f", mtxn[id])
+            }
+        }
+        ids[count] = line
         count++
     }
     END {
@@ -47,6 +58,11 @@ awk -v iterations="$iterations" '
         slow = medians["transient/fig5_linear_read_restamp"]
         if (fast > 0 && slow > 0) {
             printf "  \"fig5_linear_cached_lu_speedup\": %.2f,\n", slow / fast
+        }
+        # Headline throughput: the FCFS event loop, the number the
+        # DESIGN.md S12 Mtxn/s target is stated against.
+        if ("sched_frontend/policy/fcfs" in mtxn) {
+            printf "  \"sched_fcfs_mtxn_per_s\": %.3f,\n", mtxn["sched_frontend/policy/fcfs"]
         }
         printf "  \"benches\": [\n"
         for (k = 0; k < count; k++) {
@@ -59,3 +75,4 @@ awk -v iterations="$iterations" '
 
 echo "wrote BENCH_MNA.json"
 grep -o '"fig5_linear_cached_lu_speedup": [0-9.]*' BENCH_MNA.json || true
+grep -o '"sched_fcfs_mtxn_per_s": [0-9.]*' BENCH_MNA.json || true

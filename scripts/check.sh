@@ -37,6 +37,37 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+# Throughput smoke gate: the FCFS event loop must not fall off a cliff
+# versus the committed baseline (BENCH_MNA.json, written by
+# scripts/bench.sh). Shared boxes swing medians by tens of percent
+# between windows, so only a halving of throughput — the size of losing
+# the FCFS fast path outright — fails; smaller dips just warn.
+echo "==> sched_frontend Mtxn/s smoke gate"
+baseline="$(grep -o '"sched_fcfs_mtxn_per_s": [0-9.]*' BENCH_MNA.json | awk '{print $2}' || true)"
+if [ -z "$baseline" ]; then
+    echo "    no sched_fcfs_mtxn_per_s in BENCH_MNA.json; skipping (run scripts/bench.sh)"
+else
+    gate_records="$(mktemp)"
+    CRITERION_JSON="$gate_records" CRITERION_ITERATIONS=5 \
+        cargo bench -p stt-bench --bench sched_frontend > /dev/null
+    awk -v baseline="$baseline" '
+        /"id": "sched_frontend\/policy\/fcfs"/ {
+            median = $0; sub(/.*"median_s": /, "", median); sub(/[,}].*/, "", median)
+            elements = $0; sub(/.*"elements": /, "", elements); sub(/[,}].*/, "", elements)
+            now = (elements + 0) / (median + 0) / 1e6
+            printf "    fcfs: %.3f Mtxn/s (baseline %.3f)\n", now, baseline
+            if (now < 0.5 * baseline) {
+                print "    FAIL: fcfs throughput halved versus the committed baseline"
+                exit 1
+            }
+            if (now < 0.7 * baseline) {
+                print "    warning: fcfs >30% below baseline (noisy box? rerun scripts/bench.sh)"
+            }
+        }
+    ' "$gate_records"
+    rm -f "$gate_records"
+fi
+
 # Fast end-to-end smoke of the full-chip hierarchy: a small topology sweep
 # that asserts sharded == serial at every point and exercises the lazy
 # sparse-chip path (200 ops keeps it to a few seconds; the knee assertion

@@ -19,8 +19,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stt_ctrl::{
-    Backpressure, Controller, ControllerConfig, Dispatch, FaultPlan, Frontend, FrontendConfig,
-    Policy, QueueTelemetry, Trace, Workload,
+    Backpressure, Controller, ControllerConfig, Dispatch, EccMode, FaultPlan, Frontend,
+    FrontendConfig, Policy, QueueTelemetry, ScrubConfig, Trace, Workload,
 };
 use stt_sense::SchemeKind;
 
@@ -87,6 +87,49 @@ fn fcfs_unbounded_is_bit_identical_to_serial_replay_under_faults() {
             .with_faults(faults.clone());
         let trace = timed_trace(&config, Workload::ReadMostly, 1_500, 4.0);
         assert_anchor_identity(config, &trace);
+    }
+}
+
+#[test]
+fn fast_path_matches_the_general_event_loop_exactly() {
+    // FCFS at unbounded depth with no scrub runs the specialised
+    // cursor-and-slots loop; the same config plus a scrub daemon whose
+    // first tick lands ~31 years into the run is forced onto the general
+    // heap loop while remaining behaviourally inert (demand drains long
+    // before the tick, which then dies without rescheduling). The two
+    // runs must agree bit-for-bit: stored state, telemetry, completion
+    // log, makespan.
+    for kind in [SchemeKind::Destructive, SchemeKind::Nondestructive] {
+        let config = ControllerConfig::small(kind, 4)
+            .with_seed(58)
+            .with_ecc(EccMode::Secded);
+        let trace = timed_trace(
+            &config,
+            Workload::Uniform { read_fraction: 0.7 },
+            2_000,
+            4.0,
+        );
+
+        let mut fast = Frontend::new(
+            Controller::new(config.clone()),
+            FrontendConfig::fcfs_unbounded(),
+        );
+        let fast_run = fast.run(&trace);
+        let mut general = Frontend::new(
+            Controller::new(config),
+            FrontendConfig::fcfs_unbounded().with_scrub(ScrubConfig::every_ns(1e18)),
+        );
+        let general_run = general.run(&trace);
+
+        assert_eq!(
+            fast.controller().stored_state(),
+            general.controller().stored_state(),
+            "{kind}: both loop flavours must store the same bits"
+        );
+        assert_eq!(
+            fast_run, general_run,
+            "{kind}: telemetry, completions and makespan must be bit-identical"
+        );
     }
 }
 
@@ -159,7 +202,12 @@ fn destructive_reads_queue_harder_than_nondestructive_at_the_same_load() {
     for kind in [SchemeKind::Nondestructive, SchemeKind::Destructive] {
         let config = ControllerConfig::small(kind, 2).with_seed(2010);
         let trace = timed_trace(&config, Workload::ReadMostly, 2_000, 8.0);
-        let mut frontend = Frontend::new(Controller::new(config), FrontendConfig::fcfs_unbounded());
+        // Exact sojourn samples: this test asserts on a true order-statistic
+        // tail, not the default streaming estimate.
+        let mut frontend = Frontend::new(
+            Controller::new(config),
+            FrontendConfig::fcfs_unbounded().with_exact_sojourn(),
+        );
         let run = frontend.run(&trace);
         p99.insert(kind, run.telemetry.aggregate().queue.sojourn_p99());
     }

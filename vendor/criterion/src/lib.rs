@@ -45,7 +45,12 @@ pub enum SamplingMode {
     Flat,
 }
 
-/// Throughput annotation of a group (accepted, ignored).
+/// Throughput annotation of a group.
+///
+/// [`Throughput::Elements`] is recorded and emitted as an `"elements"`
+/// field on every JSON record of the group (see `CRITERION_JSON`), which is
+/// how `scripts/bench.sh` converts medians into Mtxn/s.
+/// [`Throughput::Bytes`] is accepted and ignored.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
     /// Bytes processed per iteration.
@@ -114,7 +119,7 @@ fn humanise(seconds: f64) -> String {
     }
 }
 
-fn run_one(id: &str, iterations: u32, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(id: &str, iterations: u32, elements: Option<u64>, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher::new(iterations);
     f(&mut bencher);
     match bencher.median() {
@@ -124,18 +129,19 @@ fn run_one(id: &str, iterations: u32, f: &mut dyn FnMut(&mut Bencher)) {
                 humanise(median),
                 bencher.samples.len()
             );
-            append_json_record(id, median, bencher.samples.len());
+            append_json_record(id, median, bencher.samples.len(), elements);
         }
         None => println!("bench {id:<40} (no samples)"),
     }
 }
 
 /// When `CRITERION_JSON` names a file, appends one JSON line per finished
-/// benchmark: `{"id": ..., "median_s": ..., "iterations": ...}`. This is
+/// benchmark: `{"id": ..., "median_s": ..., "iterations": ...}`, plus
+/// `"elements"` when the group declared [`Throughput::Elements`]. This is
 /// the machine-readable channel `scripts/bench.sh` assembles
 /// `BENCH_MNA.json` from; write failures are ignored (benches must never
 /// die on a read-only checkout).
-fn append_json_record(id: &str, median: f64, iterations: usize) {
+fn append_json_record(id: &str, median: f64, iterations: usize, elements: Option<u64>) {
     use std::io::Write;
     let Ok(path) = std::env::var("CRITERION_JSON") else {
         return;
@@ -150,6 +156,10 @@ fn append_json_record(id: &str, median: f64, iterations: usize) {
             _ => vec![c],
         })
         .collect();
+    let elements_field = match elements {
+        Some(n) => format!(", \"elements\": {n}"),
+        None => String::new(),
+    };
     if let Ok(mut file) = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -157,7 +167,7 @@ fn append_json_record(id: &str, median: f64, iterations: usize) {
     {
         let _ = writeln!(
             file,
-            "{{\"id\": \"{escaped}\", \"median_s\": {median:e}, \"iterations\": {iterations}}}"
+            "{{\"id\": \"{escaped}\", \"median_s\": {median:e}, \"iterations\": {iterations}{elements_field}}}"
         );
     }
 }
@@ -189,7 +199,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id.as_ref(), Self::iterations(), &mut f);
+        run_one(id.as_ref(), Self::iterations(), None, &mut f);
         self
     }
 
@@ -198,6 +208,7 @@ impl Criterion {
         BenchmarkGroup {
             _criterion: self,
             name: name.as_ref().to_string(),
+            elements: None,
         }
     }
 }
@@ -207,6 +218,9 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
+    /// Per-iteration element count from [`Throughput::Elements`], stamped
+    /// onto every JSON record the group emits.
+    elements: Option<u64>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -220,8 +234,14 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Accepted and ignored.
-    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+    /// Records the group's throughput: [`Throughput::Elements`] flows into
+    /// the JSON records as an `"elements"` field, [`Throughput::Bytes`] is
+    /// ignored.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.elements = match throughput {
+            Throughput::Elements(n) => Some(n),
+            Throughput::Bytes(_) => None,
+        };
         self
     }
 
@@ -231,7 +251,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{}", self.name, id.as_ref());
-        run_one(&id, Criterion::iterations(), &mut f);
+        run_one(&id, Criterion::iterations(), self.elements, &mut f);
         self
     }
 
@@ -304,8 +324,8 @@ mod tests {
         let path = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
         let _ = std::fs::remove_file(&path);
         std::env::set_var("CRITERION_JSON", &path);
-        append_json_record("group/with \"quote\"", 1.25e-6, 5);
-        append_json_record("plain", 2.0e-3, 3);
+        append_json_record("group/with \"quote\"", 1.25e-6, 5, Some(2_000));
+        append_json_record("plain", 2.0e-3, 3, None);
         std::env::remove_var("CRITERION_JSON");
         let contents = std::fs::read_to_string(&path).expect("records written");
         let _ = std::fs::remove_file(&path);
@@ -313,9 +333,35 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\\\"quote\\\""), "line: {}", lines[0]);
         assert!(
+            lines[0].contains("\"elements\": 2000"),
+            "line: {}",
+            lines[0]
+        );
+        assert!(
             lines[1].contains("\"median_s\": 2e-3"),
             "line: {}",
             lines[1]
+        );
+        assert!(!lines[1].contains("elements"), "line: {}", lines[1]);
+    }
+
+    #[test]
+    fn group_throughput_elements_reach_the_json_records() {
+        let _guard = env_lock();
+        let path = std::env::temp_dir().join(format!("criterion-elems-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("tp");
+        group.throughput(Throughput::Elements(1_500));
+        group.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        group.finish();
+        std::env::remove_var("CRITERION_JSON");
+        let contents = std::fs::read_to_string(&path).expect("records written");
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            contents.contains("\"elements\": 1500"),
+            "records: {contents}"
         );
     }
 
