@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use stt_array::{BitlineSpec, CellSpec};
+use stt_bench::montecarlo;
 use stt_mna::matrix::{LuFactors, Matrix};
-use stt_mna::{Circuit, Node, Waveform};
+use stt_mna::{BatchMember, Circuit, Node, SolverBackend, Waveform};
 use stt_mtj::ResistanceState;
 use stt_sense::{DesignPoint, TransientRead};
 use stt_units::{Farads, Ohms, Seconds};
@@ -85,69 +86,14 @@ fn bench_mna(c: &mut Criterion) {
     // headline pair: `fig5_linear_read` exercises the cached-LU
     // stamp-plan solver, `fig5_linear_read_restamp` forces the
     // pre-optimisation restamp-and-refactor behaviour on the same grid.
-    let build_fig5_linear = || {
-        let mut circuit = Circuit::new();
-        let driver = circuit.node("driver");
-        let c1_top = circuit.node("c1_top");
-        let div_top = circuit.node("div_top");
-        let v_bo = circuit.node("v_bo");
-        circuit.current_source(
-            driver,
-            Node::GROUND,
-            Waveform::pwl(vec![
-                (Seconds::from_nano(2.0), 0.0),
-                (Seconds::from_nano(2.2), 50e-6),
-                (Seconds::from_nano(12.0), 50e-6),
-                (Seconds::from_nano(12.2), 100e-6),
-                (Seconds::from_nano(22.0), 100e-6),
-                (Seconds::from_nano(22.2), 0.0),
-            ]),
-        );
-        // Distributed bit line: 128 cells' wire RC in 32 segments
-        // (192 fF / 640 Ω total), driver at the near end, cell at `bl`.
-        let segments = 32;
-        let mut bl = driver;
-        for k in 0..segments {
-            let next = circuit.node(&format!("bl{k}"));
-            circuit.resistor(bl, next, Ohms::new(640.0 / segments as f64));
-            circuit.capacitor(
-                next,
-                Node::GROUND,
-                Farads::from_femto(192.0 / segments as f64),
-            );
-            bl = next;
-        }
-        // Lumped 1T1J cell: R_L ≈ 2.4 kΩ plus R_T ≈ 0.9 kΩ.
-        circuit.resistor(bl, Node::GROUND, Ohms::from_kilo(3.3));
-        circuit.switch(
-            bl,
-            c1_top,
-            Ohms::new(200.0),
-            Ohms::from_mega(2000.0),
-            stt_mna::SwitchSchedule::closed_during(
-                Seconds::from_nano(2.0),
-                Seconds::from_nano(12.0),
-            ),
-        );
-        circuit.capacitor(c1_top, Node::GROUND, Farads::from_femto(25.0));
-        circuit.switch(
-            bl,
-            div_top,
-            Ohms::new(200.0),
-            Ohms::from_mega(2000.0),
-            stt_mna::SwitchSchedule::closed_during(
-                Seconds::from_nano(12.0),
-                Seconds::from_nano(27.0),
-            ),
-        );
-        circuit.resistor(div_top, v_bo, Ohms::from_mega(10.0));
-        circuit.resistor(v_bo, Node::GROUND, Ohms::from_mega(10.0));
-        circuit
-    };
+    // Both pin the dense backend so the pair keeps measuring what it
+    // always measured (stamp-plan + cached LU vs naive) independently of
+    // the banded auto-selection.
+    let (fig5, fig5_driver, fig5_probes) = montecarlo::fig5_linear_circuit(32);
     let fig5_options =
         stt_mna::TranOptions::new(Seconds::from_nano(30.0), Seconds::from_pico(10.0))
-            .from_zero_state();
-    let fig5 = build_fig5_linear();
+            .from_zero_state()
+            .with_backend(SolverBackend::Dense);
     c.bench_function("transient/fig5_linear_read", |b| {
         b.iter(|| std::hint::black_box(fig5.transient(&fig5_options).expect("transient")))
     });
@@ -156,6 +102,42 @@ fn bench_mna(c: &mut Criterion) {
         .with_strategy(stt_mna::SolverStrategy::AlwaysRestamp);
     c.bench_function("transient/fig5_linear_read_restamp", |b| {
         b.iter(|| std::hint::black_box(fig5.transient(&restamp_options).expect("transient")))
+    });
+
+    // The long-line backend pair: the same read on a 1024-segment bit line
+    // (dim ≈ 1027), where dense cached-LU back-substitution is O(n²) per
+    // step but the banded path is O(n·b). `fig5_banded_speedup` in
+    // BENCH_MNA.json is the ratio of these two medians.
+    let (fig5_long, _, _) = montecarlo::fig5_linear_circuit(1024);
+    let long_options =
+        stt_mna::TranOptions::new(Seconds::from_nano(30.0), Seconds::from_pico(100.0))
+            .from_zero_state();
+    let long_dense = long_options.clone().with_backend(SolverBackend::Dense);
+    c.bench_function("transient/fig5_dense_read", |b| {
+        b.iter(|| std::hint::black_box(fig5_long.transient(&long_dense).expect("transient")))
+    });
+    let long_banded = long_options.clone().with_backend(SolverBackend::Banded);
+    c.bench_function("transient/fig5_banded_read", |b| {
+        b.iter(|| std::hint::black_box(fig5_long.transient(&long_banded).expect("transient")))
+    });
+
+    // The batched multi-RHS transient: 64 scaled read currents through the
+    // 32-segment Fig. 5 circuit at once — one factorization per switch
+    // phase serves all 64 members.
+    let base_wave = montecarlo::fig5_read_current();
+    let members: Vec<BatchMember> = (0..64)
+        .map(|m| {
+            BatchMember::new().current_wave(fig5_driver, base_wave.scaled(0.8 + 0.005 * m as f64))
+        })
+        .collect();
+    let probes = [fig5_probes.bl, fig5_probes.c1_top, fig5_probes.v_bo];
+    c.bench_function("transient/fig5_batch_k64", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                fig5.transient_batch(&fig5_options, &members, &probes)
+                    .expect("batched transient"),
+            )
+        })
     });
 
     // The full Fig. 10 nonlinear transient read.

@@ -10,13 +10,14 @@
 //!   latency powerloss imax elmore      §V / §I claims and ablations
 //!   yieldsweep temperature reliability
 //!   azsa retention alphasweep differential
+//!   fig5mc                             batched Monte-Carlo campaigns
 //!   all                                everything, in order
 //! ```
 
 use std::io::Write as _;
 use std::path::Path;
 
-use stt_bench::{extras, figures, tables};
+use stt_bench::{extras, figures, montecarlo, tables};
 use stt_stats::Table;
 
 struct Experiment {
@@ -145,6 +146,14 @@ const EXPERIMENTS: &[Experiment] = &[
         id: "differential",
         title: "E11 — 2T-2MTJ complementary-cell baseline vs the schemes",
         run: || (Some(extras::differential()), None),
+    },
+    Experiment {
+        id: "fig5mc",
+        title: "E12 — batched Fig. 5 read-current variation campaign (multi-RHS)",
+        run: || {
+            let (table, annotation) = montecarlo::fig5_mc();
+            (Some(table), Some(annotation))
+        },
     },
 ];
 

@@ -20,6 +20,7 @@
 
 pub mod extras;
 pub mod figures;
+pub mod montecarlo;
 pub mod tables;
 
 use stt_array::{Cell, CellSpec};

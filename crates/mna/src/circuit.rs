@@ -47,6 +47,13 @@ impl fmt::Display for Node {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SourceId(pub(crate) usize);
 
+/// Identifier of an independent current source (creation order), usable to
+/// override its waveform per member in
+/// [`Circuit::transient_batch`](crate::Circuit::transient_batch) or to
+/// rewrite it in place with [`Circuit::set_current_source_wave`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CurrentSourceId(pub(crate) usize);
+
 /// A two-terminal nonlinear device law: `I(V)` and its derivative.
 ///
 /// Implemented by the sensing crate to drop MTJ bias-dependent resistance
@@ -247,11 +254,26 @@ pub(crate) enum Element {
 /// let op = circuit.dc_operating_point(Seconds::ZERO).expect("solvable");
 /// assert!((op.voltage(mid) - 0.5).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Circuit {
     node_names: Vec<String>,
     pub(crate) elements: Vec<Element>,
     pub(crate) vsource_count: usize,
+    pub(crate) isource_count: usize,
+}
+
+impl fmt::Debug for Circuit {
+    /// Includes the system dimension and the pre/post-RCM matrix bandwidth,
+    /// so sweep logs show at a glance why the engine picked a backend.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Circuit")
+            .field("nodes", &self.node_count())
+            .field("elements", &self.elements.len())
+            .field("vsources", &self.vsource_count)
+            .field("isources", &self.isource_count)
+            .field("bandwidth", &self.bandwidth_report())
+            .finish()
+    }
 }
 
 impl Circuit {
@@ -262,6 +284,7 @@ impl Circuit {
             node_names: vec!["gnd".to_string()],
             elements: Vec::new(),
             vsource_count: 0,
+            isource_count: 0,
         }
     }
 
@@ -383,11 +406,58 @@ impl Circuit {
 
     /// Adds an independent current source; `wave` (amperes) is injected into
     /// `pos` and returned from `neg`.
-    pub fn current_source(&mut self, pos: Node, neg: Node, wave: Waveform) {
+    ///
+    /// Returns the source's id, usable to override the waveform per member
+    /// in [`Circuit::transient_batch`](crate::Circuit::transient_batch).
+    pub fn current_source(&mut self, pos: Node, neg: Node, wave: Waveform) -> CurrentSourceId {
         self.check_node(pos);
         self.check_node(neg);
+        let id = CurrentSourceId(self.isource_count);
+        self.isource_count += 1;
         self.elements
             .push(Element::CurrentSource { pos, neg, wave });
+        id
+    }
+
+    /// Replaces the waveform of current source `id` in place — the cheap way
+    /// to run many variations of one netlist without rebuilding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn set_current_source_wave(&mut self, id: CurrentSourceId, wave: Waveform) {
+        let mut index = 0;
+        for element in &mut self.elements {
+            if let Element::CurrentSource { wave: slot, .. } = element {
+                if index == id.0 {
+                    *slot = wave;
+                    return;
+                }
+                index += 1;
+            }
+        }
+        panic!("current source id does not belong to this circuit");
+    }
+
+    /// Replaces the waveform of voltage source `id` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not name an independent voltage source of this
+    /// circuit (VCVS branches share the id space but have no waveform).
+    pub fn set_voltage_source_wave(&mut self, id: SourceId, wave: Waveform) {
+        for element in &mut self.elements {
+            if let Element::VoltageSource {
+                branch, wave: slot, ..
+            } = element
+            {
+                if *branch == id.0 {
+                    *slot = wave;
+                    return;
+                }
+            }
+        }
+        panic!("source id does not name an independent voltage source of this circuit");
     }
 
     /// Adds a scheduled ideal switch with the given on/off resistances.
@@ -581,6 +651,177 @@ impl Circuit {
         times.dedup();
         times
     }
+
+    /// Symmetrised adjacency of the MNA system rows (non-ground node rows
+    /// followed by one branch row per voltage source/VCVS): row `i` and row
+    /// `j` are adjacent when any element stamps entry `(i, j)` or `(j, i)`.
+    /// Neighbour lists are sorted and deduplicated, so the reverse
+    /// Cuthill–McKee pass over them is deterministic.
+    pub(crate) fn system_adjacency(&self) -> Vec<Vec<usize>> {
+        let dim = (self.node_count() - 1) + self.vsource_count;
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); dim];
+        let row_of = |node: Node| -> Option<usize> {
+            if node.is_ground() {
+                None
+            } else {
+                Some(node.index() - 1)
+            }
+        };
+        let branch_base = self.node_count() - 1;
+        let connect = |adjacency: &mut Vec<Vec<usize>>, a: Option<usize>, b: Option<usize>| {
+            if let (Some(a), Some(b)) = (a, b) {
+                if a != b {
+                    adjacency[a].push(b);
+                    adjacency[b].push(a);
+                }
+            }
+        };
+        for element in &self.elements {
+            match element {
+                Element::Resistor { a, b, .. }
+                | Element::Capacitor { a, b, .. }
+                | Element::Switch { a, b, .. }
+                | Element::Nonlinear { a, b, .. } => {
+                    connect(&mut adjacency, row_of(*a), row_of(*b));
+                }
+                // Current sources only touch the RHS.
+                Element::CurrentSource { .. } => {}
+                Element::VoltageSource {
+                    pos, neg, branch, ..
+                } => {
+                    let branch_row = Some(branch_base + branch);
+                    connect(&mut adjacency, row_of(*pos), branch_row);
+                    connect(&mut adjacency, row_of(*neg), branch_row);
+                }
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    ..
+                } => {
+                    connect(&mut adjacency, row_of(*drain), row_of(*gate));
+                    connect(&mut adjacency, row_of(*drain), row_of(*source));
+                    connect(&mut adjacency, row_of(*source), row_of(*gate));
+                }
+                Element::Vcvs {
+                    out_pos,
+                    out_neg,
+                    in_pos,
+                    in_neg,
+                    branch,
+                    ..
+                } => {
+                    let branch_row = Some(branch_base + branch);
+                    connect(&mut adjacency, row_of(*out_pos), branch_row);
+                    connect(&mut adjacency, row_of(*out_neg), branch_row);
+                    connect(&mut adjacency, row_of(*in_pos), branch_row);
+                    connect(&mut adjacency, row_of(*in_neg), branch_row);
+                }
+            }
+        }
+        for neighbours in &mut adjacency {
+            neighbours.sort_unstable();
+            neighbours.dedup();
+        }
+        adjacency
+    }
+
+    /// Reverse Cuthill–McKee ordering of the system-row graph: a BFS from a
+    /// minimum-degree start vertex per component, visiting neighbours in
+    /// ascending degree, then reversed. Returns `order` with
+    /// `order[new_row] = old_row`; on bit-line ladders this collapses the
+    /// bandwidth to a small constant, which is what makes the banded
+    /// backend's O(n·b) solves possible.
+    pub(crate) fn rcm_order(adjacency: &[Vec<usize>]) -> Vec<usize> {
+        let n = adjacency.len();
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut neighbours = Vec::new();
+        while let Some(start) = (0..n)
+            .filter(|&v| !visited[v])
+            .min_by_key(|&v| (adjacency[v].len(), v))
+        {
+            visited[start] = true;
+            queue.push_back(start);
+            while let Some(vertex) = queue.pop_front() {
+                order.push(vertex);
+                neighbours.clear();
+                neighbours.extend(adjacency[vertex].iter().copied().filter(|&u| !visited[u]));
+                neighbours.sort_by_key(|&u| (adjacency[u].len(), u));
+                for &u in &neighbours {
+                    visited[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        order.reverse();
+        order
+    }
+
+    /// Bandwidth of the adjacency under `inverse` (`inverse[old] = new`):
+    /// the largest `|new(i) − new(j)|` over stamped pairs.
+    pub(crate) fn bandwidth_under(adjacency: &[Vec<usize>], inverse: &[usize]) -> usize {
+        let mut bandwidth = 0usize;
+        for (vertex, neighbours) in adjacency.iter().enumerate() {
+            for &other in neighbours {
+                bandwidth = bandwidth.max(inverse[vertex].abs_diff(inverse[other]));
+            }
+        }
+        bandwidth
+    }
+
+    /// Matrix bandwidth of this circuit's MNA system, before and after the
+    /// reverse Cuthill–McKee reordering — the telemetry behind
+    /// [`SolverBackend::Auto`](crate::SolverBackend)'s backend choice, and
+    /// part of the circuit's `Debug` output.
+    #[must_use]
+    pub fn bandwidth_report(&self) -> BandwidthReport {
+        let adjacency = self.system_adjacency();
+        let dim = adjacency.len();
+        if dim == 0 {
+            return BandwidthReport {
+                dim: 0,
+                natural: 0,
+                reordered: 0,
+            };
+        }
+        let identity: Vec<usize> = (0..dim).collect();
+        let natural = Self::bandwidth_under(&adjacency, &identity);
+        let order = Self::rcm_order(&adjacency);
+        let mut inverse = vec![0usize; dim];
+        for (new_row, &old_row) in order.iter().enumerate() {
+            inverse[old_row] = new_row;
+        }
+        let reordered = Self::bandwidth_under(&adjacency, &inverse);
+        BandwidthReport {
+            dim,
+            natural,
+            reordered,
+        }
+    }
+}
+
+/// Matrix bandwidth of a circuit's MNA system before and after reverse
+/// Cuthill–McKee reordering (see [`Circuit::bandwidth_report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandwidthReport {
+    /// System dimension (non-ground nodes + source branches).
+    pub dim: usize,
+    /// Bandwidth in netlist construction order.
+    pub natural: usize,
+    /// Bandwidth under the RCM ordering (never used if worse than natural).
+    pub reordered: usize,
+}
+
+impl fmt::Display for BandwidthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dim {}, bandwidth {} natural / {} after RCM",
+            self.dim, self.natural, self.reordered
+        )
+    }
 }
 
 #[cfg(test)]
@@ -735,5 +976,110 @@ mod tests {
         // `foreign` has index 1 which exists… but index 2 does not.
         let also_foreign = Node(2);
         circuit.resistor(foreign, also_foreign, Ohms::new(1.0));
+    }
+
+    /// A deliberately badly ordered ladder: far-end probe nodes created
+    /// first, so the natural bandwidth spans the whole matrix.
+    fn scrambled_ladder(segments: usize) -> Circuit {
+        let mut circuit = Circuit::new();
+        let probe = circuit.node("probe");
+        let mut tap = circuit.node("drive");
+        circuit.current_source(tap, Node::GROUND, crate::waveform::Waveform::Dc(1e-6));
+        for k in 0..segments {
+            let next = if k + 1 == segments {
+                probe
+            } else {
+                circuit.node(&format!("seg{k}"))
+            };
+            circuit.resistor(tap, next, Ohms::new(10.0));
+            circuit.capacitor(next, Node::GROUND, Farads::from_femto(5.0));
+            tap = next;
+        }
+        circuit
+    }
+
+    #[test]
+    fn rcm_collapses_ladder_bandwidth() {
+        let report = scrambled_ladder(32).bandwidth_report();
+        assert_eq!(report.dim, 33);
+        // `probe` is node row 0 but sits at the far end of the chain.
+        assert!(report.natural > 20, "natural bandwidth {report}");
+        // A path graph reorders to bandwidth 1.
+        assert_eq!(report.reordered, 1, "{report}");
+        assert!(report.to_string().contains("after RCM"));
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_components_and_branch_rows() {
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        let b = circuit.node("b");
+        let lone = circuit.node("lone");
+        circuit.voltage_source(a, Node::GROUND, crate::waveform::Waveform::Dc(1.0));
+        circuit.resistor(a, b, Ohms::new(100.0));
+        circuit.resistor(lone, Node::GROUND, Ohms::new(100.0));
+        let adjacency = circuit.system_adjacency();
+        // Rows: a, b, lone, branch. Edges: a—b, a—branch.
+        assert_eq!(adjacency.len(), 4);
+        assert_eq!(adjacency[0], vec![1, 3]);
+        assert!(adjacency[2].is_empty(), "lone node has no stamped pairs");
+        let order = Circuit::rcm_order(&adjacency);
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3], "a permutation of every row");
+        let report = circuit.bandwidth_report();
+        assert!(report.reordered <= report.natural.max(1));
+    }
+
+    #[test]
+    fn empty_circuit_bandwidth_is_zero() {
+        let report = Circuit::new().bandwidth_report();
+        assert_eq!(report.dim, 0);
+        assert_eq!(report.natural, 0);
+        assert_eq!(report.reordered, 0);
+    }
+
+    #[test]
+    fn debug_output_reports_bandwidth() {
+        let circuit = scrambled_ladder(8);
+        let debug = format!("{circuit:?}");
+        assert!(debug.contains("bandwidth"), "{debug}");
+        assert!(debug.contains("isources: 1"), "{debug}");
+    }
+
+    #[test]
+    fn source_waveforms_can_be_rewritten_in_place() {
+        use crate::waveform::Waveform;
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        let vsrc = circuit.voltage_source(a, Node::GROUND, Waveform::Dc(1.0));
+        let b = circuit.node("b");
+        let _first = circuit.current_source(b, Node::GROUND, Waveform::Dc(1e-6));
+        let second = circuit.current_source(a, b, Waveform::Dc(2e-6));
+        circuit.set_voltage_source_wave(vsrc, Waveform::Dc(2.5));
+        circuit.set_current_source_wave(second, Waveform::Dc(9e-6));
+        let listing = circuit.to_netlist_string();
+        assert!(listing.contains("Dc(2.5)"), "{listing}");
+        assert!(listing.contains("Dc(9e-6)"), "{listing}");
+        assert!(listing.contains("Dc(1e-6)"), "first source untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_current_source_id_panics() {
+        use crate::waveform::Waveform;
+        let mut circuit = Circuit::new();
+        circuit.set_current_source_wave(CurrentSourceId(0), Waveform::Dc(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "independent voltage source")]
+    fn vcvs_id_has_no_waveform() {
+        use crate::waveform::Waveform;
+        let mut circuit = Circuit::new();
+        let a = circuit.node("a");
+        let b = circuit.node("b");
+        let amp = circuit.vcvs(b, Node::GROUND, a, Node::GROUND, 2.0);
+        circuit.set_voltage_source_wave(amp, Waveform::Dc(1.0));
     }
 }

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod ac;
+pub mod banded;
 pub mod circuit;
 pub mod elmore;
 pub mod engine;
@@ -56,10 +57,14 @@ pub mod matrix;
 pub mod waveform;
 
 pub use ac::{log_frequency_grid, AcResult, AcStimulus};
-pub use circuit::{Circuit, DeviceLaw, MosfetParams, Node, SourceId, SwitchSchedule};
+pub use banded::{BandedLu, BandedMatrix};
+pub use circuit::{
+    BandwidthReport, Circuit, CurrentSourceId, DeviceLaw, MosfetParams, Node, SourceId,
+    SwitchSchedule,
+};
 pub use elmore::RcLadder;
 pub use engine::{
-    AdaptiveTranOptions, AnalysisError, DcResult, Integrator, SolverStrategy, TranOptions,
-    TranResult,
+    AdaptiveTranOptions, AnalysisError, BatchMember, BatchTranResult, DcResult, Integrator,
+    SolverBackend, SolverStrategy, TranOptions, TranResult, TranTelemetry,
 };
 pub use waveform::Waveform;

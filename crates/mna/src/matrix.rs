@@ -365,6 +365,61 @@ impl LuFactors {
         }
         Ok(())
     }
+
+    /// Solves `A·X = B` for `width` right-hand sides at once.
+    ///
+    /// `b` and `x` are structure-of-arrays: entry `row·width + m` is row
+    /// `row` of member `m`. Per member the floating-point operation sequence
+    /// is identical to [`LuFactors::solve_into`], so a batched solve is
+    /// bit-identical to `width` sequential solves — the batched transient's
+    /// correctness contract.
+    ///
+    /// # Errors
+    ///
+    /// Infallible once factored; the `Result` mirrors [`Matrix::solve`] so
+    /// call sites can share error handling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or a buffer length is not `n·width`.
+    pub fn solve_multi_into(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        width: usize,
+    ) -> Result<(), SingularMatrixError> {
+        let n = self.matrix.rows;
+        assert!(width > 0, "need at least one right-hand side");
+        assert_eq!(b.len(), n * width, "right-hand side dimension mismatch");
+        assert_eq!(x.len(), n * width, "solution buffer dimension mismatch");
+        // Apply permutation (gather, as in the single-RHS path).
+        for (slot, &row) in self.permutation.iter().enumerate() {
+            x[slot * width..(slot + 1) * width].copy_from_slice(&b[row * width..(row + 1) * width]);
+        }
+        // Forward substitution (L has implicit unit diagonal).
+        for row in 1..n {
+            for col in 0..row {
+                let factor = self.matrix[(row, col)];
+                for m in 0..width {
+                    x[row * width + m] -= factor * x[col * width + m];
+                }
+            }
+        }
+        // Backward substitution.
+        for row in (0..n).rev() {
+            for col in (row + 1)..n {
+                let upper = self.matrix[(row, col)];
+                for m in 0..width {
+                    x[row * width + m] -= upper * x[col * width + m];
+                }
+            }
+            let diag = self.matrix[(row, row)];
+            for m in 0..width {
+                x[row * width + m] /= diag;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -520,6 +575,42 @@ mod tests {
         let mut x = [0.0; 2];
         a.solve_into(&b, &mut lu, &mut x).expect("spd");
         assert_eq!(x.to_vec(), expected, "identical bits expected");
+    }
+
+    #[test]
+    fn solve_multi_into_bit_identical_to_sequential() {
+        let mut a = Matrix::zeros(3, 3);
+        let entries = [
+            (0, 0, 0.1),
+            (0, 1, 1.0),
+            (0, 2, -1.0),
+            (1, 0, -3.0),
+            (1, 1, -1.0),
+            (1, 2, 2.0),
+            (2, 0, -2.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+        ];
+        for (r, c, v) in entries {
+            a[(r, c)] = v;
+        }
+        let lu = LuFactors::factor(a).expect("nonsingular");
+        let rhs = [[8.0, -11.0, -3.0], [1.0, 0.5, -0.25], [0.0, 2.0, 7.0]];
+        let width = rhs.len();
+        let mut soa = vec![0.0; 3 * width];
+        for (m, b) in rhs.iter().enumerate() {
+            for (row, &value) in b.iter().enumerate() {
+                soa[row * width + m] = value;
+            }
+        }
+        let mut out = vec![0.0; 3 * width];
+        lu.solve_multi_into(&soa, &mut out, width).expect("solve");
+        for (m, b) in rhs.iter().enumerate() {
+            let single = lu.solve(b).expect("solve");
+            for row in 0..3 {
+                assert_eq!(out[row * width + m], single[row], "member {m} row {row}");
+            }
+        }
     }
 
     #[test]

@@ -154,6 +154,39 @@ impl Waveform {
     }
 }
 
+impl Waveform {
+    /// The same waveform with every value multiplied by `factor` — the
+    /// Monte-Carlo idiom for folding per-trial drive variation into a batch
+    /// member without touching the circuit matrix.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Waveform {
+        match self {
+            Waveform::Dc(value) => Waveform::Dc(value * factor),
+            Waveform::Pulse {
+                base,
+                top,
+                delay,
+                rise,
+                fall,
+                width,
+            } => Waveform::Pulse {
+                base: base * factor,
+                top: top * factor,
+                delay: *delay,
+                rise: *rise,
+                fall: *fall,
+                width: *width,
+            },
+            Waveform::Pwl(knots) => Waveform::Pwl(
+                knots
+                    .iter()
+                    .map(|&(time, value)| (time, value * factor))
+                    .collect(),
+            ),
+        }
+    }
+}
+
 impl From<f64> for Waveform {
     fn from(value: f64) -> Self {
         Waveform::Dc(value)
@@ -232,6 +265,23 @@ mod tests {
     fn from_f64_builds_dc() {
         let w: Waveform = 0.7.into();
         assert_eq!(w, Waveform::Dc(0.7));
+    }
+
+    #[test]
+    fn scaled_multiplies_values_but_not_times() {
+        assert_eq!(Waveform::Dc(2.0).scaled(1.5), Waveform::Dc(3.0));
+        let pulse = Waveform::pulse(0.5, 2.0, nanos(1.0), nanos(1.0), nanos(1.0), nanos(4.0));
+        let scaled = pulse.scaled(2.0);
+        assert_eq!(scaled.value_at(nanos(0.0)), 1.0);
+        assert_eq!(scaled.value_at(nanos(3.0)), 4.0);
+        assert_eq!(
+            scaled.value_at(nanos(2.0)),
+            2.0 * pulse.value_at(nanos(2.0))
+        );
+        let pwl = Waveform::pwl(vec![(nanos(1.0), 1.0), (nanos(2.0), -2.0)]);
+        let scaled = pwl.scaled(0.5);
+        assert_eq!(scaled.value_at(nanos(1.0)), 0.5);
+        assert_eq!(scaled.value_at(nanos(2.0)), -1.0);
     }
 
     proptest! {

@@ -1,0 +1,189 @@
+//! Bit-accuracy of the batched multi-RHS transient.
+//!
+//! `transient_batch` must be a pure performance transform: for every batch
+//! member the recorded waveform is **bit-identical** (exact `f64` equality,
+//! not a tolerance) to a sequential [`Circuit::transient`] of the same
+//! circuit with that member's waveform overrides applied in place. The
+//! property holds for both solver strategies (the cached-LU fast path and
+//! the `AlwaysRestamp` reference) and both matrix backends, because the
+//! per-member floating-point op sequence is the same in either path.
+
+use proptest::prelude::*;
+use proptest::test_runner::{PtRng, TestCaseError};
+use stt_mna::{
+    BatchMember, Circuit, CurrentSourceId, Node, SolverBackend, SolverStrategy, SourceId,
+    SwitchSchedule, TranOptions, Waveform,
+};
+use stt_units::{Farads, Ohms, Seconds};
+
+fn nanos(t: f64) -> Seconds {
+    Seconds::from_nano(t)
+}
+
+/// The batch override targets of a random circuit: the driver / supply
+/// element ids and their base waveforms (kept here because `Circuit` has no
+/// waveform getter — members derive their overrides from these).
+struct Targets {
+    driver: CurrentSourceId,
+    supply: SourceId,
+    base_drive: Waveform,
+    base_supply: Waveform,
+}
+
+/// A random linear read circuit: a pulsed current driver into a short
+/// bit-line ladder, a switched hold capacitor (so the cached-LU key changes
+/// mid-run), and a DC supply rail through a divider (so a vsource branch row
+/// is in the system). Returns the circuit, its probe nodes, and the two
+/// override targets.
+fn random_circuit(seed: u64) -> (Circuit, Vec<Node>, Targets) {
+    let mut rng = PtRng::new(seed);
+    let mut pick = |lo: f64, hi: f64| lo + (hi - lo) * rng.unit_f64();
+    let mut circuit = Circuit::new();
+    let bl = circuit.node("bl");
+    let hold = circuit.node("hold");
+    let rail = circuit.node("rail");
+
+    let base_drive = Waveform::pulse(
+        0.0,
+        pick(20e-6, 120e-6),
+        nanos(pick(0.2, 0.6)),
+        nanos(0.1),
+        nanos(0.1),
+        nanos(pick(1.5, 2.5)),
+    );
+    let base_supply = Waveform::Dc(pick(0.8, 1.2));
+    let driver = circuit.current_source(bl, Node::GROUND, base_drive.clone());
+    let supply = circuit.voltage_source(rail, Node::GROUND, base_supply.clone());
+    circuit.resistor(rail, bl, Ohms::from_mega(pick(1.0, 20.0)));
+
+    let segments = 4 + (pick(0.0, 6.0) as usize);
+    let mut previous = bl;
+    for segment in 0..segments {
+        let node = circuit.node(&format!("seg_{segment}"));
+        circuit.resistor(previous, node, Ohms::new(pick(20.0, 120.0)));
+        circuit.capacitor(node, Node::GROUND, Farads::from_femto(pick(2.0, 20.0)));
+        previous = node;
+    }
+    circuit.resistor(previous, Node::GROUND, Ohms::new(pick(2_000.0, 5_000.0)));
+
+    let t_close = pick(0.9, 1.7);
+    circuit.switch(
+        previous,
+        hold,
+        Ohms::new(pick(100.0, 500.0)),
+        Ohms::from_mega(pick(100.0, 2_000.0)),
+        SwitchSchedule::closed_during(nanos(t_close), nanos(t_close + pick(0.5, 1.2))),
+    );
+    circuit.capacitor(hold, Node::GROUND, Farads::from_femto(pick(10.0, 50.0)));
+
+    let targets = Targets {
+        driver,
+        supply,
+        base_drive,
+        base_supply,
+    };
+    (circuit, vec![bl, previous, hold], targets)
+}
+
+/// Runs the batch and the k sequential references and asserts exact
+/// equality of every probed sample.
+fn assert_batch_matches_sequential(
+    seed: u64,
+    k: usize,
+    strategy: SolverStrategy,
+    backend: SolverBackend,
+    from_zero: bool,
+    dt: f64,
+) -> Result<(), TestCaseError> {
+    let (circuit, probes, targets) = random_circuit(seed);
+    let mut options = TranOptions::new(nanos(4.0), nanos(dt))
+        .with_strategy(strategy)
+        .with_backend(backend);
+    if from_zero {
+        options = options.from_zero_state();
+    }
+
+    // Member m scales the drive current and nudges the supply rail; member 0
+    // keeps the base circuit untouched to cover the no-override path.
+    let mut rng = PtRng::new(seed ^ 0x5EED_BA7C);
+    let scales: Vec<f64> = (0..k).map(|_| 0.5 + 1.2 * rng.unit_f64()).collect();
+    let members: Vec<BatchMember> = scales
+        .iter()
+        .enumerate()
+        .map(|(m, &s)| {
+            if m == 0 {
+                BatchMember::new()
+            } else {
+                BatchMember::new()
+                    .current_wave(targets.driver, targets.base_drive.scaled(s))
+                    .voltage_wave(targets.supply, targets.base_supply.scaled(2.0 - s))
+            }
+        })
+        .collect();
+
+    let batch = circuit
+        .transient_batch(&options, &members, &probes)
+        .expect("batched transient");
+
+    for (m, &s) in scales.iter().enumerate() {
+        let mut sequential = circuit.clone();
+        if m != 0 {
+            sequential.set_current_source_wave(targets.driver, targets.base_drive.scaled(s));
+            sequential.set_voltage_source_wave(targets.supply, targets.base_supply.scaled(2.0 - s));
+        }
+        let reference = sequential
+            .transient(&options)
+            .expect("sequential transient");
+        prop_assert_eq!(batch.times(), reference.times());
+        for &probe in &probes {
+            let got = batch.voltage(m, probe);
+            let want = reference.voltage(probe);
+            prop_assert!(
+                got == want,
+                "member {m} probe {probe:?} diverged from sequential \
+                 ({strategy:?}, {backend:?})"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_matches_sequential_cached_lu(
+        seed in 0u64..u64::MAX,
+        k in 1usize..6,
+        from_zero in proptest::bool::ANY,
+        dt_index in 0usize..2,
+    ) {
+        let dt = [0.05, 0.023][dt_index];
+        assert_batch_matches_sequential(
+            seed, k, SolverStrategy::CachedLu, SolverBackend::Auto, from_zero, dt,
+        )?;
+    }
+
+    #[test]
+    fn batch_matches_sequential_always_restamp(
+        seed in 0u64..u64::MAX,
+        k in 1usize..5,
+        dt_index in 0usize..2,
+    ) {
+        let dt = [0.05, 0.011][dt_index];
+        assert_batch_matches_sequential(
+            seed, k, SolverStrategy::AlwaysRestamp, SolverBackend::Dense, true, dt,
+        )?;
+    }
+
+    #[test]
+    fn batch_matches_sequential_banded(
+        seed in 0u64..u64::MAX,
+        k in 2usize..5,
+        from_zero in proptest::bool::ANY,
+    ) {
+        assert_batch_matches_sequential(
+            seed, k, SolverStrategy::CachedLu, SolverBackend::Banded, from_zero, 0.05,
+        )?;
+    }
+}

@@ -79,6 +79,38 @@ where
         .collect()
 }
 
+/// Runs `count` trials in batches of up to `batch` at a time, in parallel
+/// across batches, returning the results in trial order.
+///
+/// This is the fan-out shape for batched solvers (e.g.
+/// `Circuit::transient_batch`): `run_batch(rngs, start)` receives one
+/// deterministic [`trial_rng`] per trial in the batch — the *same* streams
+/// [`run_trials`] would hand trials `start..start + rngs.len()` — and must
+/// return one result per RNG. Per-trial determinism is therefore preserved
+/// across batch sizes: a `batch` of 1 reproduces `run_trials` exactly.
+///
+/// # Panics
+///
+/// Panics if `batch == 0` or `run_batch` returns the wrong number of
+/// results.
+pub fn run_trial_batches<T, F>(count: usize, batch: usize, seed: u64, run_batch: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut [StdRng], usize) -> Vec<T> + Sync,
+{
+    assert!(batch > 0, "batch size must be positive");
+    let batches = count.div_ceil(batch);
+    let chunks = fill_indexed(batches, |batch_index| {
+        let start = batch_index * batch;
+        let len = batch.min(count - start);
+        let mut rngs: Vec<StdRng> = (0..len).map(|k| trial_rng(seed, start + k)).collect();
+        let out = run_batch(&mut rngs, start);
+        assert_eq!(out.len(), len, "run_batch must return one result per trial");
+        out
+    });
+    chunks.into_iter().flatten().collect()
+}
+
 /// Builds the deterministic RNG for trial `index` under master `seed`.
 ///
 /// Public so other deterministic fan-outs (e.g. the traffic engine's
@@ -151,6 +183,28 @@ mod tests {
     fn zero_trials_is_empty() {
         let results: Vec<u8> = run_trials(0, 1, |_, _| 0u8);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn batched_trials_match_sequential_trials() {
+        // The per-trial RNG streams are independent of the batch size, so
+        // any batching reproduces run_trials bit for bit.
+        let reference = run_trials(100, 17, |rng, index| (index, rng.gen::<u64>()));
+        for batch in [1usize, 7, 64, 100, 128] {
+            let batched = run_trial_batches(100, batch, 17, |rngs, start| {
+                rngs.iter_mut()
+                    .enumerate()
+                    .map(|(k, rng)| (start + k, rng.gen::<u64>()))
+                    .collect()
+            });
+            assert_eq!(batched, reference, "batch size {batch}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per trial")]
+    fn batched_trials_enforce_result_count() {
+        let _ = run_trial_batches(10, 4, 1, |_rngs, _start| Vec::<u8>::new());
     }
 
     #[test]

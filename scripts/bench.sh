@@ -8,8 +8,18 @@
 #
 # The vendored criterion stand-in emits one JSON line per benchmark to
 # the file named by CRITERION_JSON; this script assembles those lines
-# into a single JSON document and computes the headline cached-LU
-# speedup (fig5_linear_read_restamp / fig5_linear_read).
+# into a single JSON document and computes the headline scalars:
+#
+#   fig5_linear_cached_lu_speedup   restamp / cached-LU medians (32-seg)
+#   fig5_banded_speedup             dense / banded medians (1024-seg line)
+#   fig5_batch_amortization         sequential / batched factorizations
+#                                   in the k=64 Monte-Carlo campaign
+#
+# Each scalar is gated against a configurable floor (exit 1 below it):
+#
+#   FIG5_SPEEDUP_FLOOR         cached-LU speedup floor   (default 3.0)
+#   FIG5_BANDED_SPEEDUP_FLOOR  banded speedup floor      (default 3.0)
+#   FIG5_AMORTIZATION_FLOOR    batch amortization floor  (default 5.0)
 
 set -euo pipefail
 
@@ -25,7 +35,14 @@ for bench in mna_solver trace_engine sched_frontend reliability_codec hierarchy_
         cargo bench -p stt-bench --bench "$bench"
 done
 
-awk -v iterations="$iterations" '
+# The batched Monte-Carlo campaign reports its factorization amortization
+# (sequential / batched LU factorizations) in a machine-parsed annotation.
+echo "==> cargo run --release -p stt-bench --bin repro -- fig5mc"
+amortization="$(cargo run --release -q -p stt-bench --bin repro -- fig5mc \
+    | grep -o 'factorization_amortization=[0-9.]*' | cut -d= -f2)"
+echo "    factorization amortization: ${amortization}x"
+
+awk -v iterations="$iterations" -v amortization="$amortization" '
     BEGIN { count = 0 }
     {
         line = $0
@@ -59,6 +76,14 @@ awk -v iterations="$iterations" '
         if (fast > 0 && slow > 0) {
             printf "  \"fig5_linear_cached_lu_speedup\": %.2f,\n", slow / fast
         }
+        dense = medians["transient/fig5_dense_read"]
+        banded = medians["transient/fig5_banded_read"]
+        if (dense > 0 && banded > 0) {
+            printf "  \"fig5_banded_speedup\": %.2f,\n", dense / banded
+        }
+        if (amortization + 0 > 0) {
+            printf "  \"fig5_batch_amortization\": %.1f,\n", amortization + 0
+        }
         # Headline throughput: the FCFS event loop, the number the
         # DESIGN.md S12 Mtxn/s target is stated against.
         if ("sched_frontend/policy/fcfs" in mtxn) {
@@ -75,4 +100,29 @@ awk -v iterations="$iterations" '
 
 echo "wrote BENCH_MNA.json"
 grep -o '"fig5_linear_cached_lu_speedup": [0-9.]*' BENCH_MNA.json || true
+grep -o '"fig5_banded_speedup": [0-9.]*' BENCH_MNA.json || true
+grep -o '"fig5_batch_amortization": [0-9.]*' BENCH_MNA.json || true
 grep -o '"sched_fcfs_mtxn_per_s": [0-9.]*' BENCH_MNA.json || true
+
+# Floor gates: the headline scalars must not regress below the configured
+# floors. Shared boxes swing medians, so the defaults sit well under the
+# committed baselines while still catching a lost fast path outright.
+gate() {
+    local name="$1" floor="$2"
+    local value
+    value="$(grep -o "\"$name\": [0-9.]*" BENCH_MNA.json | awk '{print $2}' || true)"
+    if [ -z "$value" ]; then
+        echo "FAIL: $name missing from BENCH_MNA.json"
+        exit 1
+    fi
+    awk -v value="$value" -v floor="$floor" -v name="$name" 'BEGIN {
+        if (value + 0 < floor + 0) {
+            printf "FAIL: %s = %.2f below floor %.2f\n", name, value, floor
+            exit 1
+        }
+        printf "    %s = %.2f (floor %.2f) ok\n", name, value, floor
+    }'
+}
+gate fig5_linear_cached_lu_speedup "${FIG5_SPEEDUP_FLOOR:-3.0}"
+gate fig5_banded_speedup "${FIG5_BANDED_SPEEDUP_FLOOR:-3.0}"
+gate fig5_batch_amortization "${FIG5_AMORTIZATION_FLOOR:-5.0}"

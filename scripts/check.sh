@@ -68,6 +68,21 @@ else
     rm -f "$gate_records"
 fi
 
+# Batched Monte-Carlo smoke: the fig5mc campaign must run, spot-check its
+# batched waveforms against sequential references (asserted inside the
+# experiment), and amortize at least FIG5_AMORTIZATION_FLOOR times fewer
+# LU factorizations than a sequential campaign.
+echo "==> batched Monte-Carlo smoke (repro fig5mc)"
+amortization="$(cargo run --release -q -p stt-bench --bin repro -- fig5mc \
+    | grep -o 'factorization_amortization=[0-9.]*' | cut -d= -f2)"
+awk -v value="$amortization" -v floor="${FIG5_AMORTIZATION_FLOOR:-5.0}" 'BEGIN {
+    if (value + 0 < floor + 0) {
+        printf "    FAIL: batch amortization %.1f below floor %.1f\n", value, floor
+        exit 1
+    }
+    printf "    factorization amortization %.1fx (floor %.1f) ok\n", value, floor
+}'
+
 # Fast end-to-end smoke of the full-chip hierarchy: a small topology sweep
 # that asserts sharded == serial at every point and exercises the lazy
 # sparse-chip path (200 ops keeps it to a few seconds; the knee assertion
