@@ -34,10 +34,16 @@
 //! reports its **knee**: the first window whose p99 sojourn exceeds 5× the
 //! unloaded (window = 1) p99. Results go to `results/topology_sweep.csv`.
 //!
-//! ```text
-//! trafficsim [--ops <per-config>] [--csv <dir>] [--geometry CxRxGxB]
-//!            [--load-sweep | --reliability-sweep | --topology-sweep]
-//! ```
+//! With `--march-sweep` the binary runs the manufacturing-test escape
+//! campaign (see [`stt_ctrl::march`]): fault class × sensing scheme ×
+//! protection level × March algorithm, every cell marching the planted
+//! banks through the scheduler frontend as test-class traffic and scoring
+//! detection against the planted victim set. The textbook coverage
+//! guarantees (March C– catches every deterministic single-cell fault at
+//! 10n; CFds escapes C– and is caught by March SS) are asserted inside the
+//! campaign itself. Results go to `results/march_sweep.csv`.
+//!
+//! Run `trafficsim --help` for the full mode/flag table.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -45,9 +51,9 @@ use std::path::Path;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stt_ctrl::{
-    run_campaign, CampaignConfig, Chip, ChipConfig, ClosedLoopSource, Controller, ControllerConfig,
-    Dispatch, Frontend, FrontendConfig, InterleavePolicy, Policy, Protection, ShardDispatch,
-    Telemetry, Topology, Trace, Workload,
+    run_campaign, run_escape_campaign, CampaignConfig, Chip, ChipConfig, ClosedLoopSource,
+    Controller, ControllerConfig, Dispatch, Frontend, FrontendConfig, InterleavePolicy,
+    MarchCampaignConfig, Policy, Protection, ShardDispatch, Telemetry, Topology, Trace, Workload,
 };
 use stt_sense::SchemeKind;
 use stt_stats::Table;
@@ -543,6 +549,76 @@ fn topology_sweep(ops_per_channel: usize, topology: Topology) -> Table {
     table
 }
 
+/// Runs the manufacturing-test escape campaign and records one row per
+/// fault class × scheme × protection × March algorithm cell.
+///
+/// The textbook coverage guarantees are asserted inside
+/// `run_escape_campaign` itself, so every run of this sweep doubles as an
+/// acceptance gate: March C– detects 100% of deterministic single-cell
+/// faults on a variation-clean scheme, CFds escapes C– and is caught by
+/// March SS's non-transition writes, and ECC legitimately masks
+/// single-cell defects from the tester. Smoke runs (`--ops` below the
+/// default) trim the sweep to the nondestructive scheme so the check
+/// script stays fast; the guarantees still hold on the trimmed matrix.
+fn march_sweep(ops_per_config: usize) -> Table {
+    let mut config = MarchCampaignConfig::date2010();
+    if ops_per_config < DEFAULT_OPS {
+        config = config.with_schemes(vec![SchemeKind::Nondestructive]);
+    }
+    let mut table = Table::new([
+        "class",
+        "scheme",
+        "protection",
+        "algorithm",
+        "planted",
+        "detected",
+        "detection_rate",
+        "escape_rate",
+        "mismatches",
+        "march_ops",
+        "ops_per_bit",
+        "test_time_ns",
+    ]);
+    let rows = run_escape_campaign(&config);
+    for row in &rows {
+        println!(
+            "{:<18} {:<15} {:<10} {:<9} planted {:>2}, detected {:>2} ({:>5.1}%), \
+             {:>5} ops ({:>4.1}/bit), {:.0} ns",
+            row.class.name(),
+            scheme_label(row.scheme),
+            row.protection.name(),
+            row.algorithm.name(),
+            row.planted,
+            row.detected,
+            row.detection_rate * 100.0,
+            row.march_ops,
+            row.ops_per_bit,
+            row.test_time_ns,
+        );
+        table.push_row([
+            row.class.name().to_string(),
+            scheme_label(row.scheme).to_string(),
+            row.protection.name().to_string(),
+            row.algorithm.name().to_string(),
+            row.planted.to_string(),
+            row.detected.to_string(),
+            format!("{:.4}", row.detection_rate),
+            format!("{:.4}", row.escape_rate),
+            row.mismatches.to_string(),
+            row.march_ops.to_string(),
+            format!("{:.1}", row.ops_per_bit),
+            format!("{:.1}", row.test_time_ns),
+        ]);
+    }
+    println!(
+        "\n{} sweep cells; textbook coverage guarantees held \
+         (March C– = 10n catches every deterministic single-cell fault, \
+         CFds needs March SS) ✓",
+        rows.len()
+    );
+    table
+}
+
 /// `--convert IN OUT`: translate a trace between the CSV and binary
 /// on-disk formats, direction chosen by the *input* extension — `.csv`
 /// parses CSV and writes binary, anything else parses binary and writes
@@ -570,90 +646,182 @@ fn convert(input: &str, output: &str) {
     );
 }
 
-fn main() {
-    const USAGE: &str = "usage: trafficsim [--ops N] [--csv DIR] [--geometry CxRxGxB] \
-                         [--load-sweep | --reliability-sweep | --topology-sweep] \
-                         [--convert IN OUT]";
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut ops = DEFAULT_OPS;
-    let mut csv_dir = String::from("results");
-    let mut load_mode = false;
-    let mut reliability_mode = false;
-    let mut topology_mode = false;
-    let mut topology = Topology::date2010();
+/// One-line synopsis printed alongside parse errors.
+const USAGE: &str = "usage: trafficsim [--ops N] [--csv DIR] [--geometry CxRxGxB] \
+                     [--load-sweep | --reliability-sweep | --topology-sweep | --march-sweep] \
+                     [--convert IN OUT] [--help]";
+
+/// The `--help` table. The flag-parse test cross-checks this text against
+/// the parser: every `--flag` documented here must be accepted.
+const HELP: &str = "\
+trafficsim — sweep the STT-RAM controller engine and write CSV telemetry
+
+modes (pick one; the default is the scheme × banks × workload traffic sweep):
+  (default)            serial-vs-parallel traffic sweep          results/traffic.csv
+  --load-sweep         offered load × scheme queueing sweep      results/load_sweep.csv
+  --reliability-sweep  fault intensity × protection campaign     results/reliability_sweep.csv
+  --topology-sweep     full-chip closed-loop window sweep        results/topology_sweep.csv
+  --march-sweep        fault class × scheme × protection ×       results/march_sweep.csv
+                       March-algorithm escape campaign
+  --convert IN OUT     translate a trace between CSV and binary  (no sweep)
+  --help               print this table
+
+flags:
+  --ops N              transactions per sweep point (default 4000); small N
+                       runs are smoke-sized: acceptance asserts are skipped
+                       and --march-sweep trims to the nondestructive scheme
+  --csv DIR            output directory for the CSV (default results/)
+  --geometry CxRxGxB   chip topology for --topology-sweep (default 2x1x2x2)";
+
+/// Which sweep (or utility) a parsed command line selects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Mode {
+    Traffic,
+    Load,
+    Reliability,
+    Topology,
+    March,
+    Convert { input: String, output: String },
+    Help,
+}
+
+/// A fully parsed command line; pulled out of `main` so the flag grammar
+/// is unit-testable without spawning the binary.
+#[derive(Debug, Clone)]
+struct Cli {
+    ops: usize,
+    csv_dir: String,
+    topology: Topology,
+    mode: Mode,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        ops: DEFAULT_OPS,
+        csv_dir: String::from("results"),
+        topology: Topology::date2010(),
+        mode: Mode::Traffic,
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--ops" => {
-                ops = iter
+                cli.ops = iter
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--ops needs a positive integer");
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| String::from("--ops needs a positive integer"))?;
             }
             "--csv" => {
-                csv_dir = iter.next().expect("--csv needs a directory").clone();
+                cli.csv_dir = iter
+                    .next()
+                    .ok_or_else(|| String::from("--csv needs a directory"))?
+                    .clone();
             }
             "--geometry" => {
-                let text = iter.next().expect("--geometry needs a CxRxGxB value");
-                topology = match text.parse() {
-                    Ok(topology) => topology,
-                    Err(error) => {
-                        eprintln!("bad --geometry {text:?}: {error}");
-                        eprintln!("{USAGE}");
-                        std::process::exit(2);
-                    }
-                };
+                let text = iter
+                    .next()
+                    .ok_or_else(|| String::from("--geometry needs a CxRxGxB value"))?;
+                cli.topology = text
+                    .parse()
+                    .map_err(|error| format!("bad --geometry {text:?}: {error}"))?;
             }
             "--convert" => {
-                let input = iter.next().expect("--convert needs IN and OUT paths");
-                let output = iter.next().expect("--convert needs IN and OUT paths");
-                convert(input, output);
-                return;
+                let input = iter
+                    .next()
+                    .ok_or_else(|| String::from("--convert needs IN and OUT paths"))?
+                    .clone();
+                let output = iter
+                    .next()
+                    .ok_or_else(|| String::from("--convert needs IN and OUT paths"))?
+                    .clone();
+                cli.mode = Mode::Convert { input, output };
             }
-            "--load-sweep" => load_mode = true,
-            "--reliability-sweep" => reliability_mode = true,
-            "--topology-sweep" => topology_mode = true,
-            other => {
-                eprintln!("unknown argument {other:?}; {USAGE}");
-                std::process::exit(2);
-            }
+            "--load-sweep" => cli.mode = Mode::Load,
+            "--reliability-sweep" => cli.mode = Mode::Reliability,
+            "--topology-sweep" => cli.mode = Mode::Topology,
+            "--march-sweep" => cli.mode = Mode::March,
+            "--help" | "-h" => cli.mode = Mode::Help,
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    Ok(cli)
+}
 
-    let (table, file_name) = if topology_mode {
-        println!(
-            "trafficsim: topology sweep, {} schemes × {:?} windows over {topology} \
-             ({} banks), {ops} transactions per channel\n",
-            SchemeKind::ALL.len(),
-            WINDOWS,
-            topology.total_banks(),
-        );
-        (topology_sweep(ops, topology), "topology_sweep.csv")
-    } else if reliability_mode {
-        println!(
-            "trafficsim: reliability campaign, {} schemes × {} intensity rungs × \
-             {} protection levels, {ops} transactions each\n",
-            SchemeKind::ALL.len(),
-            CampaignConfig::date2010().intensities.len(),
-            Protection::ALL.len(),
-        );
-        (reliability_sweep(ops), "reliability_sweep.csv")
-    } else if load_mode {
-        println!(
-            "trafficsim: load sweep, {} schemes × {:?} offered loads, \
-             {LOAD_SWEEP_BANKS} banks, {ops} transactions each\n",
-            SchemeKind::ALL.len(),
-            LOADS,
-        );
-        (load_sweep(ops), "load_sweep.csv")
-    } else {
-        println!(
-            "trafficsim: {} schemes × {:?} banks × {} workloads, {ops} transactions each\n",
-            SchemeKind::ALL.len(),
-            BANK_COUNTS,
-            Workload::ALL.len()
-        );
-        (sweep(ops), "traffic.csv")
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(error) => {
+            eprintln!("{error}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let Cli {
+        ops,
+        csv_dir,
+        topology,
+        mode,
+    } = cli;
+
+    let (table, file_name) = match mode {
+        Mode::Help => {
+            println!("{HELP}");
+            return;
+        }
+        Mode::Convert { input, output } => {
+            convert(&input, &output);
+            return;
+        }
+        Mode::Topology => {
+            println!(
+                "trafficsim: topology sweep, {} schemes × {:?} windows over {topology} \
+                 ({} banks), {ops} transactions per channel\n",
+                SchemeKind::ALL.len(),
+                WINDOWS,
+                topology.total_banks(),
+            );
+            (topology_sweep(ops, topology), "topology_sweep.csv")
+        }
+        Mode::Reliability => {
+            println!(
+                "trafficsim: reliability campaign, {} schemes × {} intensity rungs × \
+                 {} protection levels, {ops} transactions each\n",
+                SchemeKind::ALL.len(),
+                CampaignConfig::date2010().intensities.len(),
+                Protection::ALL.len(),
+            );
+            (reliability_sweep(ops), "reliability_sweep.csv")
+        }
+        Mode::Load => {
+            println!(
+                "trafficsim: load sweep, {} schemes × {:?} offered loads, \
+                 {LOAD_SWEEP_BANKS} banks, {ops} transactions each\n",
+                SchemeKind::ALL.len(),
+                LOADS,
+            );
+            (load_sweep(ops), "load_sweep.csv")
+        }
+        Mode::March => {
+            println!(
+                "trafficsim: March escape campaign, {} fault classes × schemes × \
+                 {} protection levels × {} algorithms\n",
+                stt_ctrl::FaultClass::ALL.len(),
+                Protection::ALL.len(),
+                stt_ctrl::MarchAlgorithm::ALL.len(),
+            );
+            (march_sweep(ops), "march_sweep.csv")
+        }
+        Mode::Traffic => {
+            println!(
+                "trafficsim: {} schemes × {:?} banks × {} workloads, {ops} transactions each\n",
+                SchemeKind::ALL.len(),
+                BANK_COUNTS,
+                Workload::ALL.len()
+            );
+            (sweep(ops), "traffic.csv")
+        }
     };
 
     std::fs::create_dir_all(&csv_dir).expect("create results directory");
@@ -662,4 +830,83 @@ fn main() {
     table.write_csv(&mut file).expect("write CSV");
     file.flush().expect("flush CSV");
     println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&owned)
+    }
+
+    /// Every `--flag` the help table documents must be accepted by the
+    /// parser — the text and the grammar cannot drift apart.
+    #[test]
+    fn every_documented_flag_parses() {
+        let mut flags_seen = 0;
+        for token in HELP.split_whitespace().filter(|t| t.starts_with("--")) {
+            let args: Vec<&str> = match token {
+                "--ops" => vec!["--ops", "100"],
+                "--csv" => vec!["--csv", "out"],
+                "--geometry" => vec!["--geometry", "2x1x2x2"],
+                "--convert" => vec!["--convert", "in.csv", "out.bin"],
+                flag => vec![flag],
+            };
+            assert!(
+                parse(&args).is_ok(),
+                "documented flag {token} must parse: {:?}",
+                parse(&args)
+            );
+            flags_seen += 1;
+        }
+        assert!(
+            flags_seen >= 8,
+            "help table lists all flags, got {flags_seen}"
+        );
+    }
+
+    #[test]
+    fn defaults_modes_and_values_round_trip() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.mode, Mode::Traffic);
+        assert_eq!(cli.ops, DEFAULT_OPS);
+        assert_eq!(cli.csv_dir, "results");
+
+        let cli = parse(&["--march-sweep", "--ops", "64", "--csv", "tmp"]).unwrap();
+        assert_eq!(cli.mode, Mode::March);
+        assert_eq!(cli.ops, 64);
+        assert_eq!(cli.csv_dir, "tmp");
+
+        assert_eq!(parse(&["--load-sweep"]).unwrap().mode, Mode::Load);
+        assert_eq!(
+            parse(&["--reliability-sweep"]).unwrap().mode,
+            Mode::Reliability
+        );
+        assert_eq!(parse(&["--topology-sweep"]).unwrap().mode, Mode::Topology);
+        assert_eq!(parse(&["--help"]).unwrap().mode, Mode::Help);
+        assert_eq!(
+            parse(&["--geometry", "4x2x4x8"]).unwrap().topology,
+            Topology::new(4, 2, 4, 8)
+        );
+        assert_eq!(
+            parse(&["--convert", "a.csv", "b.bin"]).unwrap().mode,
+            Mode::Convert {
+                input: String::from("a.csv"),
+                output: String::from("b.bin"),
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_command_lines_are_rejected() {
+        assert!(parse(&["--ops"]).is_err());
+        assert!(parse(&["--ops", "zero"]).is_err());
+        assert!(parse(&["--ops", "0"]).is_err());
+        assert!(parse(&["--csv"]).is_err());
+        assert!(parse(&["--geometry", "not-a-geometry"]).is_err());
+        assert!(parse(&["--convert", "only-one-path"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
 }

@@ -8,7 +8,7 @@
 //! Monte-Carlo runner, which is what makes an N-thread run bit-identical
 //! to a serial one.
 //!
-//! Three independent RNG streams per bank keep orthogonal concerns from
+//! Four independent RNG streams per bank keep orthogonal concerns from
 //! perturbing each other:
 //!
 //! * the **demand** stream serves host traffic (senses, write pulses);
@@ -16,7 +16,10 @@
 //!   interleaved scrub never changes what a demand read would have seen;
 //! * the **fault** stream drives retention and read-disturb injection, and
 //!   is only drawn from when those fault models are enabled — a quiet plan
-//!   leaves demand traffic bit-identical to builds without soft errors.
+//!   leaves demand traffic bit-identical to builds without soft errors;
+//! * the **March** stream serves manufacturing-test traffic
+//!   ([`Bank::execute_march_op`]) so a test pass is deterministic and
+//!   independent of whatever demand traffic preceded it.
 
 use std::cell::RefCell;
 use std::ops::Range;
@@ -24,13 +27,15 @@ use std::ops::Range;
 use rand::rngs::StdRng;
 use rand::Rng;
 use stt_array::{
-    run_with_power_failure, Address, Array, OperationCost, OperationStep, Phase, PhaseKind,
+    run_with_power_failure, Address, Array, Cell, OperationCost, OperationStep, Phase, PhaseKind,
     PowerFailure,
 };
+use stt_mtj::{LinearRolloff, MtjSpec};
 use stt_sense::{ChipTiming, DesignPoint};
 
 use crate::engine::ControllerConfig;
-use crate::faults::FaultPlan;
+use crate::faults::{CouplingKind, FaultPlan};
+use crate::march::MarchOp;
 use crate::reliability::codec::{self, DecodeKind};
 use crate::reliability::{word_count, ScrubCursor, ScrubOutcome, WORD_BITS};
 use crate::retry::RetryPolicy;
@@ -47,6 +52,24 @@ const MAX_WRITE_ATTEMPTS: u32 = 8;
 const SCRUB_STREAM: u64 = 0x5343_5255_4253_4d31;
 /// Seed salt for the per-bank fault-injection RNG stream.
 const FAULT_STREAM: u64 = 0x4641_554c_5453_4d32;
+/// Seed salt for the per-bank March-test RNG stream.
+const MARCH_STREAM: u64 = 0x4d41_5243_4853_4d33;
+
+/// Residual high/low separation of a pinhole-shorted MTJ. The MgO defect
+/// shunts the tunnel barrier, so both magnetic states conduct through the
+/// short: the cell's "high" state is electrically a low state a few percent
+/// stiffer, far below any scheme's sensing threshold.
+const PINHOLE_RESIDUAL_TMR: f64 = 0.02;
+
+/// Which seeded RNG stream an operation draws from. Keeping demand, scrub
+/// and March traffic on separate streams means enabling one never perturbs
+/// what the others would have seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stream {
+    Demand,
+    Scrub,
+    March,
+}
 
 /// Controller-side ECC state for one bank: the per-word check store
 /// (modelling dedicated check columns, updated on writes, never corrupted
@@ -67,6 +90,7 @@ pub struct Bank {
     rng: StdRng,
     scrub_rng: StdRng,
     fault_rng: StdRng,
+    march_rng: StdRng,
     scheme: Scheme,
     retry: RetryPolicy,
     /// Stuck-at defects on this bank, pre-filtered from the fault plan.
@@ -98,6 +122,7 @@ impl Bank {
         let mut rng = stt_stats::trial_rng(config.seed, index);
         let scrub_rng = stt_stats::trial_rng(config.seed ^ SCRUB_STREAM, index);
         let fault_rng = stt_stats::trial_rng(config.seed ^ FAULT_STREAM, index);
+        let march_rng = stt_stats::trial_rng(config.seed ^ MARCH_STREAM, index);
         let mut array = spec.sample(&mut rng);
         let mut truth = vec![false; spec.capacity_bits()];
         let cols = spec.cols;
@@ -120,6 +145,29 @@ impl Bank {
             array.write_bit(addr, value);
             truth[addr.row * cols + addr.col] = value;
         }
+        // Pinhole defects: swap the sampled device for one whose "high"
+        // state is the low-state curve scaled by the residual TMR, keeping
+        // the sampled transistor and the preloaded state. No RNG is drawn,
+        // so a quiet plan leaves every stream untouched.
+        for defect in config.faults.pinhole_cells_of(index) {
+            let mtj = &spec.cell.mtj;
+            let low = mtj.resistance.r_low0();
+            let dr_low = mtj.resistance.dr_low_max();
+            let collapsed = MtjSpec {
+                resistance: LinearRolloff::new(
+                    low,
+                    low * (1.0 + PINHOLE_RESIDUAL_TMR),
+                    dr_low,
+                    dr_low * (1.0 + PINHOLE_RESIDUAL_TMR),
+                    mtj.resistance.i_max(),
+                ),
+                switching: mtj.switching,
+            };
+            let prior = array.cell(defect.addr).state();
+            let transistor = *array.cell(defect.addr).transistor();
+            *array.cell_mut(defect.addr) = Cell::new(collapsed.into_device(), transistor);
+            array.cell_mut(defect.addr).set_state(prior);
+        }
         let mut telemetry = BankTelemetry::with_bounds(&config.latency_bounds);
         let ecc = config.ecc.is_enabled().then(|| {
             let words = word_count(spec.capacity_bits());
@@ -140,6 +188,7 @@ impl Bank {
             rng,
             scrub_rng,
             fault_rng,
+            march_rng,
             scheme: Scheme::for_kind(config.kind, &design),
             retry: config.retry,
             stuck,
@@ -188,13 +237,94 @@ impl Bank {
                     self.serve_read_plain(txn.addr, faults);
                 }
             }
-            Op::Write(bit) => self.serve_write(txn.addr, bit),
+            Op::Write(bit) => self.serve_write(txn.addr, bit, faults),
+        }
+    }
+
+    /// Serves one lowered March operation on `cell` (row-major index): `W`
+    /// drives the shared write datapath on the March RNG stream, `R` senses
+    /// through the real read path (plain or ECC, matching the bank's
+    /// protection) and records the verdict against the expectation in
+    /// [`crate::telemetry::MarchTelemetry`]. Occupancy is charged to
+    /// `telemetry.march.busy_time`, not the demand busy clock, so test time
+    /// never accelerates the retention decay it screens for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of this bank's range.
+    pub fn execute_march_op(&mut self, cell: u32, op: MarchOp, element: u8, faults: &FaultPlan) {
+        let addr = self.addr_of(cell as usize);
+        self.telemetry.march.ops += 1;
+        match op {
+            MarchOp::W(bit) => {
+                self.telemetry.march.writes += 1;
+                let pulses_burned = self.write_cell(addr, bit, faults, Stream::March);
+                self.telemetry.march.busy_time +=
+                    self.write_cost.latency() * f64::from(pulses_burned);
+                self.telemetry.energy += self.write_cost.energy() * f64::from(pulses_burned);
+                let index = self.truth_index(addr);
+                self.last_touch_ns[index] = self.busy_now_ns();
+            }
+            MarchOp::R(expected) => {
+                self.telemetry.march.reads += 1;
+                let got = self.march_read(addr, faults);
+                if got != expected {
+                    self.telemetry
+                        .march
+                        .record_mismatch(cell, element, expected, got);
+                }
+            }
+        }
+    }
+
+    /// One March read on the March stream through the bank's real read
+    /// path. With ECC the tester observes the *decoded* bit — exactly what
+    /// a host would — so single-cell defects the codec absorbs legitimately
+    /// escape the test at that protection level. Soft-error models tick as
+    /// they do for demand reads, on the March stream.
+    fn march_read(&mut self, addr: Address, faults: &FaultPlan) -> bool {
+        let cell = self.truth_index(addr);
+        if self.ecc.is_some() {
+            let word = cell / WORD_BITS;
+            let span = self.word_span(word);
+            self.apply_retention(span.clone(), faults, Stream::March);
+            let (received, max_attempts, total_attempts, _) =
+                self.sense_word(span.clone(), Stream::March);
+            if self.scheme.is_destructive() {
+                self.snap_stuck_cells();
+            }
+            self.apply_read_disturb(span.clone(), faults, Stream::March);
+            if faults.has_soft_errors() {
+                self.snap_stuck_cells();
+            }
+            let check = self.ecc.as_ref().expect("checked above").check[word];
+            let decoded = codec::decode(received, check);
+            self.telemetry.march.busy_time += self.read_cost.latency() * f64::from(max_attempts);
+            self.telemetry.energy += self.read_cost.energy() * total_attempts as f64;
+            (decoded.data >> (cell - span.start)) & 1 == 1
+        } else {
+            self.apply_retention(cell..cell + 1, faults, Stream::March);
+            let scheme = self.scheme;
+            let retry = self.retry;
+            let (array, rng) = (&mut self.array, &mut self.march_rng);
+            let resolution = retry.resolve(|| scheme.sense_once(array, addr, rng));
+            if scheme.is_destructive() {
+                self.snap_stuck_cells();
+            }
+            self.apply_read_disturb(cell..cell + 1, faults, Stream::March);
+            if faults.has_soft_errors() {
+                self.snap_stuck_cells();
+            }
+            self.telemetry.march.busy_time +=
+                self.read_cost.latency() * f64::from(resolution.attempts);
+            self.telemetry.energy += self.read_cost.energy() * f64::from(resolution.attempts);
+            resolution.bit
         }
     }
 
     fn serve_read_plain(&mut self, addr: Address, faults: &FaultPlan) {
         let cell = self.truth_index(addr);
-        self.apply_retention(cell..cell + 1, faults, false);
+        self.apply_retention(cell..cell + 1, faults, Stream::Demand);
         let scheme = self.scheme;
         let retry = self.retry;
         let (array, rng) = (&mut self.array, &mut self.rng);
@@ -203,7 +333,7 @@ impl Bank {
             // The erase/write-back pulses may have hit a stuck cell.
             self.snap_stuck_cells();
         }
-        self.apply_read_disturb(cell..cell + 1, faults, false);
+        self.apply_read_disturb(cell..cell + 1, faults, Stream::Demand);
         if faults.has_soft_errors() {
             self.snap_stuck_cells();
         }
@@ -232,13 +362,13 @@ impl Bank {
         let cell = self.truth_index(addr);
         let word = cell / WORD_BITS;
         let span = self.word_span(word);
-        self.apply_retention(span.clone(), faults, false);
+        self.apply_retention(span.clone(), faults, Stream::Demand);
         let (received, max_attempts, total_attempts, any_unconfident) =
-            self.sense_word(span.clone(), false);
+            self.sense_word(span.clone(), Stream::Demand);
         if self.scheme.is_destructive() {
             self.snap_stuck_cells();
         }
-        self.apply_read_disturb(span.clone(), faults, false);
+        self.apply_read_disturb(span.clone(), faults, Stream::Demand);
         if faults.has_soft_errors() {
             self.snap_stuck_cells();
         }
@@ -315,33 +445,130 @@ impl Bank {
         self.snap_stuck_cells();
     }
 
-    fn serve_write(&mut self, addr: Address, bit: bool) {
+    fn serve_write(&mut self, addr: Address, bit: bool, faults: &FaultPlan) {
         self.telemetry.writes += 1;
-        let pulses = self
-            .array
-            .write_bit_verified(addr, bit, MAX_WRITE_ATTEMPTS, &mut self.rng);
-        let pulses_burned = match pulses {
-            Some(used) => {
-                self.telemetry.write_retries += u64::from(used - 1);
-                used
-            }
-            None => {
-                self.telemetry.write_failures += 1;
-                MAX_WRITE_ATTEMPTS
-            }
-        };
-        let index = self.truth_index(addr);
-        self.truth[index] = bit;
-        self.snap_stuck_cells();
+        let pulses_burned = self.write_cell(addr, bit, faults, Stream::Demand);
         self.telemetry.busy_time += self.write_cost.latency() * f64::from(pulses_burned);
         self.telemetry.energy += self.write_cost.energy() * f64::from(pulses_burned);
+        let index = self.truth_index(addr);
+        self.last_touch_ns[index] = self.busy_now_ns();
+    }
+
+    /// The write datapath shared by demand and March traffic: programming
+    /// pulses on the stream's RNG, then every write-time defect hook in
+    /// physical order — write transition fault, stuck snap, backhopping,
+    /// intra-word coupling. Returns the pulses burned for the caller to
+    /// price on its own clock. The truth mirror and ECC check store always
+    /// track what the host *believes* it wrote; the defects corrupt only
+    /// the stored state.
+    fn write_cell(&mut self, addr: Address, bit: bool, faults: &FaultPlan, stream: Stream) -> u32 {
+        let index = self.truth_index(addr);
+        let prior = self.array.read_state(addr).bit();
+        let transition_lost = prior != bit
+            && faults
+                .transition_faults_of(self.index)
+                .any(|fault| fault.addr == addr && fault.rising == bit);
+        let pulses_burned = if transition_lost {
+            // WTF: the pulse is driven (and priced) but the free layer never
+            // switches in this direction — and the same defect defeats the
+            // read-verify loop, so the failure is silent: the controller
+            // believes the first pulse stuck.
+            self.telemetry.write_transition_faults += 1;
+            1
+        } else {
+            let array = &mut self.array;
+            let rng = match stream {
+                Stream::Demand => &mut self.rng,
+                Stream::Scrub => &mut self.scrub_rng,
+                Stream::March => &mut self.march_rng,
+            };
+            match array.write_bit_verified(addr, bit, MAX_WRITE_ATTEMPTS, rng) {
+                Some(used) => {
+                    self.telemetry.write_retries += u64::from(used - 1);
+                    used
+                }
+                None => {
+                    self.telemetry.write_failures += 1;
+                    MAX_WRITE_ATTEMPTS
+                }
+            }
+        };
+        self.truth[index] = bit;
+        self.snap_stuck_cells();
+        // Backhopping: a completed write hops back before the next access.
+        if !transition_lost {
+            let prob = faults
+                .backhop_cells_of(self.index)
+                .find(|cell| cell.addr == addr)
+                .map(|cell| cell.prob);
+            if let Some(prob) = prob {
+                let rng = match stream {
+                    Stream::Demand => &mut self.rng,
+                    Stream::Scrub => &mut self.scrub_rng,
+                    Stream::March => &mut self.march_rng,
+                };
+                if rng.gen_bool(prob) {
+                    self.array.write_bit(addr, !bit);
+                    self.telemetry.backhop_flips += 1;
+                }
+            }
+        }
+        self.apply_coupling(addr, index, bit, prior, faults);
         // Controller-side read-modify-write: the check columns are refreshed
         // from the host's word, so they always match the truth mirror.
         if let Some(ecc) = &mut self.ecc {
             let word = index / WORD_BITS;
             ecc.check[word] = codec::encode(truth_word(&self.truth, word));
         }
-        self.last_touch_ns[index] = self.busy_now_ns();
+        pulses_burned
+    }
+
+    /// Evaluates intra-word coupling defects after a write to `addr` (the
+    /// potential aggressor) settles. The CFst trigger is the *final stored*
+    /// aggressor state — so a backhop or stuck defect on the aggressor
+    /// participates — while the CFds trigger is the non-transition `w1`
+    /// pulse itself (`prior && bit`). Victims are corrupted behind the
+    /// host's back: the truth mirror is not updated.
+    fn apply_coupling(
+        &mut self,
+        addr: Address,
+        index: usize,
+        bit: bool,
+        prior: bool,
+        faults: &FaultPlan,
+    ) {
+        let word = index / WORD_BITS;
+        let position = index % WORD_BITS;
+        let stored = self.array.read_state(addr).bit();
+        let mut forced: Vec<(usize, bool)> = Vec::new();
+        for fault in faults.coupling_faults_of(self.index) {
+            if fault.word != word || fault.aggressor_bit != position {
+                continue;
+            }
+            let victim = fault.word * WORD_BITS + fault.victim_bit;
+            if victim >= self.truth.len() {
+                continue;
+            }
+            match fault.kind {
+                CouplingKind::State {
+                    aggressor_value,
+                    victim_value,
+                } if stored == aggressor_value => forced.push((victim, victim_value)),
+                CouplingKind::Disturb { victim_value } if bit && prior => {
+                    forced.push((victim, victim_value));
+                }
+                _ => {}
+            }
+        }
+        let any_forced = !forced.is_empty();
+        for (victim, value) in forced {
+            self.array.write_bit(self.addr_of(victim), value);
+            self.telemetry.coupling_triggers += 1;
+        }
+        if any_forced {
+            // A stuck victim stays stuck: the defect dominates the coupling.
+            self.snap_stuck_cells();
+        }
     }
 
     /// One background scrub step: re-read the next word in the round-robin
@@ -369,12 +596,12 @@ impl Bank {
         self.ecc.as_ref()?;
         let (word, wrapped) = self.ecc.as_mut().expect("checked above").cursor.advance();
         let span = self.word_span(word);
-        self.apply_retention(span.clone(), faults, true);
-        let (received, max_attempts, _, _) = self.sense_word(span.clone(), true);
+        self.apply_retention(span.clone(), faults, Stream::Scrub);
+        let (received, max_attempts, _, _) = self.sense_word(span.clone(), Stream::Scrub);
         if self.scheme.is_destructive() {
             self.snap_stuck_cells();
         }
-        self.apply_read_disturb(span.clone(), faults, true);
+        self.apply_read_disturb(span.clone(), faults, Stream::Scrub);
         if faults.has_soft_errors() {
             self.snap_stuck_cells();
         }
@@ -471,11 +698,10 @@ impl Bank {
     }
 
     /// Senses every cell of `span` once through the retry policy, on the
-    /// demand stream (`scrub == false`) or the scrub stream. Returns the
-    /// received word (bit `k` = cell `span.start + k`), the largest
-    /// per-cell attempt count, the total attempts, and whether any cell
-    /// fell back unconfidently.
-    fn sense_word(&mut self, span: Range<usize>, scrub: bool) -> (u64, u32, u64, bool) {
+    /// requesting stream's RNG. Returns the received word (bit `k` = cell
+    /// `span.start + k`), the largest per-cell attempt count, the total
+    /// attempts, and whether any cell fell back unconfidently.
+    fn sense_word(&mut self, span: Range<usize>, stream: Stream) -> (u64, u32, u64, bool) {
         let scheme = self.scheme;
         let retry = self.retry;
         let cols = self.array.cols();
@@ -486,10 +712,10 @@ impl Bank {
         for (k, cell) in span.enumerate() {
             let addr = Address::new(cell / cols, cell % cols);
             let array = &mut self.array;
-            let rng = if scrub {
-                &mut self.scrub_rng
-            } else {
-                &mut self.rng
+            let rng = match stream {
+                Stream::Demand => &mut self.rng,
+                Stream::Scrub => &mut self.scrub_rng,
+                Stream::March => &mut self.march_rng,
             };
             let resolution = retry.resolve(|| scheme.sense_once(array, addr, rng));
             max_attempts = max_attempts.max(resolution.attempts);
@@ -506,7 +732,7 @@ impl Bank {
     /// flips with the exponential-hazard probability of its idle span on
     /// the bank's busy-time clock, then has its clock reset. Draws nothing
     /// when retention faults are off.
-    fn apply_retention(&mut self, span: Range<usize>, faults: &FaultPlan, scrub: bool) {
+    fn apply_retention(&mut self, span: Range<usize>, faults: &FaultPlan, stream: Stream) {
         if faults.retention_rate_per_ns.is_none() {
             return;
         }
@@ -518,10 +744,10 @@ impl Bank {
             if p <= 0.0 {
                 continue;
             }
-            let rng = if scrub {
-                &mut self.scrub_rng
-            } else {
-                &mut self.fault_rng
+            let rng = match stream {
+                Stream::Demand => &mut self.fault_rng,
+                Stream::Scrub => &mut self.scrub_rng,
+                Stream::March => &mut self.march_rng,
             };
             if rng.gen_bool(p) {
                 let addr = Address::new(cell / cols, cell % cols);
@@ -534,16 +760,16 @@ impl Bank {
 
     /// Read disturb: after a sense, each cell of the victim span flips with
     /// the plan's per-read probability. Draws nothing when disabled.
-    fn apply_read_disturb(&mut self, span: Range<usize>, faults: &FaultPlan, scrub: bool) {
+    fn apply_read_disturb(&mut self, span: Range<usize>, faults: &FaultPlan, stream: Stream) {
         let Some(p) = faults.read_disturb_prob else {
             return;
         };
         let cols = self.array.cols();
         for cell in span {
-            let rng = if scrub {
-                &mut self.scrub_rng
-            } else {
-                &mut self.fault_rng
+            let rng = match stream {
+                Stream::Demand => &mut self.fault_rng,
+                Stream::Scrub => &mut self.scrub_rng,
+                Stream::March => &mut self.march_rng,
             };
             if rng.gen_bool(p) {
                 let addr = Address::new(cell / cols, cell % cols);
@@ -887,5 +1113,128 @@ mod tests {
         }
         assert_eq!(a.telemetry(), b.telemetry());
         assert_eq!(a.stored_bits(), b.stored_bits());
+    }
+
+    #[test]
+    fn transition_fault_silently_loses_the_failing_direction() {
+        let addr = Address::new(2, 6);
+        let faults = FaultPlan::none().with_transition_fault(0, addr, true);
+        let mut bank = small_bank(SchemeKind::Nondestructive, &faults);
+        // Falling writes are healthy (the fault is rising-only)...
+        bank.execute(&Transaction::write(0, addr, false), &faults);
+        assert_eq!(bank.telemetry().write_transition_faults, 0);
+        assert!(!bank.array.read_state(addr).bit());
+        // ...but the 0→1 transition is silently lost: one pulse charged,
+        // the array unchanged, the truth mirror fooled.
+        bank.execute(&Transaction::write(0, addr, true), &faults);
+        assert_eq!(bank.telemetry().write_transition_faults, 1);
+        assert!(
+            !bank.array.read_state(addr).bit(),
+            "the write must not land"
+        );
+        bank.execute(&Transaction::read(0, addr), &faults);
+        assert_eq!(bank.telemetry().misreads, 1, "the host sees stale data");
+        assert!(bank.audit_corrupted_bits() >= 1);
+    }
+
+    #[test]
+    fn backhopping_flips_a_completed_write() {
+        let addr = Address::new(5, 2);
+        let faults = FaultPlan::none().with_backhop(0, addr, 1.0);
+        let mut bank = small_bank(SchemeKind::Nondestructive, &faults);
+        bank.execute(&Transaction::write(0, addr, true), &faults);
+        assert_eq!(bank.telemetry().backhop_flips, 1);
+        assert!(
+            !bank.array.read_state(addr).bit(),
+            "a p=1 backhop must undo every completed write"
+        );
+        assert!(bank.audit_corrupted_bits() >= 1);
+    }
+
+    #[test]
+    fn state_coupling_forces_the_victim_on_aggressor_writes() {
+        // The 8×8 test array is one 64-bit word: aggressor bit 4 is cell
+        // (0,4), victim bit 11 is cell (1,3).
+        let aggressor = Address::new(0, 4);
+        let victim = Address::new(1, 3);
+        let faults = FaultPlan::none().with_coupling_fault(
+            0,
+            0,
+            4,
+            11,
+            CouplingKind::State {
+                aggressor_value: true,
+                victim_value: true,
+            },
+        );
+        let mut bank = small_bank(SchemeKind::Nondestructive, &faults);
+        bank.execute(&Transaction::write(0, victim, false), &faults);
+        let triggers_before = bank.telemetry().coupling_triggers;
+        bank.execute(&Transaction::write(0, aggressor, true), &faults);
+        assert_eq!(bank.telemetry().coupling_triggers, triggers_before + 1);
+        assert!(
+            bank.array.read_state(victim).bit(),
+            "the victim must be forced to the coupled value"
+        );
+        assert!(bank.audit_corrupted_bits() >= 1, "the host never wrote it");
+    }
+
+    #[test]
+    fn disturb_coupling_needs_a_non_transition_write_to_fire() {
+        let aggressor = Address::new(0, 4);
+        let victim = Address::new(1, 3);
+        let faults = FaultPlan::none().with_coupling_fault(
+            0,
+            0,
+            4,
+            11,
+            CouplingKind::Disturb { victim_value: true },
+        );
+        let mut bank = small_bank(SchemeKind::Nondestructive, &faults);
+        bank.execute(&Transaction::write(0, victim, false), &faults);
+        bank.execute(&Transaction::write(0, aggressor, false), &faults);
+        // The transition write 0→1 does not sensitise CFds...
+        bank.execute(&Transaction::write(0, aggressor, true), &faults);
+        assert_eq!(bank.telemetry().coupling_triggers, 0);
+        assert!(!bank.array.read_state(victim).bit());
+        // ...the non-transition w1 does.
+        bank.execute(&Transaction::write(0, aggressor, true), &faults);
+        assert_eq!(bank.telemetry().coupling_triggers, 1);
+        assert!(bank.array.read_state(victim).bit());
+    }
+
+    #[test]
+    fn a_pinhole_cell_senses_zero_under_every_scheme() {
+        let addr = Address::new(3, 2);
+        let faults = FaultPlan::none().with_pinhole(0, addr);
+        for kind in SchemeKind::ALL {
+            let mut bank = small_bank(kind, &faults);
+            // The write datapath works (verified by state read-back), but
+            // the collapsed TMR leaves nothing for the sense amp to see.
+            bank.execute(&Transaction::write(0, addr, true), &faults);
+            bank.execute(&Transaction::read(0, addr), &faults);
+            assert_eq!(
+                bank.telemetry().misreads,
+                1,
+                "{kind}: a stored 1 must sense as 0 through a pinhole"
+            );
+        }
+    }
+
+    #[test]
+    fn execute_march_op_attributes_failures_to_elements() {
+        let addr = Address::new(3, 3); // row-major cell 27
+        let faults = FaultPlan::none().with_stuck_cell(0, addr, false);
+        let mut bank = small_bank(SchemeKind::Nondestructive, &faults);
+        bank.execute_march_op(27, MarchOp::W(true), 1, &faults);
+        bank.execute_march_op(27, MarchOp::R(true), 1, &faults);
+        let march = &bank.telemetry().march;
+        assert_eq!(march.ops, 2);
+        assert_eq!((march.writes, march.reads), (1, 1));
+        assert_eq!(march.mismatches, 1, "a stuck-at-0 cell cannot read 1");
+        assert!(march.failing_cells.contains(&27));
+        assert_eq!(march.fail_log[0].element, 1);
+        assert!(!march.fail_log[0].got);
+        assert!(march.busy_time.get() > 0.0);
     }
 }

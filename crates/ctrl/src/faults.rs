@@ -31,6 +31,8 @@
 use serde::{Deserialize, Serialize};
 use stt_array::Address;
 
+use crate::reliability::WORD_BITS;
+
 /// A stuck-at defect on one cell of one bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StuckCell {
@@ -40,6 +42,89 @@ pub struct StuckCell {
     pub addr: Address,
     /// The value the cell is pinned to.
     pub value: bool,
+}
+
+/// A write transition fault (WTF) on one cell: the write pulse in one
+/// direction silently fails, so the cell keeps its old value while the
+/// controller believes the write succeeded (Wu et al. §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransitionFault {
+    /// Bank index.
+    pub bank: usize,
+    /// Cell address within the bank.
+    pub addr: Address,
+    /// Which transition fails: `true` = the 0→1 (rising) write is lost,
+    /// `false` = the 1→0 (falling) write is lost. Writes in the healthy
+    /// direction, and writes that do not transition, behave normally.
+    pub rising: bool,
+}
+
+/// Which intra-word coupling mechanism a [`CouplingFault`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CouplingKind {
+    /// State coupling fault (CFst): whenever a write leaves the aggressor
+    /// holding `aggressor_value`, the victim is forced to `victim_value`.
+    State {
+        /// The aggressor state that triggers the fault.
+        aggressor_value: bool,
+        /// The value forced onto the victim.
+        victim_value: bool,
+    },
+    /// Disturb coupling fault (CFds): a **non-transition `w1`** on the
+    /// aggressor (writing 1 onto a cell already holding 1) forces the
+    /// victim to `victim_value`. March C– never performs a non-transition
+    /// write after its initialisation element, so this is the class it
+    /// provably cannot sensitise; March SS's `…,w0,…`/`…,w1,…`
+    /// non-transition writes exist precisely to catch it.
+    Disturb {
+        /// The value forced onto the victim.
+        victim_value: bool,
+    },
+}
+
+/// An intra-word coupling defect between two bit positions of one ECC word
+/// (adjacent physical columns share write-line return paths; a short couples
+/// an aggressor cell's write to its neighbour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CouplingFault {
+    /// Bank index.
+    pub bank: usize,
+    /// ECC-word index within the bank (row-major groups of
+    /// [`crate::reliability::WORD_BITS`] cells).
+    pub word: usize,
+    /// Aggressor bit position within the word (`0..WORD_BITS`).
+    pub aggressor_bit: usize,
+    /// Victim bit position within the word (`0..WORD_BITS`, distinct from
+    /// the aggressor).
+    pub victim_bit: usize,
+    /// The coupling mechanism.
+    pub kind: CouplingKind,
+}
+
+/// A pinhole defect: an MgO-barrier short collapses the TMR, so the high
+/// state has neither resistance contrast nor roll-off contrast against the
+/// low state. Every sensing scheme reads the cell as "0" regardless of what
+/// was written — electrically a stuck-at-0 with a healthy-looking write
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PinholeCell {
+    /// Bank index.
+    pub bank: usize,
+    /// Cell address within the bank.
+    pub addr: Address,
+}
+
+/// A backhopping defect: the write pulse succeeds, but the free layer hops
+/// back to the opposite state with probability `prob` before the next
+/// access — a probabilistic write fault no single March pass can cover.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackhopCell {
+    /// Bank index.
+    pub bank: usize,
+    /// Cell address within the bank.
+    pub addr: Address,
+    /// Probability that a completed write flips back.
+    pub prob: f64,
 }
 
 /// What to inject while serving a trace.
@@ -61,6 +146,18 @@ pub struct FaultPlan {
     /// (`None` = no read disturb).
     #[serde(default)]
     pub read_disturb_prob: Option<f64>,
+    /// Write transition faults (per-direction silent write failures).
+    #[serde(default)]
+    pub transition_faults: Vec<TransitionFault>,
+    /// Intra-word coupling defects (CFst / CFds).
+    #[serde(default)]
+    pub coupling_faults: Vec<CouplingFault>,
+    /// Pinhole (TMR-collapse) defects.
+    #[serde(default)]
+    pub pinhole_cells: Vec<PinholeCell>,
+    /// Backhopping defects (probabilistic post-write flip-back).
+    #[serde(default)]
+    pub backhop_cells: Vec<BackhopCell>,
 }
 
 impl FaultPlan {
@@ -120,6 +217,103 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a write transition fault: the write in the failing direction
+    /// (`rising` = 0→1) silently leaves the cell unchanged.
+    #[must_use]
+    pub fn with_transition_fault(mut self, bank: usize, addr: Address, rising: bool) -> Self {
+        self.transition_faults
+            .push(TransitionFault { bank, addr, rising });
+        self
+    }
+
+    /// Adds an intra-word coupling defect between two bit positions of ECC
+    /// word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bit position is outside `0..WORD_BITS` or the
+    /// aggressor and victim coincide.
+    #[must_use]
+    pub fn with_coupling_fault(
+        mut self,
+        bank: usize,
+        word: usize,
+        aggressor_bit: usize,
+        victim_bit: usize,
+        kind: CouplingKind,
+    ) -> Self {
+        assert!(
+            aggressor_bit < WORD_BITS && victim_bit < WORD_BITS,
+            "coupling bit positions must be inside one {WORD_BITS}-bit word, \
+             got {aggressor_bit}/{victim_bit}"
+        );
+        assert_ne!(aggressor_bit, victim_bit, "a cell cannot couple to itself");
+        self.coupling_faults.push(CouplingFault {
+            bank,
+            word,
+            aggressor_bit,
+            victim_bit,
+            kind,
+        });
+        self
+    }
+
+    /// Adds a pinhole (TMR-collapse) defect.
+    #[must_use]
+    pub fn with_pinhole(mut self, bank: usize, addr: Address) -> Self {
+        self.pinhole_cells.push(PinholeCell { bank, addr });
+        self
+    }
+
+    /// Adds a backhopping defect with post-write flip-back probability
+    /// `prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_backhop(mut self, bank: usize, addr: Address, prob: f64) -> Self {
+        assert!(
+            prob.is_finite() && prob > 0.0 && prob <= 1.0,
+            "backhop probability must be in (0, 1], got {prob}"
+        );
+        self.backhop_cells.push(BackhopCell { bank, addr, prob });
+        self
+    }
+
+    /// Merges `other` into this plan, returning the combination.
+    ///
+    /// Scalar knobs (`power_cut_every`, `retention_rate_per_ns`,
+    /// `read_disturb_prob`) take `other`'s value when it is set. Defect
+    /// lists concatenate, except stuck cells where **the later plan wins**
+    /// on a (bank, address) conflict — composing a per-lot baseline with a
+    /// per-device patch must let the patch re-pin a cell.
+    #[must_use]
+    pub fn merge(mut self, other: Self) -> Self {
+        self.power_cut_every = other.power_cut_every.or(self.power_cut_every);
+        self.retention_rate_per_ns = other.retention_rate_per_ns.or(self.retention_rate_per_ns);
+        self.read_disturb_prob = other.read_disturb_prob.or(self.read_disturb_prob);
+        self.stuck_cells.extend(other.stuck_cells);
+        // Later stuck-cell wins: keep only the last entry per (bank, addr),
+        // preserving the order in which the surviving entries first settled.
+        let mut seen = Vec::new();
+        let mut kept = Vec::new();
+        for cell in self.stuck_cells.iter().rev() {
+            if seen.contains(&(cell.bank, cell.addr)) {
+                continue;
+            }
+            seen.push((cell.bank, cell.addr));
+            kept.push(*cell);
+        }
+        kept.reverse();
+        self.stuck_cells = kept;
+        self.transition_faults.extend(other.transition_faults);
+        self.coupling_faults.extend(other.coupling_faults);
+        self.pinhole_cells.extend(other.pinhole_cells);
+        self.backhop_cells.extend(other.backhop_cells);
+        self
+    }
+
     /// Probability that a cell idle for `idle_ns` nanoseconds of bank busy
     /// time has suffered a retention flip (0 when retention faults are off
     /// or the cell was just touched).
@@ -152,6 +346,34 @@ impl FaultPlan {
     /// The stuck cells of one bank.
     pub fn stuck_cells_of(&self, bank: usize) -> impl Iterator<Item = &StuckCell> + '_ {
         self.stuck_cells
+            .iter()
+            .filter(move |cell| cell.bank == bank)
+    }
+
+    /// The write transition faults of one bank.
+    pub fn transition_faults_of(&self, bank: usize) -> impl Iterator<Item = &TransitionFault> + '_ {
+        self.transition_faults
+            .iter()
+            .filter(move |fault| fault.bank == bank)
+    }
+
+    /// The coupling defects of one bank.
+    pub fn coupling_faults_of(&self, bank: usize) -> impl Iterator<Item = &CouplingFault> + '_ {
+        self.coupling_faults
+            .iter()
+            .filter(move |fault| fault.bank == bank)
+    }
+
+    /// The pinhole defects of one bank.
+    pub fn pinhole_cells_of(&self, bank: usize) -> impl Iterator<Item = &PinholeCell> + '_ {
+        self.pinhole_cells
+            .iter()
+            .filter(move |cell| cell.bank == bank)
+    }
+
+    /// The backhopping defects of one bank.
+    pub fn backhop_cells_of(&self, bank: usize) -> impl Iterator<Item = &BackhopCell> + '_ {
+        self.backhop_cells
             .iter()
             .filter(move |cell| cell.bank == bank)
     }
@@ -213,5 +435,130 @@ mod tests {
         assert_eq!(plan.stuck_cells_of(0).count(), 2);
         assert_eq!(plan.stuck_cells_of(1).count(), 0);
         assert_eq!(plan.stuck_cells_of(2).count(), 1);
+    }
+
+    #[test]
+    fn defect_library_filters_by_bank() {
+        let plan = FaultPlan::none()
+            .with_transition_fault(0, Address::new(1, 2), true)
+            .with_transition_fault(1, Address::new(1, 2), false)
+            .with_coupling_fault(
+                0,
+                3,
+                5,
+                6,
+                CouplingKind::State {
+                    aggressor_value: true,
+                    victim_value: false,
+                },
+            )
+            .with_pinhole(1, Address::new(4, 4))
+            .with_backhop(0, Address::new(7, 7), 0.5);
+        assert_eq!(plan.transition_faults_of(0).count(), 1);
+        assert_eq!(plan.transition_faults_of(1).count(), 1);
+        assert_eq!(plan.coupling_faults_of(0).count(), 1);
+        assert_eq!(plan.coupling_faults_of(1).count(), 0);
+        assert_eq!(plan.pinhole_cells_of(1).count(), 1);
+        assert_eq!(plan.backhop_cells_of(0).count(), 1);
+        assert!(plan.transition_faults_of(0).next().unwrap().rising);
+    }
+
+    #[test]
+    #[should_panic(expected = "couple to itself")]
+    fn coupling_rejects_self_coupling() {
+        let _ = FaultPlan::none().with_coupling_fault(
+            0,
+            0,
+            3,
+            3,
+            CouplingKind::Disturb { victim_value: true },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "backhop probability")]
+    fn backhop_rejects_bad_probability() {
+        let _ = FaultPlan::none().with_backhop(0, Address::new(0, 0), 0.0);
+    }
+
+    #[test]
+    fn merge_later_stuck_cell_wins() {
+        let base = FaultPlan::none()
+            .with_stuck_cell(0, Address::new(1, 1), true)
+            .with_stuck_cell(0, Address::new(2, 2), true)
+            .with_power_cut_every(100);
+        let patch = FaultPlan::none()
+            .with_stuck_cell(0, Address::new(1, 1), false)
+            .with_stuck_cell(1, Address::new(1, 1), true)
+            .with_retention_rate(1e-6);
+        let merged = base.merge(patch);
+        assert_eq!(merged.stuck_cells.len(), 3);
+        let repinned = merged
+            .stuck_cells_of(0)
+            .find(|c| c.addr == Address::new(1, 1))
+            .expect("cell survives the merge");
+        assert!(!repinned.value, "the later plan re-pins the cell to 0");
+        assert_eq!(merged.power_cut_every, Some(100));
+        assert_eq!(merged.retention_rate_per_ns, Some(1e-6));
+    }
+
+    #[test]
+    fn merge_concatenates_defect_lists_and_prefers_later_scalars() {
+        let base = FaultPlan::none()
+            .with_power_cut_every(50)
+            .with_transition_fault(0, Address::new(0, 0), true);
+        let patch = FaultPlan::none()
+            .with_power_cut_every(75)
+            .with_transition_fault(0, Address::new(0, 1), false)
+            .with_pinhole(0, Address::new(2, 2))
+            .with_backhop(0, Address::new(3, 3), 0.25);
+        let merged = base.merge(patch);
+        assert_eq!(merged.power_cut_every, Some(75), "later scalar wins");
+        assert_eq!(merged.transition_faults.len(), 2);
+        assert_eq!(merged.pinhole_cells.len(), 1);
+        assert_eq!(merged.backhop_cells.len(), 1);
+        // Merging a quiet plan changes nothing.
+        let merged_again = merged.clone().merge(FaultPlan::none());
+        assert_eq!(merged_again, merged);
+    }
+
+    #[test]
+    fn retention_probability_edge_cases_stay_in_unit_interval() {
+        // rate = 0 (constructed directly — the builder rejects it as a
+        // degenerate knob) must behave like "no retention faults".
+        let zero_rate = FaultPlan {
+            retention_rate_per_ns: Some(0.0),
+            ..FaultPlan::none()
+        };
+        assert_eq!(zero_rate.retention_flip_prob(1e12), 0.0);
+        let plan = FaultPlan::none().with_retention_rate(1e-6);
+        assert_eq!(plan.retention_flip_prob(0.0), 0.0);
+        assert_eq!(
+            plan.retention_flip_prob(-1.0),
+            0.0,
+            "negative idle is no idle"
+        );
+        assert_eq!(plan.retention_flip_prob(f64::INFINITY), 1.0);
+        assert!(plan.retention_flip_prob(1e300) <= 1.0);
+    }
+
+    mod retention_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_retention_flip_prob_is_a_probability(
+                rate in 1e-12f64..1.0,
+                idle_ns in 0.0..1e30f64,
+            ) {
+                let plan = FaultPlan::none().with_retention_rate(rate);
+                let p = plan.retention_flip_prob(idle_ns);
+                prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+                // More idle time never lowers the flip probability.
+                let p_half = plan.retention_flip_prob(idle_ns / 2.0);
+                prop_assert!(p_half <= p);
+            }
+        }
     }
 }

@@ -19,6 +19,10 @@
 //!   serially or on one scoped thread per bank, bit-identically.
 //! * [`reliability`] — the (72,64) SECDED codec, background-scrub plumbing,
 //!   and the fault-injection campaign harness.
+//! * [`march`] — the manufacturing-test subsystem: March algorithms
+//!   (C–, SS) as data, lowered onto the real banks serially, sharded, or
+//!   as [`PriorityClass::Test`] frontend traffic, plus escape-rate
+//!   campaigns over the extended defect library.
 //! * [`sched`] — the event-driven request frontend: timestamped arrivals,
 //!   bounded per-bank queues with backpressure, pluggable dispatch
 //!   policies, a background scrub daemon, queueing-delay telemetry.
@@ -66,6 +70,7 @@ pub mod bank;
 pub mod engine;
 pub mod faults;
 pub mod hierarchy;
+pub mod march;
 pub mod reliability;
 pub mod retry;
 pub mod sched;
@@ -76,24 +81,30 @@ pub mod workload;
 
 pub use bank::Bank;
 pub use engine::{Controller, ControllerConfig, Dispatch};
-pub use faults::{FaultPlan, StuckCell};
+pub use faults::{
+    BackhopCell, CouplingFault, CouplingKind, FaultPlan, PinholeCell, StuckCell, TransitionFault,
+};
 pub use hierarchy::{
     BankCoord, BusTiming, Chip, ChipConfig, ChipRun, ChipTelemetry, ClosedLoopSource, Geometry,
     GeometryParseError, GeometryParseErrorKind, Interleave, InterleavePolicy, PhysAddr,
     ShardDispatch, Topology,
+};
+pub use march::{
+    march_c_minus, march_ss, run_escape_campaign, run_march, EscapeRow, FaultClass, MarchAlgorithm,
+    MarchCampaignConfig, MarchOp, MarchProgram, MarchStep, PlantedDefect,
 };
 pub use reliability::{
     run_campaign, CampaignConfig, CampaignRow, EccMode, FaultIntensity, Protection, ScrubConfig,
 };
 pub use retry::{ReadResolution, RetryPolicy};
 pub use sched::{
-    Backpressure, Completion, CompletionLog, Frontend, FrontendConfig, Policy, PriorityClass,
-    SchedRun,
+    Backpressure, Completion, CompletionLog, Frontend, FrontendConfig, MarchConfig, Policy,
+    PriorityClass, SchedRun,
 };
 pub use sense::{Scheme, Sensed};
 pub use telemetry::{
-    rollup_by, BankTelemetry, ChannelTelemetry, EccTelemetry, LatencyBounds, QueueTelemetry,
-    SojournStats, Telemetry,
+    rollup_by, BankTelemetry, ChannelTelemetry, EccTelemetry, LatencyBounds, MarchFail,
+    MarchTelemetry, QueueTelemetry, SojournStats, Telemetry,
 };
 pub use txn::{
     Op, Trace, TraceBinaryError, TraceParseError, TraceParseErrorKind, TraceView, Transaction,

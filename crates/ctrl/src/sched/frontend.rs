@@ -27,6 +27,7 @@ use crate::alloc_probe;
 use crate::bank::Bank;
 use crate::engine::Controller;
 use crate::faults::FaultPlan;
+use crate::march::{MarchAlgorithm, MarchStep};
 use crate::reliability::ScrubConfig;
 use crate::telemetry::{QueueTelemetry, SojournStats, Telemetry};
 use crate::txn::{Op, Transaction, TxnSource};
@@ -51,6 +52,29 @@ pub enum Backpressure {
     },
 }
 
+/// Configuration of the March manufacturing-test traffic source.
+///
+/// When present, [`Frontend::run`] lowers the algorithm once and drives the
+/// schedule through every bank as [`PriorityClass::Test`] traffic: test
+/// operations run only in demand-idle gaps (demand always outranks the
+/// tester), outrank the scrub daemon, and are non-preemptive once started —
+/// an in-flight test op finishes before a newly arrived demand transaction
+/// is served. The full test re-runs on every `run` call; verdicts accumulate
+/// in each bank's [`MarchTelemetry`](crate::telemetry::MarchTelemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarchConfig {
+    /// Which March algorithm to run.
+    pub algorithm: MarchAlgorithm,
+}
+
+impl MarchConfig {
+    /// A test pass of `algorithm` over every bank.
+    #[must_use]
+    pub fn new(algorithm: MarchAlgorithm) -> Self {
+        Self { algorithm }
+    }
+}
+
 /// Configuration of the scheduler frontend.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FrontendConfig {
@@ -66,6 +90,10 @@ pub struct FrontendConfig {
     /// wrapped controller to run with ECC.
     #[serde(default)]
     pub scrub: Option<ScrubConfig>,
+    /// March manufacturing-test traffic source (see [`MarchConfig`]): a
+    /// [`PriorityClass::Test`] citizen between demand and scrub.
+    #[serde(default)]
+    pub march: Option<MarchConfig>,
     /// Retain raw per-completion sojourn samples
     /// ([`SojournStats::Exact`]) instead of the default fixed-memory
     /// streaming quantile estimators. Exact mode grows telemetry by one
@@ -85,6 +113,7 @@ impl FrontendConfig {
             policy: Policy::Fcfs,
             backpressure: Backpressure::Stall,
             scrub: None,
+            march: None,
             exact_sojourn: false,
         }
     }
@@ -101,6 +130,13 @@ impl FrontendConfig {
     #[must_use]
     pub fn with_scrub(mut self, scrub: ScrubConfig) -> Self {
         self.scrub = Some(scrub);
+        self
+    }
+
+    /// Enables the March manufacturing-test traffic source.
+    #[must_use]
+    pub fn with_march(mut self, march: MarchConfig) -> Self {
+        self.march = Some(march);
         self
     }
 
@@ -357,6 +393,75 @@ enum Event {
     Scrub { bank: usize },
     /// A bank finished an in-flight word-scrub.
     ScrubComplete { bank: usize },
+    /// Offer `bank` its next March-test operation. Served when the lane is
+    /// idle and no demand waits (strict [`PriorityClass`] order); deferred
+    /// (and counted) otherwise, to be re-kicked by the next completion.
+    March { bank: usize },
+    /// A bank finished an in-flight March-test operation.
+    MarchComplete { bank: usize },
+}
+
+/// Run state of the March traffic source: one lowered schedule shared by
+/// every bank, plus per-bank progress cursors. The schedule is lowered once
+/// per [`Frontend::run`] call, so every run replays the full test.
+struct MarchSource {
+    /// The lowered program (empty when no [`MarchConfig`] is set).
+    steps: Vec<MarchStep>,
+    /// Next step index per bank.
+    cursor: Vec<usize>,
+    /// Whether an [`Event::March`] for the bank is already in the heap
+    /// (at most one per bank, like the scrub daemon's tick).
+    kicked: Vec<bool>,
+    /// Steps not yet executed across all banks; the scrub daemon stays
+    /// alive — and the event loop keeps running — while this is non-zero.
+    remaining: usize,
+}
+
+impl MarchSource {
+    fn new(config: Option<MarchConfig>, capacity_bits: usize, bank_count: usize) -> Self {
+        let steps = match config {
+            Some(march) => {
+                let cells = u32::try_from(capacity_bits)
+                    .expect("bank capacity must fit March cell indices");
+                march.algorithm.program().lower(cells)
+            }
+            None => Vec::new(),
+        };
+        Self {
+            remaining: steps.len() * bank_count,
+            cursor: vec![0; bank_count],
+            kicked: vec![false; bank_count],
+            steps,
+        }
+    }
+
+    /// `true` while the bank has March steps left to run.
+    fn waiting(&self, bank: usize) -> bool {
+        self.cursor[bank] < self.steps.len()
+    }
+}
+
+/// Schedules `bank`'s next March offer at `now` if steps remain, none is
+/// already pending, and the lane is idle — called wherever the lane may
+/// have just gone idle (every completion flavour). A ready test op that
+/// finds the lane re-occupied (demand won arbitration at this completion)
+/// counts as one deferral.
+fn kick_march(
+    march: &mut MarchSource,
+    lane: &mut Lane,
+    events: &mut EventQueue<Event>,
+    bank: usize,
+    now: f64,
+) {
+    if !march.waiting(bank) || march.kicked[bank] {
+        return;
+    }
+    if lane.in_service.is_some() || lane.scrub_busy || lane.march_busy {
+        lane.stats.march_deferred += 1;
+        return;
+    }
+    march.kicked[bank] = true;
+    events.schedule(now, Event::March { bank });
 }
 
 /// An admission blocked on a full queue under [`Backpressure::Stall`].
@@ -484,10 +589,12 @@ impl Frontend {
             policy,
             backpressure,
             scrub,
+            march,
             exact_sojourn,
         } = self.config;
         let faults = self.controller.config().faults.clone();
         let bank_count = self.controller.config().banks;
+        let capacity_bits = self.controller.config().spec.capacity_bits();
         let n = trace.len();
 
         // One validation pass tripling as a monotonicity probe (so the
@@ -531,6 +638,7 @@ impl Frontend {
         let fast_path = matches!(policy, Policy::Fcfs)
             && queue_depth == usize::MAX
             && scrub.is_none()
+            && march.is_none()
             && bank_count <= FAST_PATH_MAX_BANKS;
         // Lane arenas sized to the deepest each queue can get this run (a
         // lane can only ever hold its own bank's transactions); the retry
@@ -578,20 +686,29 @@ impl Frontend {
         }
 
         // In flight at any instant: one fresh arrival, per bank one
-        // completion + one scrub tick + one scrub completion, plus at most
-        // one re-offer per parked transaction.
+        // completion + one scrub tick + one scrub completion + one March
+        // offer or completion, plus at most one re-offer per parked
+        // transaction.
         let mut events: EventQueue<Event> =
-            EventQueue::with_capacity(if retrying { n } else { 0 } + 3 * bank_count + 4);
+            EventQueue::with_capacity(if retrying { n } else { 0 } + 4 * bank_count + 4);
         let mut cursor = 0usize;
         let mut stalled: Option<StalledAdmission> = None;
         // Demand transactions not yet completed or dropped. The scrub
-        // daemon's ticks reschedule themselves only while this is non-zero,
-        // so the event loop terminates as soon as demand drains.
+        // daemon's ticks reschedule themselves only while this (or the
+        // March backlog) is non-zero, so the event loop terminates as soon
+        // as demand and test traffic drain.
         let mut unfinished = n;
+        let mut march = MarchSource::new(march, capacity_bits, bank_count);
 
         schedule_fresh(&mut events, &order, trace, &mut cursor, 0.0);
+        for bank in 0..bank_count {
+            if march.waiting(bank) {
+                march.kicked[bank] = true;
+                events.schedule(0.0, Event::March { bank });
+            }
+        }
         if let Some(scrub) = scrub {
-            if unfinished > 0 {
+            if unfinished > 0 || march.remaining > 0 {
                 for bank in 0..bank_count {
                     events.schedule(scrub.interval_ns, Event::Scrub { bank });
                 }
@@ -606,7 +723,11 @@ impl Frontend {
                     let txn = trace.get(trace_index);
                     let lane = &mut lanes[txn.bank];
                     let mut advance_stream = fresh;
-                    if lane.in_service.is_none() && !lane.scrub_busy && lane.queue.is_empty() {
+                    if lane.in_service.is_none()
+                        && !lane.scrub_busy
+                        && !lane.march_busy
+                        && lane.queue.is_empty()
+                    {
                         // Idle bank, empty queue: straight into service.
                         lane.stats.admitted += 1;
                         let queued = Queued {
@@ -684,6 +805,7 @@ impl Frontend {
                             lane.stats.stall_time_ns += now - blocked.offered_ns;
                             if lane.in_service.is_none()
                                 && !lane.scrub_busy
+                                && !lane.march_busy
                                 && lane.queue.is_empty()
                             {
                                 lane.stats.admitted += 1;
@@ -704,19 +826,25 @@ impl Frontend {
                             schedule_fresh(&mut events, &order, trace, &mut cursor, now);
                         }
                     }
+                    kick_march(&mut march, &mut lanes[bank], &mut events, bank, now);
                 }
                 Event::Scrub { bank } => {
-                    // The daemon dies with the demand stream: no reschedule
-                    // once everything completed or dropped, so the loop
-                    // drains. (An idle tick also leaves the makespan alone.)
-                    if unfinished == 0 {
+                    // The daemon dies with the demand and test streams: no
+                    // reschedule once everything completed or dropped, so
+                    // the loop drains. (An idle tick also leaves the
+                    // makespan alone.)
+                    if unfinished == 0 && march.remaining == 0 {
                         continue;
                     }
                     let interval_ns = scrub.expect("scrub event without scrub config").interval_ns;
                     let lane = &mut lanes[bank];
-                    let busy = lane.in_service.is_some() || lane.scrub_busy;
-                    if busy || policy.arbitrate(!lane.queue.is_empty()) == PriorityClass::Demand {
-                        // Demand preempts at arbitration: skip this tick.
+                    let busy = lane.in_service.is_some() || lane.scrub_busy || lane.march_busy;
+                    if busy
+                        || policy.arbitrate3(!lane.queue.is_empty(), march.waiting(bank))
+                            != PriorityClass::Background
+                    {
+                        // Demand and test traffic preempt at arbitration:
+                        // skip this tick.
                         lane.stats.scrub_deferred += 1;
                     } else {
                         let served = &mut banks[bank];
@@ -736,10 +864,52 @@ impl Frontend {
                     lane.scrub_busy = false;
                     try_dispatch(lane, &mut banks[bank], &faults, &mut events, policy, now);
                     wake_parked(lane, &mut events, backpressure, now);
+                    kick_march(&mut march, &mut lanes[bank], &mut events, bank, now);
+                }
+                Event::March { bank } => {
+                    march.kicked[bank] = false;
+                    if !march.waiting(bank) {
+                        continue;
+                    }
+                    let lane = &mut lanes[bank];
+                    let busy = lane.in_service.is_some() || lane.scrub_busy || lane.march_busy;
+                    if busy
+                        || policy.arbitrate3(!lane.queue.is_empty(), true) != PriorityClass::Test
+                    {
+                        // Whatever occupies the lane re-kicks the test when
+                        // it completes (a non-empty queue implies a busy
+                        // lane, so a completion is always pending here).
+                        lane.stats.march_deferred += 1;
+                        continue;
+                    }
+                    end_ns = end_ns.max(now);
+                    let step = march.steps[march.cursor[bank]];
+                    march.cursor[bank] += 1;
+                    march.remaining -= 1;
+                    let served = &mut banks[bank];
+                    let busy_before = served.telemetry().march.busy_time;
+                    served.execute_march_op(step.cell, step.op, step.element, &faults);
+                    let service_ns = (served.telemetry().march.busy_time - busy_before).get() * 1e9;
+                    lane.march_busy = true;
+                    events.schedule(now + service_ns, Event::MarchComplete { bank });
+                }
+                Event::MarchComplete { bank } => {
+                    end_ns = end_ns.max(now);
+                    let lane = &mut lanes[bank];
+                    debug_assert!(lane.march_busy, "march completion without march op");
+                    lane.march_busy = false;
+                    try_dispatch(lane, &mut banks[bank], &faults, &mut events, policy, now);
+                    wake_parked(lane, &mut events, backpressure, now);
+                    kick_march(&mut march, &mut lanes[bank], &mut events, bank, now);
                 }
             }
         }
         let steady_state_allocs = alloc_probe::count() - allocs_before;
+
+        debug_assert_eq!(
+            march.remaining, 0,
+            "event loop drained with March steps pending"
+        );
 
         debug_assert!(
             stalled.is_none(),
@@ -760,6 +930,7 @@ impl Frontend {
     ) -> SchedRun {
         for lane in &mut lanes {
             debug_assert!(lane.queue.is_empty() && lane.in_service.is_none() && !lane.scrub_busy);
+            debug_assert!(!lane.march_busy, "drained loop left a March op in flight");
             debug_assert!(lane.parked.is_empty(), "drained loop left parked retries");
             lane.flush_occupancy(end_ns);
             lane.stats.horizon_ns = end_ns;
@@ -1075,7 +1246,7 @@ fn try_dispatch(
     policy: Policy,
     now: f64,
 ) {
-    if lane.in_service.is_some() || lane.scrub_busy {
+    if lane.in_service.is_some() || lane.scrub_busy || lane.march_busy {
         return;
     }
     let Some(index) = policy.choose(&mut lane.queue) else {
@@ -1324,6 +1495,64 @@ mod tests {
         let _ = Frontend::new(
             Controller::new(config),
             FrontendConfig::fcfs_unbounded().with_scrub(ScrubConfig::every_ns(100.0)),
+        );
+    }
+
+    #[test]
+    fn march_source_drains_with_an_empty_trace() {
+        let config = ControllerConfig::small(SchemeKind::Nondestructive, 2).with_seed(5);
+        let cells = config.spec.capacity_bits() as u64;
+        let mut frontend = Frontend::new(
+            Controller::new(config),
+            FrontendConfig::fcfs_unbounded().with_march(MarchConfig::new(MarchAlgorithm::CMinus)),
+        );
+        let run = frontend.run(&Trace::new());
+        let aggregate = run.telemetry.aggregate();
+        assert_eq!(aggregate.march.ops, 2 * 10 * cells, "both banks, 10n each");
+        assert_eq!(aggregate.march.mismatches, 0, "healthy cells must pass");
+        assert!(run.makespan_ns > 0.0, "test time is the makespan");
+        assert_eq!(run.completions.len(), 0, "no demand was offered");
+    }
+
+    #[test]
+    fn march_defers_to_demand_and_still_finishes() {
+        let controller_config = ControllerConfig::small(SchemeKind::Nondestructive, 2).with_seed(5);
+        let cells = controller_config.spec.capacity_bits() as u64;
+        // 1 ns gaps against ~14 ns reads: a demand transaction is always
+        // waiting, so every test op runs strictly in a demand-idle gap.
+        let trace = timed_trace(&controller_config, 200, 1.0);
+        let mut frontend = Frontend::new(
+            Controller::new(controller_config),
+            FrontendConfig::fcfs_unbounded().with_march(MarchConfig::new(MarchAlgorithm::CMinus)),
+        );
+        let run = frontend.run(&trace);
+        let aggregate = run.telemetry.aggregate();
+        assert_eq!(aggregate.queue.completed, 200, "test must not lose demand");
+        assert_eq!(
+            aggregate.march.ops,
+            2 * 10 * cells,
+            "the full test still ran"
+        );
+        assert!(
+            aggregate.queue.march_deferred > 0,
+            "saturation must defer test ops"
+        );
+    }
+
+    #[test]
+    fn march_outranks_scrub_in_idle_gaps() {
+        let controller_config = ControllerConfig::small(SchemeKind::Nondestructive, 2)
+            .with_ecc(EccMode::Secded)
+            .with_seed(5);
+        let config = FrontendConfig::fcfs_unbounded()
+            .with_scrub(ScrubConfig::every_ns(50.0))
+            .with_march(MarchConfig::new(MarchAlgorithm::Ss));
+        let run = Frontend::new(Controller::new(controller_config), config).run(&Trace::new());
+        let aggregate = run.telemetry.aggregate();
+        assert!(aggregate.march.ops > 0, "the test ran");
+        assert!(
+            aggregate.queue.scrub_deferred > 0,
+            "back-to-back test ops leave scrub no gap"
         );
     }
 

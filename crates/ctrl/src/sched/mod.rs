@@ -18,12 +18,15 @@
 //!   per-address ordering rule every policy must obey.
 //! * [`Policy`] — pluggable dispatch: FCFS, read-priority with write
 //!   draining, oldest-first anti-starvation — plus the [`PriorityClass`]
-//!   arbitration hook between demand and background traffic.
+//!   arbitration hook among demand, test and background traffic.
 //! * [`Frontend`] — the engine tying them together over a
 //!   [`Controller`](crate::Controller), with [`Backpressure`] (stall, drop,
 //!   retry) when queues fill, an optional background scrub daemon
 //!   ([`ScrubConfig`](crate::reliability::ScrubConfig)) that repairs
-//!   correctable errors in lane-idle gaps, and queueing telemetry
+//!   correctable errors in lane-idle gaps, an optional March
+//!   manufacturing-test source ([`MarchConfig`]) that drives
+//!   [`march`](crate::march) programs through the banks between demand
+//!   and scrub in priority, and queueing telemetry
 //!   ([`QueueTelemetry`](crate::QueueTelemetry)) the serial replay path
 //!   cannot measure.
 //!
@@ -40,7 +43,8 @@ pub mod queue;
 
 pub use event::EventQueue;
 pub use frontend::{
-    Backpressure, Completion, CompletionIter, CompletionLog, Frontend, FrontendConfig, SchedRun,
+    Backpressure, Completion, CompletionIter, CompletionLog, Frontend, FrontendConfig, MarchConfig,
+    SchedRun,
 };
 pub use policy::{Policy, PriorityClass};
 pub use queue::{BankQueue, Queued};

@@ -22,20 +22,24 @@ use serde::{Deserialize, Serialize};
 
 use super::queue::BankQueue;
 
-/// The two traffic classes a bank lane arbitrates between.
+/// The traffic classes a bank lane arbitrates between.
 ///
-/// Demand traffic is the host's reads and writes; background traffic is
-/// currently the scrub daemon's word re-reads (see
-/// [`ScrubConfig`](crate::reliability::ScrubConfig)). The class is strict:
-/// every built-in [`Policy`] is work-conserving for demand, so background
-/// work runs only in lane-idle gaps and demand *preempts it at arbitration*
-/// — an in-progress background operation finishes (the service stage is not
-/// interruptible, like a real array access), but no new one starts while
-/// demand waits.
+/// Demand traffic is the host's reads and writes; test traffic is the
+/// March harness's lowered operations (see
+/// [`MarchConfig`](crate::sched::MarchConfig)); background traffic is the
+/// scrub daemon's word re-reads (see
+/// [`ScrubConfig`](crate::reliability::ScrubConfig)). The ordering is
+/// strict: every built-in [`Policy`] is work-conserving for demand, test
+/// work runs in lane-idle gaps, and scrub runs only when neither demand
+/// nor test work waits — an in-progress operation of any class finishes
+/// (the service stage is not interruptible, like a real array access), but
+/// no lower-class one starts while a higher class waits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PriorityClass {
     /// Host reads and writes.
     Demand,
+    /// Manufacturing-test traffic (March operations).
+    Test,
     /// Best-effort maintenance traffic (scrub).
     Background,
 }
@@ -75,6 +79,22 @@ impl Policy {
     pub fn arbitrate(&self, demand_waiting: bool) -> PriorityClass {
         if demand_waiting {
             PriorityClass::Demand
+        } else {
+            PriorityClass::Background
+        }
+    }
+
+    /// Three-way arbitration among demand, March-test and scrub work:
+    /// demand always wins, test work runs in demand-idle gaps, scrub only
+    /// when the lane is otherwise idle. [`Policy::arbitrate`] remains the
+    /// two-class view (test absent), so existing callers see identical
+    /// behaviour.
+    #[must_use]
+    pub fn arbitrate3(&self, demand_waiting: bool, test_waiting: bool) -> PriorityClass {
+        if demand_waiting {
+            PriorityClass::Demand
+        } else if test_waiting {
+            PriorityClass::Test
         } else {
             PriorityClass::Background
         }
@@ -216,6 +236,15 @@ mod tests {
             assert_eq!(policy.arbitrate(true), PriorityClass::Demand);
             assert_eq!(policy.arbitrate(false), PriorityClass::Background);
         }
+    }
+
+    #[test]
+    fn three_way_arbitration_is_strict() {
+        let policy = Policy::Fcfs;
+        assert_eq!(policy.arbitrate3(true, true), PriorityClass::Demand);
+        assert_eq!(policy.arbitrate3(true, false), PriorityClass::Demand);
+        assert_eq!(policy.arbitrate3(false, true), PriorityClass::Test);
+        assert_eq!(policy.arbitrate3(false, false), PriorityClass::Background);
     }
 
     #[test]

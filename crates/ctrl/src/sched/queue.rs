@@ -195,6 +195,9 @@ pub(crate) struct Lane {
     /// A word-scrub occupies the service stage (mutually exclusive with
     /// `in_service`; scrub is non-preemptive once started).
     pub(crate) scrub_busy: bool,
+    /// A March-test operation occupies the service stage (mutually
+    /// exclusive with both of the above; test ops are non-preemptive too).
+    pub(crate) march_busy: bool,
     pub(crate) last_change_ns: f64,
     pub(crate) stats: QueueTelemetry,
     /// Retry-backpressure waitlist (empty except under `Retry`).
@@ -211,6 +214,7 @@ impl Lane {
             queue: BankQueue::with_capacity_hint(queue_depth, hint),
             in_service: None,
             scrub_busy: false,
+            march_busy: false,
             last_change_ns: 0.0,
             stats: QueueTelemetry::default(),
             parked: VecDeque::new(),

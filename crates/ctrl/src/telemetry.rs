@@ -329,6 +329,10 @@ pub struct QueueTelemetry {
     /// (background priority: demand always preempts at arbitration).
     #[serde(default)]
     pub scrub_deferred: u64,
+    /// March-test dispatch attempts that found the bank busy or demand
+    /// waiting and yielded (test priority: below demand, above scrub).
+    #[serde(default)]
+    pub march_deferred: u64,
 }
 
 impl QueueTelemetry {
@@ -387,6 +391,7 @@ impl QueueTelemetry {
         self.wait_ns.merge(&other.wait_ns);
         self.sojourn.merge(&other.sojourn);
         self.scrub_deferred += other.scrub_deferred;
+        self.march_deferred += other.march_deferred;
     }
 }
 
@@ -522,6 +527,83 @@ impl EccTelemetry {
     }
 }
 
+/// One entry of a bank's March-test fail log: a read element whose
+/// delivered bit disagreed with the value the algorithm expected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarchFail {
+    /// Row-major cell index within the bank.
+    pub cell: u32,
+    /// Index of the March element (0-based) whose read caught the fault.
+    pub element: u8,
+    /// The bit the element expected.
+    pub expected: bool,
+    /// The bit the sensing path delivered.
+    pub got: bool,
+}
+
+/// March-test verdicts for one bank, filled only while a
+/// [`MarchProgram`](crate::march::MarchProgram) runs against it (all zero
+/// otherwise). Every verdict comes from the real sensing path —
+/// [`Bank`](crate::bank) serves each March read through the configured
+/// scheme (and ECC word path when enabled), so a mismatch here is a fault
+/// the production read path actually delivered to the tester.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MarchTelemetry {
+    /// March operations executed (reads + writes).
+    pub ops: u64,
+    /// March read operations executed.
+    pub reads: u64,
+    /// March write operations executed.
+    pub writes: u64,
+    /// Read elements whose delivered bit disagreed with the expectation.
+    pub mismatches: u64,
+    /// Distinct cells (row-major indices) with at least one mismatch — the
+    /// tester's fail bitmap, deduplicated.
+    pub failing_cells: std::collections::BTreeSet<u32>,
+    /// Per-mismatch detail log, capped at [`ERROR_LOG_CAP`] entries.
+    pub fail_log: Vec<MarchFail>,
+    /// Mismatches that no longer fit in the log.
+    pub fail_log_dropped: u64,
+    /// Bank-occupancy time spent on March operations. Separate from
+    /// [`BankTelemetry::busy_time`] for the same reason scrub time is: the
+    /// demand busy clock doubles as the retention-decay clock, and test
+    /// traffic must not accelerate the decay it is screening for.
+    pub busy_time: Seconds,
+}
+
+impl MarchTelemetry {
+    /// Records one read-verdict mismatch.
+    pub fn record_mismatch(&mut self, cell: u32, element: u8, expected: bool, got: bool) {
+        self.mismatches += 1;
+        self.failing_cells.insert(cell);
+        if self.fail_log.len() < ERROR_LOG_CAP {
+            self.fail_log.push(MarchFail {
+                cell,
+                element,
+                expected,
+                got,
+            });
+        } else {
+            self.fail_log_dropped += 1;
+        }
+    }
+
+    /// Folds another bank's March verdicts into this one.
+    pub fn merge(&mut self, other: &MarchTelemetry) {
+        self.ops += other.ops;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.mismatches += other.mismatches;
+        self.failing_cells
+            .extend(other.failing_cells.iter().copied());
+        let room = ERROR_LOG_CAP.saturating_sub(self.fail_log.len());
+        let taken = room.min(other.fail_log.len());
+        self.fail_log.extend_from_slice(&other.fail_log[..taken]);
+        self.fail_log_dropped += other.fail_log_dropped + (other.fail_log.len() - taken) as u64;
+        self.busy_time += other.busy_time;
+    }
+}
+
 /// Counters for one bank.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BankTelemetry {
@@ -551,6 +633,18 @@ pub struct BankTelemetry {
     /// [`FaultPlan::read_disturb_prob`](crate::FaultPlan)).
     #[serde(default)]
     pub read_disturb_flips: u64,
+    /// Writes silently swallowed by a write transition fault (see
+    /// [`TransitionFault`](crate::TransitionFault)).
+    #[serde(default)]
+    pub write_transition_faults: u64,
+    /// Completed writes undone by a backhopping flip (see
+    /// [`BackhopCell`](crate::BackhopCell)).
+    #[serde(default)]
+    pub backhop_flips: u64,
+    /// Victim-cell overwrites triggered by intra-word coupling defects (see
+    /// [`CouplingFault`](crate::CouplingFault)).
+    #[serde(default)]
+    pub coupling_triggers: u64,
     /// Completed-read latency in nanoseconds (retries included).
     pub read_latency_ns: Summary,
     /// Completed-read latency histogram (nanoseconds); out-of-range samples
@@ -568,6 +662,10 @@ pub struct BankTelemetry {
     /// is off).
     #[serde(default)]
     pub ecc: EccTelemetry,
+    /// March-test verdicts, filled only while a March program runs against
+    /// this bank (all zero otherwise).
+    #[serde(default)]
+    pub march: MarchTelemetry,
 }
 
 impl BankTelemetry {
@@ -592,12 +690,16 @@ impl BankTelemetry {
             corrupted_bits: 0,
             retention_flips: 0,
             read_disturb_flips: 0,
+            write_transition_faults: 0,
+            backhop_flips: 0,
+            coupling_triggers: 0,
             read_latency_ns: Summary::new(),
             read_latency_hist: bounds.histogram(),
             busy_time: Seconds::ZERO,
             energy: Joules::ZERO,
             queue: QueueTelemetry::default(),
             ecc: EccTelemetry::default(),
+            march: MarchTelemetry::default(),
         }
     }
 
@@ -621,12 +723,16 @@ impl BankTelemetry {
         self.corrupted_bits += other.corrupted_bits;
         self.retention_flips += other.retention_flips;
         self.read_disturb_flips += other.read_disturb_flips;
+        self.write_transition_faults += other.write_transition_faults;
+        self.backhop_flips += other.backhop_flips;
+        self.coupling_triggers += other.coupling_triggers;
         self.read_latency_ns.merge(&other.read_latency_ns);
         self.read_latency_hist.merge(&other.read_latency_hist);
         self.busy_time += other.busy_time;
         self.energy += other.energy;
         self.queue.merge(&other.queue);
         self.ecc.merge(&other.ecc);
+        self.march.merge(&other.march);
     }
 
     /// Misread rate over served reads (0 when no reads ran).

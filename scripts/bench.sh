@@ -29,7 +29,7 @@ iterations="${BENCH_ITERATIONS:-15}"
 records="$(mktemp)"
 trap 'rm -f "$records"' EXIT
 
-for bench in mna_solver trace_engine sched_frontend reliability_codec hierarchy_dispatch; do
+for bench in mna_solver trace_engine sched_frontend reliability_codec hierarchy_dispatch march_lowering; do
     echo "==> cargo bench -p stt-bench --bench $bench"
     CRITERION_JSON="$records" CRITERION_ITERATIONS="$iterations" \
         cargo bench -p stt-bench --bench "$bench"
@@ -89,6 +89,11 @@ awk -v iterations="$iterations" -v amortization="$amortization" '
         if ("sched_frontend/policy/fcfs" in mtxn) {
             printf "  \"sched_fcfs_mtxn_per_s\": %.3f,\n", mtxn["sched_frontend/policy/fcfs"]
         }
+        # March-test compile rate: ops/s of lowering the 10n program,
+        # the restart cost of every escape-campaign sweep cell.
+        if ("march_lowering/lower/March C-" in mtxn) {
+            printf "  \"march_lower_mops_per_s\": %.3f,\n", mtxn["march_lowering/lower/March C-"]
+        }
         printf "  \"benches\": [\n"
         for (k = 0; k < count; k++) {
             printf "    {%s}%s\n", ids[k], (k < count - 1 ? "," : "")
@@ -103,6 +108,7 @@ grep -o '"fig5_linear_cached_lu_speedup": [0-9.]*' BENCH_MNA.json || true
 grep -o '"fig5_banded_speedup": [0-9.]*' BENCH_MNA.json || true
 grep -o '"fig5_batch_amortization": [0-9.]*' BENCH_MNA.json || true
 grep -o '"sched_fcfs_mtxn_per_s": [0-9.]*' BENCH_MNA.json || true
+grep -o '"march_lower_mops_per_s": [0-9.]*' BENCH_MNA.json || true
 
 # Floor gates: the headline scalars must not regress below the configured
 # floors. Shared boxes swing medians, so the defaults sit well under the

@@ -94,4 +94,12 @@ cargo run --release -q -p stt-bench --bin trafficsim -- \
     --topology-sweep --ops 200 --geometry 2x1x2x2 --csv "$smoke_dir" > /dev/null
 test -s "$smoke_dir/topology_sweep.csv"
 
+# Manufacturing-test smoke: the March escape campaign on the trimmed
+# (smoke-sized) matrix. Every textbook coverage guarantee is asserted
+# inside run_escape_campaign, so a non-empty CSV means they all held.
+echo "==> trafficsim --march-sweep smoke"
+cargo run --release -q -p stt-bench --bin trafficsim -- \
+    --march-sweep --ops 200 --csv "$smoke_dir" > /dev/null
+test -s "$smoke_dir/march_sweep.csv"
+
 echo "all checks passed"
