@@ -43,6 +43,18 @@
 //! 10n; CFds escapes C– and is caught by March SS) are asserted inside the
 //! campaign itself. Results go to `results/march_sweep.csv`.
 //!
+//! With `--thermal-sweep` the binary runs the drift/recalibration
+//! campaign (see [`stt_ctrl::faults`] and [`stt_ctrl::calib`]): three arms
+//! over a two-bank nondestructive controller — ambient baseline, a standing
+//! +60 K hot-spot on bank 0 with the design-time (static) β, and the same
+//! hot-spot with the inline per-bank recalibration daemon enabled. Every
+//! arm runs serially and in parallel and the telemetry is asserted
+//! bit-identical; per-bank rows (misreads, retry exhaustion, calibration
+//! trips/bursts/refits, the live β) go to `results/thermal_sweep.csv`. For
+//! full-size runs the sweep asserts the robustness headline: the hot-spot
+//! degrades the static-β misread rate by ≥ 10×, and the daemon pulls it
+//! back within 2× of the ambient baseline (trip-latency floor aside).
+//!
 //! Run `trafficsim --help` for the full mode/flag table.
 
 use std::io::Write as _;
@@ -51,9 +63,10 @@ use std::path::Path;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stt_ctrl::{
-    run_campaign, run_escape_campaign, CampaignConfig, Chip, ChipConfig, ClosedLoopSource,
-    Controller, ControllerConfig, Dispatch, Frontend, FrontendConfig, InterleavePolicy,
-    MarchCampaignConfig, Policy, Protection, ShardDispatch, Telemetry, Topology, Trace, Workload,
+    run_campaign, run_escape_campaign, CalibConfig, CampaignConfig, Chip, ChipConfig,
+    ClosedLoopSource, Controller, ControllerConfig, Dispatch, DriftPlan, Frontend, FrontendConfig,
+    InterleavePolicy, MarchCampaignConfig, Policy, Protection, ShardDispatch, Telemetry,
+    ThermalTransient, Topology, Trace, Workload,
 };
 use stt_sense::SchemeKind;
 use stt_stats::Table;
@@ -78,6 +91,14 @@ const WINDOWS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 /// A window is past the knee once its p99 sojourn exceeds this multiple of
 /// the unloaded (window = 1) p99.
 const KNEE_FACTOR: f64 = 5.0;
+/// Banks driven by `--thermal-sweep`: bank 0 carries the hot-spot, bank 1
+/// is the ambient control.
+const THERMAL_BANKS: usize = 2;
+/// Hot-spot amplitude for `--thermal-sweep`. +60 K flattens the high-state
+/// roll-off enough that the static-β stored-1 margin goes decisively
+/// negative while a refit β still re-equalises both margins well above
+/// zero (see the bank-level calibration tests).
+const THERMAL_AMPLITUDE_K: f64 = 60.0;
 
 fn scheme_label(kind: SchemeKind) -> &'static str {
     match kind {
@@ -549,6 +570,158 @@ fn topology_sweep(ops_per_channel: usize, topology: Topology) -> Table {
     table
 }
 
+/// Runs the thermal-drift/recalibration campaign: ambient baseline, then a
+/// standing hot-spot on bank 0 served with a static β, then the same
+/// hot-spot with the inline calibration daemon watching each bank's
+/// misread/retry-exhaustion telemetry.
+///
+/// Each arm is served twice — serially and one thread per bank — and the
+/// two telemetry sets are asserted equal, so drift application and the
+/// trip → burst → refit loop are covered by the same determinism proof as
+/// the plain engine. For full-size runs the two robustness gates are
+/// asserted: static β must degrade ≥ 10× against baseline, the calibrated
+/// arm must stay within 2× of baseline (or the trip-latency floor — the
+/// daemon only observes an excursion after a check window's worth of
+/// reads).
+fn thermal_sweep(ops_per_config: usize) -> Table {
+    let mut table = Table::new([
+        "arm",
+        "bank",
+        "reads",
+        "writes",
+        "misreads",
+        "misread_rate",
+        "unconfident_reads",
+        "read_retries",
+        "calib_trips",
+        "calib_bursts",
+        "calib_burst_reads",
+        "calib_refits",
+        "calib_last_beta",
+        "calib_busy_us",
+        "busy_us",
+    ]);
+    let kind = SchemeKind::Nondestructive;
+    let hot = DriftPlan::quiet().with_transient(ThermalTransient {
+        bank: 0,
+        start_ns: 0.0,
+        ramp_ns: 0.0,
+        hold_ns: 1e12,
+        fall_ns: 0.0,
+        amplitude_k: THERMAL_AMPLITUDE_K,
+    });
+    let arms: [(&str, DriftPlan, Option<CalibConfig>); 3] = [
+        ("baseline", DriftPlan::quiet(), None),
+        ("hot-static", hot.clone(), None),
+        ("hot-calibrated", hot, Some(CalibConfig::date2010())),
+    ];
+    // Bank-0 misread rate per arm, for the gates.
+    let mut rate_of = std::collections::HashMap::new();
+    let mut reads_of = std::collections::HashMap::new();
+    let mut calibrated_telemetry = None;
+    for (arm, plan, calib) in arms {
+        let mut config = ControllerConfig::date2010(kind, THERMAL_BANKS)
+            .with_seed(SEED)
+            .with_drift(plan);
+        if let Some(calib) = calib {
+            config = config.with_calib(calib);
+        }
+        let trace = Workload::ReadMostly.generate(
+            config.footprint(),
+            ops_per_config,
+            &mut StdRng::seed_from_u64(SEED ^ 0x7e41),
+        );
+        let serial = Controller::new(config.clone()).run(&trace, Dispatch::Serial);
+        let parallel = Controller::new(config).run(&trace, Dispatch::Parallel);
+        assert_eq!(
+            serial, parallel,
+            "{arm}: parallel dispatch diverged from serial under drift"
+        );
+        for (bank, telemetry) in parallel.banks.iter().enumerate() {
+            let rate = if telemetry.reads > 0 {
+                telemetry.misreads as f64 / telemetry.reads as f64
+            } else {
+                0.0
+            };
+            if bank == 0 {
+                rate_of.insert(arm, rate);
+                reads_of.insert(arm, telemetry.reads);
+            }
+            println!(
+                "{arm:<16} bank {bank}: {:>5} reads, {:>5} misreads (rate {:.4}), \
+                 {:>5} retry-exhausted, {} trips / {} refits, beta {:.4}  \
+                 [serial == parallel ✓]",
+                telemetry.reads,
+                telemetry.misreads,
+                rate,
+                telemetry.unconfident_reads,
+                telemetry.calib.trips,
+                telemetry.calib.refits,
+                telemetry.calib.last_beta,
+            );
+            table.push_row([
+                arm.to_string(),
+                bank.to_string(),
+                telemetry.reads.to_string(),
+                telemetry.writes.to_string(),
+                telemetry.misreads.to_string(),
+                format!("{rate:.6}"),
+                telemetry.unconfident_reads.to_string(),
+                telemetry.read_retries.to_string(),
+                telemetry.calib.trips.to_string(),
+                telemetry.calib.bursts.to_string(),
+                telemetry.calib.burst_reads.to_string(),
+                telemetry.calib.refits.to_string(),
+                format!("{:.4}", telemetry.calib.last_beta),
+                format!("{:.3}", telemetry.calib.busy_time.get() * 1e6),
+                format!("{:.3}", telemetry.busy_time.get() * 1e6),
+            ]);
+        }
+        if arm == "hot-calibrated" {
+            calibrated_telemetry = Some(parallel.banks[0].calib.clone());
+        }
+    }
+    // Short smoke runs see too few reads for stable rates (and may not even
+    // fill one check window); the gates arm at the default sweep size.
+    if ops_per_config >= DEFAULT_OPS {
+        let baseline = rate_of["baseline"];
+        let statics = rate_of["hot-static"];
+        let calibrated = rate_of["hot-calibrated"];
+        let reads = reads_of["hot-calibrated"].max(1) as f64;
+        // A zero-misread baseline would make any degradation "infinite";
+        // floor it at one misread over the observed reads.
+        let baseline_floor = baseline.max(1.0 / reads);
+        assert!(
+            statics >= 10.0 * baseline_floor,
+            "hot-spot must degrade the static-beta misread rate >= 10x \
+             (baseline {baseline:.6}, static {statics:.6})"
+        );
+        // The daemon cannot see an excursion until a check window of reads
+        // has accrued, so grant it a few windows of trip latency.
+        let trip_floor = 4.0 * CalibConfig::date2010().check_reads as f64 / reads;
+        assert!(
+            calibrated <= (2.0 * baseline).max(trip_floor),
+            "recalibration must hold the misread rate within 2x of baseline \
+             (baseline {baseline:.6}, calibrated {calibrated:.6}, floor {trip_floor:.6})"
+        );
+        let calib = calibrated_telemetry.expect("calibrated arm ran");
+        assert!(calib.trips >= 1, "the excursion must trip the daemon");
+        assert_eq!(calib.refits, calib.bursts);
+        assert!(
+            calib.last_beta > 1.9 && calib.last_beta < 2.3,
+            "refit beta near the paper's operating point, got {}",
+            calib.last_beta
+        );
+        println!(
+            "\nstatic beta degraded {:.0}x, daemon held {:.1}x of baseline \
+             (floor {trip_floor:.4}) ✓",
+            statics / baseline_floor,
+            calibrated / baseline_floor,
+        );
+    }
+    table
+}
+
 /// Runs the manufacturing-test escape campaign and records one row per
 /// fault class × scheme × protection × March algorithm cell.
 ///
@@ -561,7 +734,7 @@ fn topology_sweep(ops_per_channel: usize, topology: Topology) -> Table {
 /// default) trim the sweep to the nondestructive scheme so the check
 /// script stays fast; the guarantees still hold on the trimmed matrix.
 fn march_sweep(ops_per_config: usize) -> Table {
-    let mut config = MarchCampaignConfig::date2010();
+    let mut config = MarchCampaignConfig::date2010().with_raw_modes(vec![false, true]);
     if ops_per_config < DEFAULT_OPS {
         config = config.with_schemes(vec![SchemeKind::Nondestructive]);
     }
@@ -570,6 +743,8 @@ fn march_sweep(ops_per_config: usize) -> Table {
         "scheme",
         "protection",
         "algorithm",
+        "raw",
+        "background",
         "planted",
         "detected",
         "detection_rate",
@@ -582,12 +757,13 @@ fn march_sweep(ops_per_config: usize) -> Table {
     let rows = run_escape_campaign(&config);
     for row in &rows {
         println!(
-            "{:<18} {:<15} {:<10} {:<9} planted {:>2}, detected {:>2} ({:>5.1}%), \
+            "{:<18} {:<15} {:<10} {:<9} {:<8} planted {:>2}, detected {:>2} ({:>5.1}%), \
              {:>5} ops ({:>4.1}/bit), {:.0} ns",
             row.class.name(),
             scheme_label(row.scheme),
             row.protection.name(),
             row.algorithm.name(),
+            if row.raw { "raw" } else { "decoded" },
             row.planted,
             row.detected,
             row.detection_rate * 100.0,
@@ -600,6 +776,8 @@ fn march_sweep(ops_per_config: usize) -> Table {
             scheme_label(row.scheme).to_string(),
             row.protection.name().to_string(),
             row.algorithm.name().to_string(),
+            row.raw.to_string(),
+            row.background.name().to_string(),
             row.planted.to_string(),
             row.detected.to_string(),
             format!("{:.4}", row.detection_rate),
@@ -613,7 +791,7 @@ fn march_sweep(ops_per_config: usize) -> Table {
     println!(
         "\n{} sweep cells; textbook coverage guarantees held \
          (March C– = 10n catches every deterministic single-cell fault, \
-         CFds needs March SS) ✓",
+         CFds needs March SS, raw reads recover what ECC masks) ✓",
         rows.len()
     );
     table
@@ -648,8 +826,8 @@ fn convert(input: &str, output: &str) {
 
 /// One-line synopsis printed alongside parse errors.
 const USAGE: &str = "usage: trafficsim [--ops N] [--csv DIR] [--geometry CxRxGxB] \
-                     [--load-sweep | --reliability-sweep | --topology-sweep | --march-sweep] \
-                     [--convert IN OUT] [--help]";
+                     [--load-sweep | --reliability-sweep | --topology-sweep | --march-sweep | \
+                     --thermal-sweep] [--convert IN OUT] [--help]";
 
 /// The `--help` table. The flag-parse test cross-checks this text against
 /// the parser: every `--flag` documented here must be accepted.
@@ -663,6 +841,7 @@ modes (pick one; the default is the scheme × banks × workload traffic sweep):
   --topology-sweep     full-chip closed-loop window sweep        results/topology_sweep.csv
   --march-sweep        fault class × scheme × protection ×       results/march_sweep.csv
                        March-algorithm escape campaign
+  --thermal-sweep      thermal drift / β-recalibration campaign  results/thermal_sweep.csv
   --convert IN OUT     translate a trace between CSV and binary  (no sweep)
   --help               print this table
 
@@ -681,6 +860,7 @@ enum Mode {
     Reliability,
     Topology,
     March,
+    Thermal,
     Convert { input: String, output: String },
     Help,
 }
@@ -741,6 +921,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--reliability-sweep" => cli.mode = Mode::Reliability,
             "--topology-sweep" => cli.mode = Mode::Topology,
             "--march-sweep" => cli.mode = Mode::March,
+            "--thermal-sweep" => cli.mode = Mode::Thermal,
             "--help" | "-h" => cli.mode = Mode::Help,
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -812,6 +993,13 @@ fn main() {
                 stt_ctrl::MarchAlgorithm::ALL.len(),
             );
             (march_sweep(ops), "march_sweep.csv")
+        }
+        Mode::Thermal => {
+            println!(
+                "trafficsim: thermal campaign, 3 arms × {THERMAL_BANKS} banks \
+                 (+{THERMAL_AMPLITUDE_K} K hot-spot on bank 0), {ops} transactions per arm\n",
+            );
+            (thermal_sweep(ops), "thermal_sweep.csv")
         }
         Mode::Traffic => {
             println!(
@@ -885,6 +1073,7 @@ mod tests {
             Mode::Reliability
         );
         assert_eq!(parse(&["--topology-sweep"]).unwrap().mode, Mode::Topology);
+        assert_eq!(parse(&["--thermal-sweep"]).unwrap().mode, Mode::Thermal);
         assert_eq!(parse(&["--help"]).unwrap().mode, Mode::Help);
         assert_eq!(
             parse(&["--geometry", "4x2x4x8"]).unwrap().topology,

@@ -8,7 +8,7 @@
 //! Monte-Carlo runner, which is what makes an N-thread run bit-identical
 //! to a serial one.
 //!
-//! Four independent RNG streams per bank keep orthogonal concerns from
+//! Five independent RNG streams per bank keep orthogonal concerns from
 //! perturbing each other:
 //!
 //! * the **demand** stream serves host traffic (senses, write pulses);
@@ -19,7 +19,15 @@
 //!   leaves demand traffic bit-identical to builds without soft errors;
 //! * the **March** stream serves manufacturing-test traffic
 //!   ([`Bank::execute_march_op`]) so a test pass is deterministic and
-//!   independent of whatever demand traffic preceded it.
+//!   independent of whatever demand traffic preceded it;
+//! * the **calibration** stream serves the calibration daemon's
+//!   reference-cell bursts (see [`crate::calib`]), so recalibrating a bank
+//!   never changes what a demand read would have seen.
+//!
+//! Dynamic drift (see [`DriftPlan`]) evolves each bank's cells on its
+//! demand busy clock. Rebuilding cells for a new drift quantum draws no
+//! RNG, so drift-laden runs stay bit-identical across serial, parallel and
+//! event-driven dispatch too.
 
 use std::cell::RefCell;
 use std::ops::Range;
@@ -27,14 +35,15 @@ use std::ops::Range;
 use rand::rngs::StdRng;
 use rand::Rng;
 use stt_array::{
-    run_with_power_failure, Address, Array, Cell, OperationCost, OperationStep, Phase, PhaseKind,
-    PowerFailure,
+    run_with_power_failure, AccessTransistor, Address, Array, Cell, OperationCost, OperationStep,
+    Phase, PhaseKind, PowerFailure,
 };
-use stt_mtj::{LinearRolloff, MtjSpec};
-use stt_sense::{ChipTiming, DesignPoint};
+use stt_mtj::{LinearRolloff, MtjSpec, ResistanceCurve};
+use stt_sense::{ChipTiming, DesignPoint, SchemeKind};
 
+use crate::calib::CalibConfig;
 use crate::engine::ControllerConfig;
-use crate::faults::{CouplingKind, FaultPlan};
+use crate::faults::{CouplingKind, DriftKey, DriftPlan, FaultPlan};
 use crate::march::MarchOp;
 use crate::reliability::codec::{self, DecodeKind};
 use crate::reliability::{word_count, ScrubCursor, ScrubOutcome, WORD_BITS};
@@ -54,6 +63,8 @@ const SCRUB_STREAM: u64 = 0x5343_5255_4253_4d31;
 const FAULT_STREAM: u64 = 0x4641_554c_5453_4d32;
 /// Seed salt for the per-bank March-test RNG stream.
 const MARCH_STREAM: u64 = 0x4d41_5243_4853_4d33;
+/// Seed salt for the per-bank calibration RNG stream.
+const CALIB_STREAM: u64 = 0x4341_4c49_4253_4d34;
 
 /// Residual high/low separation of a pinhole-shorted MTJ. The MgO defect
 /// shunts the tunnel barrier, so both magnetic states conduct through the
@@ -80,6 +91,19 @@ struct EccState {
     cursor: ScrubCursor,
 }
 
+/// Dynamic-drift state for one bank, present only under a non-quiet
+/// [`DriftPlan`]: the per-cell *undrifted* baseline specs (captured after
+/// sampling and pinhole swaps, so defects drift with the rest of the
+/// array), and the quantised drift key the cells were last rebuilt at.
+#[derive(Debug)]
+struct DriftState {
+    plan: DriftPlan,
+    /// `None` until the first access applies drift.
+    key: Option<DriftKey>,
+    /// Row-major per-cell baseline specs at the 300 K calibration point.
+    baseline: Vec<MtjSpec>,
+}
+
 /// One independently-addressable bank of the controller.
 #[derive(Debug)]
 pub struct Bank {
@@ -91,6 +115,7 @@ pub struct Bank {
     scrub_rng: StdRng,
     fault_rng: StdRng,
     march_rng: StdRng,
+    calib_rng: StdRng,
     scheme: Scheme,
     retry: RetryPolicy,
     /// Stuck-at defects on this bank, pre-filtered from the fault plan.
@@ -105,6 +130,17 @@ pub struct Bank {
     /// fault's per-cell clock. Busy time — not wall time — so retention is
     /// identical across serial, parallel and event-driven dispatch.
     last_touch_ns: Vec<f64>,
+    /// Dynamic-drift sidecar, present only under a non-quiet plan.
+    drift: Option<DriftState>,
+    /// Inline calibration daemon, `None` when off (or frontend-driven).
+    calib: Option<CalibConfig>,
+    /// Nominal (unvaried) device recipe, the β refit's starting point.
+    nominal_mtj: MtjSpec,
+    nominal_transistor: AccessTransistor,
+    /// Demand-read count at the last calibration check.
+    calib_reads_mark: u64,
+    /// `misreads + unconfident_reads` at the last calibration check.
+    calib_errors_mark: u64,
 }
 
 impl Bank {
@@ -123,6 +159,7 @@ impl Bank {
         let scrub_rng = stt_stats::trial_rng(config.seed ^ SCRUB_STREAM, index);
         let fault_rng = stt_stats::trial_rng(config.seed ^ FAULT_STREAM, index);
         let march_rng = stt_stats::trial_rng(config.seed ^ MARCH_STREAM, index);
+        let calib_rng = stt_stats::trial_rng(config.seed ^ CALIB_STREAM, index);
         let mut array = spec.sample(&mut rng);
         let mut truth = vec![false; spec.capacity_bits()];
         let cols = spec.cols;
@@ -168,6 +205,27 @@ impl Bank {
             *array.cell_mut(defect.addr) = Cell::new(collapsed.into_device(), transistor);
             array.cell_mut(defect.addr).set_state(prior);
         }
+        // Dynamic drift: capture the per-cell baseline specs *after* the
+        // pinhole swaps, so every defect drifts along with the healthy
+        // cells. The capture (and later rebuilds) draws no RNG.
+        let drift = (!config.drift.is_quiet()).then(|| DriftState {
+            baseline: array
+                .addresses()
+                .map(|addr| {
+                    let device = array.cell(addr).device();
+                    let ResistanceCurve::Linear(rolloff) = device.curve() else {
+                        panic!("dynamic drift requires linear-calibration cells")
+                    };
+                    MtjSpec {
+                        resistance: *rolloff,
+                        switching: *device.switching(),
+                    }
+                })
+                .collect(),
+            plan: config.drift.clone(),
+            key: None,
+        });
+        let nominal = spec.cell.nominal_cell();
         let mut telemetry = BankTelemetry::with_bounds(&config.latency_bounds);
         let ecc = config.ecc.is_enabled().then(|| {
             let words = word_count(spec.capacity_bits());
@@ -189,6 +247,7 @@ impl Bank {
             scrub_rng,
             fault_rng,
             march_rng,
+            calib_rng,
             scheme: Scheme::for_kind(config.kind, &design),
             retry: config.retry,
             stuck,
@@ -198,6 +257,12 @@ impl Bank {
             reads_served: 0,
             ecc,
             last_touch_ns: vec![0.0; spec.capacity_bits()],
+            drift,
+            calib: config.calib,
+            nominal_mtj: spec.cell.mtj.clone(),
+            nominal_transistor: *nominal.transistor(),
+            calib_reads_mark: 0,
+            calib_errors_mark: 0,
         }
     }
 
@@ -225,6 +290,7 @@ impl Bank {
     ///
     /// Panics if the transaction's address is out of this bank's range.
     pub fn execute(&mut self, txn: &Transaction, faults: &FaultPlan) {
+        self.maybe_apply_drift();
         match txn.op {
             Op::Read => {
                 self.reads_served += 1;
@@ -236,6 +302,7 @@ impl Bank {
                 } else {
                     self.serve_read_plain(txn.addr, faults);
                 }
+                self.maybe_inline_calibration();
             }
             Op::Write(bit) => self.serve_write(txn.addr, bit, faults),
         }
@@ -249,10 +316,23 @@ impl Bank {
     /// `telemetry.march.busy_time`, not the demand busy clock, so test time
     /// never accelerates the retention decay it screens for.
     ///
+    /// With `raw` set, reads bypass the SECDED codec and observe the bare
+    /// array bit (see [`MarchConfig::raw`](crate::sched::MarchConfig)) —
+    /// the tester's raw-array mode that recovers single-cell-fault
+    /// coverage the codec would otherwise absorb. No effect without ECC.
+    ///
     /// # Panics
     ///
     /// Panics if `cell` is out of this bank's range.
-    pub fn execute_march_op(&mut self, cell: u32, op: MarchOp, element: u8, faults: &FaultPlan) {
+    pub fn execute_march_op(
+        &mut self,
+        cell: u32,
+        op: MarchOp,
+        element: u8,
+        raw: bool,
+        faults: &FaultPlan,
+    ) {
+        self.maybe_apply_drift();
         let addr = self.addr_of(cell as usize);
         self.telemetry.march.ops += 1;
         match op {
@@ -267,7 +347,7 @@ impl Bank {
             }
             MarchOp::R(expected) => {
                 self.telemetry.march.reads += 1;
-                let got = self.march_read(addr, faults);
+                let got = self.march_read(addr, raw, faults);
                 if got != expected {
                     self.telemetry
                         .march
@@ -280,11 +360,13 @@ impl Bank {
     /// One March read on the March stream through the bank's real read
     /// path. With ECC the tester observes the *decoded* bit — exactly what
     /// a host would — so single-cell defects the codec absorbs legitimately
-    /// escape the test at that protection level. Soft-error models tick as
-    /// they do for demand reads, on the March stream.
-    fn march_read(&mut self, addr: Address, faults: &FaultPlan) -> bool {
+    /// escape the test at that protection level; `raw` bypasses the codec
+    /// and senses the one cell directly, like an unprotected part.
+    /// Soft-error models tick as they do for demand reads, on the March
+    /// stream.
+    fn march_read(&mut self, addr: Address, raw: bool, faults: &FaultPlan) -> bool {
         let cell = self.truth_index(addr);
-        if self.ecc.is_some() {
+        if self.ecc.is_some() && !raw {
             let word = cell / WORD_BITS;
             let span = self.word_span(word);
             self.apply_retention(span.clone(), faults, Stream::March);
@@ -594,6 +676,7 @@ impl Bank {
     /// prices scrub occupancy the same way.
     pub fn scrub_next(&mut self, faults: &FaultPlan) -> Option<ScrubOutcome> {
         self.ecc.as_ref()?;
+        self.maybe_apply_drift();
         let (word, wrapped) = self.ecc.as_mut().expect("checked above").cursor.advance();
         let span = self.word_span(word);
         self.apply_retention(span.clone(), faults, Stream::Scrub);
@@ -695,6 +778,119 @@ impl Bank {
             cells_rewritten: rewritten,
             completed_pass: wrapped,
         })
+    }
+
+    /// Advances dynamic drift to the bank's current busy-time temperature /
+    /// age point. Quantised by [`DriftPlan`]'s step so the array is only
+    /// rebuilt when the operating point actually moves; the rebuild swaps
+    /// each cell's device for its drifted baseline (preserving stored state
+    /// and the sampled transistor) and draws **no** RNG — exactly the
+    /// pinhole-swap pattern — so every stream stays bit-identical across
+    /// serial, parallel and frontend dispatch.
+    fn maybe_apply_drift(&mut self) {
+        let busy = self.busy_now_ns();
+        let Some(state) = self.drift.as_mut() else {
+            return;
+        };
+        let key = state.plan.key_at(self.index, busy);
+        if state.key == Some(key) {
+            return;
+        }
+        state.key = Some(key);
+        let cols = self.array.cols();
+        for (cell, base) in state.baseline.iter().enumerate() {
+            let addr = Address::new(cell / cols, cell % cols);
+            let spec = state.plan.drifted_spec(base, key);
+            let prior = self.array.cell(addr).state();
+            let transistor = *self.array.cell(addr).transistor();
+            *self.array.cell_mut(addr) = Cell::new(spec.into_device(), transistor);
+            self.array.cell_mut(addr).set_state(prior);
+        }
+    }
+
+    /// Inline calibration daemon: once per
+    /// [`CalibConfig::check_reads`] demand reads, evaluate the trip
+    /// condition against the window's misread + retry-exhaustion counts.
+    fn maybe_inline_calibration(&mut self) {
+        let Some(calib) = self.calib else {
+            return;
+        };
+        if self.telemetry.reads - self.calib_reads_mark < calib.check_reads {
+            return;
+        }
+        self.calibration_check(calib);
+    }
+
+    /// Frontend-daemon entry point: one periodic calibration check on this
+    /// bank (the scheduler invokes it as background work). Applies any
+    /// pending drift first — an idle bank's temperature still follows the
+    /// plan — then evaluates the trip condition. Returns `true` when a
+    /// burst + refit ran.
+    pub fn calibration_tick(&mut self, calib: &CalibConfig) -> bool {
+        self.maybe_apply_drift();
+        self.calibration_check(*calib)
+    }
+
+    /// One watch-window evaluation: compare the error rate since the last
+    /// check against the trip threshold; on a trip, run the burst + refit.
+    fn calibration_check(&mut self, calib: CalibConfig) -> bool {
+        let reads = self.telemetry.reads - self.calib_reads_mark;
+        let errors =
+            (self.telemetry.misreads + self.telemetry.unconfident_reads) - self.calib_errors_mark;
+        self.calib_reads_mark = self.telemetry.reads;
+        self.calib_errors_mark = self.telemetry.misreads + self.telemetry.unconfident_reads;
+        if reads == 0 || !calib.trips(errors, reads) {
+            return false;
+        }
+        self.telemetry.calib.trips += 1;
+        self.calibration_burst(calib);
+        true
+    }
+
+    /// A calibration burst: [`CalibConfig::burst_reads`] read-only
+    /// reference senses through the real sensing path on the dedicated
+    /// calibration RNG stream (never mutating cell state, never touching
+    /// demand randomness), then the β refit. Occupancy lands on
+    /// `telemetry.calib.busy_time`, not the demand clock, so a burst never
+    /// advances retention decay or the drift clock itself.
+    fn calibration_burst(&mut self, calib: CalibConfig) {
+        self.telemetry.calib.bursts += 1;
+        self.telemetry.calib.burst_reads += u64::from(calib.burst_reads);
+        let scheme = self.scheme;
+        let cells = self.truth.len();
+        for k in 0..calib.burst_reads as usize {
+            let addr = self.addr_of(k % cells);
+            let _ = scheme.sense_readonly(&self.array, addr, &mut self.calib_rng);
+        }
+        self.telemetry.calib.busy_time += self.read_cost.latency() * f64::from(calib.burst_reads);
+        self.telemetry.energy += self.read_cost.energy() * f64::from(calib.burst_reads);
+        self.refit();
+    }
+
+    /// Re-runs the paper's Eq. 5/10 β optimiser against the *drifted*
+    /// nominal device (nominal recipe pushed through the current drift key)
+    /// and swaps the new operating point into this bank's read path. Read
+    /// timing is deliberately left at the design-time cost: the SA's clamp
+    /// and integration windows are hardware, only the current ratio β moves.
+    fn refit(&mut self) {
+        let spec = match &self.drift {
+            Some(state) => {
+                let key = state
+                    .key
+                    .unwrap_or_else(|| state.plan.key_at(self.index, 0.0));
+                state.plan.drifted_spec(&self.nominal_mtj, key)
+            }
+            None => self.nominal_mtj.clone(),
+        };
+        let cell = Cell::new(spec.into_device(), self.nominal_transistor);
+        let design = DesignPoint::date2010(&cell);
+        self.scheme = Scheme::for_kind(self.scheme.kind(), &design);
+        self.telemetry.calib.refits += 1;
+        self.telemetry.calib.last_beta = match self.scheme.kind() {
+            SchemeKind::Conventional => 0.0,
+            SchemeKind::Destructive => design.destructive.beta(),
+            SchemeKind::Nondestructive => design.nondestructive.beta(),
+        };
     }
 
     /// Senses every cell of `span` once through the retry policy, on the
@@ -867,6 +1063,7 @@ fn write_cost(timing: &ChipTiming) -> OperationCost {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::ThermalTransient;
     use crate::reliability::EccMode;
     use stt_sense::SchemeKind;
 
@@ -1221,13 +1418,171 @@ mod tests {
         }
     }
 
+    /// A step hot-spot on bank 0 from t = 0: +60 K at tc = 0.01/K
+    /// flattens the high-state roll-off to ~62 % of its calibrated reach,
+    /// driving the static-β nondestructive stored-1 margin decisively
+    /// negative (≈ −3.6 mV): every stored-1 read misreads. A refit β
+    /// re-equalises both margins at ≈ +3.3 mV — bit-correct again, though
+    /// still inside the 8 mV confidence guard band, so retry pressure
+    /// (the daemon's trip signal) persists while the hot-spot holds.
+    fn hot_plan() -> DriftPlan {
+        DriftPlan::quiet().with_transient(ThermalTransient {
+            bank: 0,
+            start_ns: 0.0,
+            ramp_ns: 0.0,
+            hold_ns: 1e12,
+            fall_ns: 0.0,
+            amplitude_k: 60.0,
+        })
+    }
+
+    fn hammer_reads(bank: &mut Bank, addr: Address, reads: usize, faults: &FaultPlan) {
+        for _ in 0..reads {
+            bank.execute(&Transaction::read(0, addr), faults);
+        }
+    }
+
+    #[test]
+    fn thermal_drift_degrades_static_beta_reads() {
+        let faults = FaultPlan::none();
+        let addr = Address::new(2, 2);
+        let config = small_config(SchemeKind::Nondestructive, &faults).with_drift(hot_plan());
+        let mut bank = Bank::new(0, &config);
+        bank.execute(&Transaction::write(0, addr, true), &faults);
+        hammer_reads(&mut bank, addr, 40, &faults);
+        let telemetry = bank.telemetry();
+        assert!(
+            telemetry.misreads + telemetry.unconfident_reads > 10,
+            "a 150 K excursion must collapse the stored-1 margin under the \
+             design-time beta (got {} misreads, {} unconfident)",
+            telemetry.misreads,
+            telemetry.unconfident_reads
+        );
+    }
+
+    #[test]
+    fn quiet_drift_plan_is_bit_identical_to_no_plan() {
+        let faults = FaultPlan::none();
+        let config = small_config(SchemeKind::Nondestructive, &faults);
+        let mut plain = Bank::new(0, &config);
+        let mut quiet = Bank::new(0, &config.clone().with_drift(DriftPlan::quiet()));
+        for k in 0..50 {
+            let addr = Address::new(k % 8, (3 * k) % 8);
+            let txn = if k % 3 == 0 {
+                Transaction::write(0, addr, k % 2 == 0)
+            } else {
+                Transaction::read(0, addr)
+            };
+            plain.execute(&txn, &faults);
+            quiet.execute(&txn, &faults);
+        }
+        assert_eq!(plain.telemetry(), quiet.telemetry());
+        assert_eq!(plain.stored_bits(), quiet.stored_bits());
+    }
+
+    #[test]
+    fn inline_calibration_trips_and_recovers_the_misread_rate() {
+        let faults = FaultPlan::none();
+        let addr = Address::new(2, 2);
+        let base = small_config(SchemeKind::Nondestructive, &faults).with_drift(hot_plan());
+        let calibrated_config = base.clone().with_calib(CalibConfig::date2010());
+
+        let mut statics = Bank::new(0, &base);
+        let mut calibrated = Bank::new(0, &calibrated_config);
+        for bank in [&mut statics, &mut calibrated] {
+            bank.execute(&Transaction::write(0, addr, true), &faults);
+            hammer_reads(bank, addr, 192, &faults);
+        }
+        // Static β under the hot-spot: the stored-1 margin is negative, so
+        // every one of the 192 reads delivers the wrong bit.
+        assert_eq!(statics.telemetry().misreads, 192);
+        let calib = &calibrated.telemetry().calib;
+        assert!(calib.trips >= 1, "the error rate must trip the daemon");
+        assert_eq!(calib.bursts, calib.trips);
+        assert_eq!(calib.refits, calib.trips);
+        assert_eq!(calib.burst_reads, 32 * calib.bursts);
+        assert!(calib.busy_time.get() > 0.0);
+        assert!(
+            calib.last_beta > 1.9 && calib.last_beta < 2.3,
+            "the refit beta stays near the paper's operating point, got {}",
+            calib.last_beta
+        );
+        // The first trip fires one check window (64 reads) in; from the
+        // refit onward the delivered bits are correct again.
+        let misread_calibrated = calibrated.telemetry().misreads;
+        assert!(
+            misread_calibrated * 2 < statics.telemetry().misreads,
+            "recalibration must recover most of the misread rate \
+             (static {}, calibrated {misread_calibrated})",
+            statics.telemetry().misreads
+        );
+        // The hot-spot narrows the sensing window below the 8 mV guard
+        // band, so reads stay retry-resolved (unconfident) even after the
+        // refit — exactly the standing signal the trip detector watches.
+        assert!(
+            calibrated.telemetry().unconfident_reads > misread_calibrated,
+            "retry pressure persists while the transient holds"
+        );
+        assert_eq!(
+            calibrated.audit_corrupted_bits(),
+            0,
+            "calibration bursts are read-only"
+        );
+    }
+
+    #[test]
+    fn calibration_tick_is_the_frontend_entry_point() {
+        let faults = FaultPlan::none();
+        let addr = Address::new(2, 2);
+        // Drift, no inline daemon: the frontend owns the trip decision.
+        let config = small_config(SchemeKind::Nondestructive, &faults).with_drift(hot_plan());
+        let mut bank = Bank::new(0, &config);
+        let calib = CalibConfig::date2010();
+        assert!(
+            !bank.calibration_tick(&calib),
+            "no reads yet, nothing to trip on"
+        );
+        bank.execute(&Transaction::write(0, addr, true), &faults);
+        hammer_reads(&mut bank, addr, 40, &faults);
+        assert!(bank.calibration_tick(&calib), "a 25 %+ error rate trips");
+        assert_eq!(bank.telemetry().calib.refits, 1);
+        assert!(
+            !bank.calibration_tick(&calib),
+            "the mark advanced: no new reads, no second trip"
+        );
+    }
+
+    #[test]
+    fn raw_march_reads_bypass_the_codec() {
+        let addr = Address::new(3, 3); // row-major cell 27
+        let faults = FaultPlan::none().with_stuck_cell(0, addr, false);
+        // Decoded reads: SECDED absorbs the single stuck cell, the tester
+        // sees a passing part. Raw reads: the defect is observed directly.
+        let mut decoded = small_ecc_bank(SchemeKind::Nondestructive, &faults);
+        decoded.execute_march_op(27, MarchOp::W(true), 1, false, &faults);
+        decoded.execute_march_op(27, MarchOp::R(true), 1, false, &faults);
+        assert_eq!(
+            decoded.telemetry().march.mismatches,
+            0,
+            "the codec must absorb a single stuck cell on the decoded path"
+        );
+        let mut raw = small_ecc_bank(SchemeKind::Nondestructive, &faults);
+        raw.execute_march_op(27, MarchOp::W(true), 1, true, &faults);
+        raw.execute_march_op(27, MarchOp::R(true), 1, true, &faults);
+        assert_eq!(
+            raw.telemetry().march.mismatches,
+            1,
+            "raw mode must observe the stuck cell the codec hides"
+        );
+    }
+
     #[test]
     fn execute_march_op_attributes_failures_to_elements() {
         let addr = Address::new(3, 3); // row-major cell 27
         let faults = FaultPlan::none().with_stuck_cell(0, addr, false);
         let mut bank = small_bank(SchemeKind::Nondestructive, &faults);
-        bank.execute_march_op(27, MarchOp::W(true), 1, &faults);
-        bank.execute_march_op(27, MarchOp::R(true), 1, &faults);
+        bank.execute_march_op(27, MarchOp::W(true), 1, false, &faults);
+        bank.execute_march_op(27, MarchOp::R(true), 1, false, &faults);
         let march = &bank.telemetry().march;
         assert_eq!(march.ops, 2);
         assert_eq!((march.writes, march.reads), (1, 1));

@@ -1,0 +1,192 @@
+//! Online per-bank β-recalibration (DESIGN.md §15).
+//!
+//! The paper's β* (Eq. 5/10) is a *static* optimum: it equalises the two
+//! sense margins for the device the design was calibrated against. Under
+//! dynamic drift (see [`DriftPlan`](crate::faults::DriftPlan)) the
+//! high-state roll-off flattens and the margins de-equalise — the stored-1
+//! margin collapses long before the stored-0 margin moves — so a bank
+//! serving hot or aged cells starts exhausting read retries and eventually
+//! misreading, while its β is still the room-temperature value.
+//!
+//! The calibration daemon closes the loop per bank:
+//!
+//! 1. **Watch** — misread + retry-exhaustion counts are compared against
+//!    [`CalibConfig::trip_rate`] over windows of
+//!    [`CalibConfig::check_reads`] demand reads.
+//! 2. **Burst** — when tripped, the bank issues
+//!    [`CalibConfig::burst_reads`] *read-only* reference-cell senses
+//!    through the real sensing path (never mutating state, drawing from a
+//!    dedicated calibration RNG stream so demand randomness is untouched).
+//! 3. **Refit** — the bank re-runs the Eq. 5/10 β optimiser against its
+//!    drifted nominal device and swaps the new operating point into its
+//!    read path.
+//!
+//! Retry exhaustion fires while the margin is still several SA sigmas wide
+//! (an unconfident read needs `|observation|` under the 1 mV guard band;
+//! a misread needs the noise to cross the full margin), so a trip normally
+//! lands **before** the first misread — the recalibrated bank never leaves
+//! the paper's equal-margin operating point far behind.
+//!
+//! Two deployment modes share this config:
+//!
+//! * **Inline** ([`ControllerConfig::with_calib`](crate::engine::ControllerConfig::with_calib))
+//!   — the bank evaluates the trip condition itself every `check_reads`
+//!   demand reads. Works under serial, parallel and frontend dispatch and
+//!   preserves bit-identity across all three.
+//! * **Frontend daemon**
+//!   ([`FrontendConfig::with_calib`](crate::sched::FrontendConfig::with_calib))
+//!   — a periodic scheduler event per bank, arbitrated as background work
+//!   (demand > test > calibration/scrub) so bursts only run in idle gaps
+//!   and never delay or reorder demand traffic.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the per-bank calibration daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibConfig {
+    /// Inline mode: evaluate the trip condition every this many demand
+    /// reads on a bank.
+    pub check_reads: u64,
+    /// Trip threshold: recalibrate when
+    /// `(misreads + unconfident reads) / reads` over the last window
+    /// reaches this rate.
+    pub trip_rate: f64,
+    /// Reference-cell senses per calibration burst.
+    pub burst_reads: u32,
+    /// Frontend-daemon mode: period (ns) between calibration checks on
+    /// each bank.
+    pub interval_ns: f64,
+}
+
+impl CalibConfig {
+    /// Baseline tuning: check every 64 reads, trip at a 1 % error rate
+    /// (one bad read per window), 32-read bursts, 500 ns daemon period.
+    #[must_use]
+    pub fn date2010() -> Self {
+        Self {
+            check_reads: 64,
+            trip_rate: 0.01,
+            burst_reads: 32,
+            interval_ns: 500.0,
+        }
+    }
+
+    /// Sets the inline check window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_reads` is zero.
+    #[must_use]
+    pub fn with_check_reads(mut self, check_reads: u64) -> Self {
+        assert!(
+            check_reads > 0,
+            "the check window must cover at least one read"
+        );
+        self.check_reads = check_reads;
+        self
+    }
+
+    /// Sets the trip rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_trip_rate(mut self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0 && rate <= 1.0,
+            "trip rate must be in (0, 1], got {rate}"
+        );
+        self.trip_rate = rate;
+        self
+    }
+
+    /// Sets the burst length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_reads` is zero.
+    #[must_use]
+    pub fn with_burst_reads(mut self, burst_reads: u32) -> Self {
+        assert!(
+            burst_reads > 0,
+            "a calibration burst needs at least one read"
+        );
+        self.burst_reads = burst_reads;
+        self
+    }
+
+    /// Sets the frontend daemon period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_ns` is not finite and positive.
+    #[must_use]
+    pub fn with_interval_ns(mut self, interval_ns: f64) -> Self {
+        assert!(
+            interval_ns.is_finite() && interval_ns > 0.0,
+            "calibration interval must be positive, got {interval_ns}"
+        );
+        self.interval_ns = interval_ns;
+        self
+    }
+
+    /// `true` when `errors` bad reads over `reads` demand reads meet the
+    /// trip threshold.
+    #[must_use]
+    pub fn trips(&self, errors: u64, reads: u64) -> bool {
+        #[allow(clippy::cast_precision_loss)]
+        let rate = if reads == 0 {
+            0.0
+        } else {
+            errors as f64 / reads as f64
+        };
+        rate >= self.trip_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_trips_on_one_error_per_window() {
+        let config = CalibConfig::date2010();
+        assert!(!config.trips(0, 64));
+        assert!(config.trips(1, 64), "1/64 ≥ 1 %");
+        assert!(config.trips(5, 64));
+        assert!(!config.trips(0, 0), "no reads, no trip");
+    }
+
+    #[test]
+    fn builders_apply_and_validate() {
+        let config = CalibConfig::date2010()
+            .with_check_reads(128)
+            .with_trip_rate(0.5)
+            .with_burst_reads(8)
+            .with_interval_ns(1000.0);
+        assert_eq!(config.check_reads, 128);
+        assert!(!config.trips(1, 128));
+        assert!(config.trips(64, 128));
+        assert_eq!(config.burst_reads, 8);
+        assert!((config.interval_ns - 1000.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "trip rate")]
+    fn trip_rate_must_be_a_probability() {
+        let _ = CalibConfig::date2010().with_trip_rate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one read")]
+    fn burst_must_be_nonempty() {
+        let _ = CalibConfig::date2010().with_burst_reads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn interval_must_be_positive() {
+        let _ = CalibConfig::date2010().with_interval_ns(0.0);
+    }
+}

@@ -12,7 +12,8 @@ use stt_array::ArraySpec;
 use stt_sense::SchemeKind;
 
 use crate::bank::Bank;
-use crate::faults::FaultPlan;
+use crate::calib::CalibConfig;
+use crate::faults::{DriftPlan, FaultPlan};
 use crate::reliability::EccMode;
 use crate::retry::RetryPolicy;
 use crate::telemetry::{LatencyBounds, Telemetry};
@@ -51,6 +52,16 @@ pub struct ControllerConfig {
     /// behaviour: every misread is silent).
     #[serde(default)]
     pub ecc: EccMode,
+    /// Dynamic thermal/aging drift applied on each bank's busy clock
+    /// (defaults to quiet: no drift, bit-identical to pre-drift builds).
+    #[serde(default)]
+    pub drift: DriftPlan,
+    /// Inline per-bank calibration daemon: each bank evaluates the trip
+    /// condition itself every [`CalibConfig::check_reads`] demand reads
+    /// (defaults to off). Mutually exclusive with the frontend daemon
+    /// ([`FrontendConfig::with_calib`](crate::sched::FrontendConfig::with_calib)).
+    #[serde(default)]
+    pub calib: Option<CalibConfig>,
 }
 
 impl ControllerConfig {
@@ -66,6 +77,8 @@ impl ControllerConfig {
             seed: 2010,
             latency_bounds: LatencyBounds::date2010(),
             ecc: EccMode::None,
+            drift: DriftPlan::quiet(),
+            calib: None,
         }
     }
 
@@ -103,6 +116,20 @@ impl ControllerConfig {
     #[must_use]
     pub fn with_ecc(mut self, ecc: EccMode) -> Self {
         self.ecc = ecc;
+        self
+    }
+
+    /// Overrides the drift plan.
+    #[must_use]
+    pub fn with_drift(mut self, drift: DriftPlan) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Enables the inline per-bank calibration daemon.
+    #[must_use]
+    pub fn with_calib(mut self, calib: CalibConfig) -> Self {
+        self.calib = Some(calib);
         self
     }
 

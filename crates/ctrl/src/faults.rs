@@ -30,6 +30,7 @@
 
 use serde::{Deserialize, Serialize};
 use stt_array::Address;
+use stt_mtj::{LinearRolloff, MtjSpec, ThermalModel, T_REFERENCE};
 
 use crate::reliability::WORD_BITS;
 
@@ -379,6 +380,306 @@ impl FaultPlan {
     }
 }
 
+/// Coldest die temperature the drift layer will model (K).
+pub const DRIFT_T_MIN: f64 = 200.0;
+
+/// Hottest die temperature the drift layer will model (K) — the upper edge
+/// of the range [`ThermalModel`]'s coefficients are validated over.
+pub const DRIFT_T_MAX: f64 = 500.0;
+
+/// Aging quantisation: the MgO-aging exponent advances in steps of this
+/// size, so a bank rebuilds its cells only when the accumulated aging has
+/// moved by a full percent — not on every access.
+const AGE_EXPONENT_STEP: f64 = 0.01;
+
+/// A piecewise-linear thermal excursion on one bank: the die temperature
+/// ramps from ambient up by `amplitude_k`, holds, and falls back — a
+/// trapezoid on the bank's **busy clock** (accumulated service time, not
+/// wall time), so serial, parallel and event-driven dispatch observe the
+/// identical temperature history and stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalTransient {
+    /// Bank index the hot spot lands on.
+    pub bank: usize,
+    /// Busy-clock time (ns) the excursion starts.
+    pub start_ns: f64,
+    /// Rise time (ns) from ambient to the plateau. Zero = step.
+    pub ramp_ns: f64,
+    /// Plateau duration (ns). `f64::INFINITY` = never cools.
+    pub hold_ns: f64,
+    /// Fall time (ns) back to ambient. Zero = step.
+    pub fall_ns: f64,
+    /// Peak temperature rise above ambient (K). Negative = a cold excursion.
+    pub amplitude_k: f64,
+}
+
+impl ThermalTransient {
+    /// Temperature offset above ambient (K) at busy-clock time `busy_ns`.
+    #[must_use]
+    pub fn offset_at(&self, busy_ns: f64) -> f64 {
+        let t = busy_ns - self.start_ns;
+        if t < 0.0 {
+            return 0.0;
+        }
+        if t < self.ramp_ns {
+            return self.amplitude_k * t / self.ramp_ns;
+        }
+        let t = t - self.ramp_ns;
+        if t < self.hold_ns {
+            return self.amplitude_k;
+        }
+        let t = t - self.hold_ns;
+        if t < self.fall_ns {
+            return self.amplitude_k * (1.0 - t / self.fall_ns);
+        }
+        0.0
+    }
+}
+
+/// Quantised drift state of one bank: the temperature step and aging step
+/// its cells were last rebuilt at. Banks compare keys, not raw clocks, so
+/// an access only pays for a cell-array rebuild when the drift has moved a
+/// full quantum ([`DriftPlan::step_k`] kelvin or one step of aging
+/// exponent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftKey {
+    temp_step: i32,
+    age_step: i32,
+}
+
+impl DriftKey {
+    /// The dequantised die temperature this key represents (K).
+    #[must_use]
+    pub fn temperature_k(&self, step_k: f64) -> f64 {
+        (f64::from(self.temp_step) * step_k).clamp(DRIFT_T_MIN, DRIFT_T_MAX)
+    }
+}
+
+/// Dynamic thermal/aging drift: how each bank's device physics evolves
+/// while a trace runs (DESIGN.md §15).
+///
+/// Two mechanisms, both driven by the bank **busy clock** so replay is
+/// deterministic and dispatch-order independent:
+///
+/// * **Thermal transients** — PWL trapezoid excursions
+///   ([`ThermalTransient`]) superimposed on a configurable ambient. The
+///   drifted spec follows [`ThermalModel::spec_at`] *plus* an extra
+///   high-state roll-off flattening `1/(1 + tc·ΔT)` above the 300 K
+///   calibration point: heating degrades the bias roll-off contrast the
+///   nondestructive scheme's β was designed against, which is what makes a
+///   static β genuinely misread mid-trace.
+/// * **MgO aging** — an exponential decay of the high-state roll-off with
+///   accumulated busy time, modelling barrier wear-out.
+///
+/// Rebuilding a bank's cells for a new [`DriftKey`] draws **no RNG**, so
+/// enabling drift never perturbs sense or write randomness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftPlan {
+    /// Ambient die temperature (K). Default 300 K (the calibration point).
+    #[serde(default = "default_ambient_k")]
+    pub ambient_k: f64,
+    /// Per-bank thermal excursions.
+    #[serde(default)]
+    pub transients: Vec<ThermalTransient>,
+    /// High-state roll-off flattening per kelvin above the 300 K
+    /// calibration: `ΔR_Hmax` scales by `1/(1 + tc·ΔT)`.
+    #[serde(default = "default_rolloff_tc")]
+    pub rolloff_tc_per_k: f64,
+    /// MgO aging rate: the high-state roll-off decays as
+    /// `exp(−rate · busy_ns)` (`None` = no aging).
+    #[serde(default)]
+    pub aging_rate_per_ns: Option<f64>,
+    /// Temperature quantisation step (K) for [`DriftKey`]s.
+    #[serde(default = "default_step_k")]
+    pub step_k: f64,
+    /// The thermal model mapping temperature to device specs.
+    #[serde(default = "ThermalModel::date2010_mgo")]
+    pub thermal: ThermalModel,
+}
+
+fn default_ambient_k() -> f64 {
+    T_REFERENCE
+}
+
+fn default_rolloff_tc() -> f64 {
+    0.01
+}
+
+fn default_step_k() -> f64 {
+    2.0
+}
+
+impl Default for DriftPlan {
+    fn default() -> Self {
+        Self::quiet()
+    }
+}
+
+impl DriftPlan {
+    /// No drift: ambient at the 300 K calibration point, no transients, no
+    /// aging. A quiet plan is guaranteed to never touch a bank's cells, so
+    /// runs stay bit-identical to builds that predate the drift layer.
+    #[must_use]
+    pub fn quiet() -> Self {
+        Self {
+            ambient_k: default_ambient_k(),
+            transients: Vec::new(),
+            rolloff_tc_per_k: default_rolloff_tc(),
+            aging_rate_per_ns: None,
+            step_k: default_step_k(),
+            thermal: ThermalModel::date2010_mgo(),
+        }
+    }
+
+    /// `true` when this plan can never drift a device: ambient sits exactly
+    /// at the calibration temperature, and there are no transients and no
+    /// aging. Banks skip all drift bookkeeping for quiet plans.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.ambient_k == T_REFERENCE
+            && self.transients.is_empty()
+            && self.aging_rate_per_ns.is_none()
+    }
+
+    /// Sets the ambient die temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ambient_k` is outside `[DRIFT_T_MIN, DRIFT_T_MAX]`.
+    #[must_use]
+    pub fn with_ambient(mut self, ambient_k: f64) -> Self {
+        assert!(
+            (DRIFT_T_MIN..=DRIFT_T_MAX).contains(&ambient_k),
+            "ambient temperature must be in [{DRIFT_T_MIN}, {DRIFT_T_MAX}] K, got {ambient_k}"
+        );
+        self.ambient_k = ambient_k;
+        self
+    }
+
+    /// Adds a thermal excursion on one bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is negative, the start is not finite and
+    /// non-negative, or the amplitude is not finite.
+    #[must_use]
+    pub fn with_transient(mut self, transient: ThermalTransient) -> Self {
+        assert!(
+            transient.start_ns.is_finite() && transient.start_ns >= 0.0,
+            "transient start must be finite and non-negative"
+        );
+        assert!(
+            transient.ramp_ns >= 0.0 && transient.hold_ns >= 0.0 && transient.fall_ns >= 0.0,
+            "transient durations must be non-negative"
+        );
+        assert!(
+            transient.amplitude_k.is_finite(),
+            "transient amplitude must be finite"
+        );
+        self.transients.push(transient);
+        self
+    }
+
+    /// Sets the roll-off flattening coefficient (per kelvin above 300 K).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tc` is not finite and non-negative.
+    #[must_use]
+    pub fn with_rolloff_tc(mut self, tc: f64) -> Self {
+        assert!(
+            tc.is_finite() && tc >= 0.0,
+            "roll-off temperature coefficient must be non-negative, got {tc}"
+        );
+        self.rolloff_tc_per_k = tc;
+        self
+    }
+
+    /// Sets the MgO aging rate (roll-off decay per nanosecond of busy time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    #[must_use]
+    pub fn with_aging_rate(mut self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "aging rate must be positive, got {rate}"
+        );
+        self.aging_rate_per_ns = Some(rate);
+        self
+    }
+
+    /// Sets the temperature quantisation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_k` is not finite and positive.
+    #[must_use]
+    pub fn with_step(mut self, step_k: f64) -> Self {
+        assert!(
+            step_k.is_finite() && step_k > 0.0,
+            "temperature step must be positive, got {step_k}"
+        );
+        self.step_k = step_k;
+        self
+    }
+
+    /// The die temperature of `bank` at busy-clock time `busy_ns`, clamped
+    /// to the model's validated range.
+    #[must_use]
+    pub fn temperature_at(&self, bank: usize, busy_ns: f64) -> f64 {
+        let offset: f64 = self
+            .transients
+            .iter()
+            .filter(|t| t.bank == bank)
+            .map(|t| t.offset_at(busy_ns))
+            .sum();
+        (self.ambient_k + offset).clamp(DRIFT_T_MIN, DRIFT_T_MAX)
+    }
+
+    /// The quantised drift state of `bank` at busy-clock time `busy_ns`.
+    #[must_use]
+    pub fn key_at(&self, bank: usize, busy_ns: f64) -> DriftKey {
+        let temp = self.temperature_at(bank, busy_ns);
+        #[allow(clippy::cast_possible_truncation)]
+        let temp_step = (temp / self.step_k).round() as i32;
+        let exponent = self.aging_rate_per_ns.map_or(0.0, |rate| rate * busy_ns);
+        #[allow(clippy::cast_possible_truncation)]
+        let age_step = (exponent / AGE_EXPONENT_STEP).floor() as i32;
+        DriftKey {
+            temp_step,
+            age_step,
+        }
+    }
+
+    /// The drifted device spec at drift state `key`, derived from the
+    /// undrifted `reference` spec: [`ThermalModel::spec_at`] at the key's
+    /// temperature, with the high-state roll-off additionally flattened by
+    /// heating (`1/(1 + tc·ΔT)` above 300 K) and aging
+    /// (`exp(−age exponent)`). The combined flattening is floored at 5 % so
+    /// the spec stays physical.
+    #[must_use]
+    pub fn drifted_spec(&self, reference: &MtjSpec, key: DriftKey) -> MtjSpec {
+        let t = key.temperature_k(self.step_k);
+        let spec = self.thermal.spec_at(reference, t);
+        let heating = 1.0 / (1.0 + self.rolloff_tc_per_k * (t - T_REFERENCE).max(0.0));
+        let aging = (-f64::from(key.age_step) * AGE_EXPONENT_STEP).exp();
+        let factor = (heating * aging).clamp(0.05, 1.0);
+        let r = &spec.resistance;
+        MtjSpec {
+            resistance: LinearRolloff::new(
+                r.r_low0(),
+                r.r_high0(),
+                r.dr_low_max(),
+                r.dr_high_max() * factor,
+                r.i_max(),
+            ),
+            switching: spec.switching,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,6 +841,154 @@ mod tests {
         );
         assert_eq!(plan.retention_flip_prob(f64::INFINITY), 1.0);
         assert!(plan.retention_flip_prob(1e300) <= 1.0);
+    }
+
+    mod drift {
+        use super::*;
+
+        fn hotspot(amplitude_k: f64) -> ThermalTransient {
+            ThermalTransient {
+                bank: 0,
+                start_ns: 1000.0,
+                ramp_ns: 500.0,
+                hold_ns: 2000.0,
+                fall_ns: 500.0,
+                amplitude_k,
+            }
+        }
+
+        #[test]
+        fn quiet_plan_is_the_default_and_detects_itself() {
+            assert_eq!(DriftPlan::default(), DriftPlan::quiet());
+            assert!(DriftPlan::quiet().is_quiet());
+            assert!(!DriftPlan::quiet().with_ambient(320.0).is_quiet());
+            assert!(!DriftPlan::quiet().with_transient(hotspot(100.0)).is_quiet());
+            assert!(!DriftPlan::quiet().with_aging_rate(1e-6).is_quiet());
+        }
+
+        #[test]
+        fn transient_traces_the_trapezoid() {
+            let t = hotspot(100.0);
+            assert_eq!(t.offset_at(0.0), 0.0);
+            assert_eq!(t.offset_at(999.9), 0.0);
+            assert!((t.offset_at(1250.0) - 50.0).abs() < 1e-9, "mid-ramp");
+            assert_eq!(t.offset_at(1500.0), 100.0, "plateau start");
+            assert_eq!(t.offset_at(3000.0), 100.0, "plateau");
+            assert!((t.offset_at(3750.0) - 50.0).abs() < 1e-9, "mid-fall");
+            assert_eq!(t.offset_at(4000.0), 0.0, "cooled");
+            assert_eq!(t.offset_at(1e12), 0.0);
+        }
+
+        #[test]
+        fn zero_duration_segments_behave_as_steps() {
+            let step = ThermalTransient {
+                bank: 0,
+                start_ns: 100.0,
+                ramp_ns: 0.0,
+                hold_ns: 50.0,
+                fall_ns: 0.0,
+                amplitude_k: 80.0,
+            };
+            assert_eq!(step.offset_at(99.9), 0.0);
+            assert_eq!(step.offset_at(100.0), 80.0);
+            assert_eq!(step.offset_at(149.9), 80.0);
+            assert_eq!(step.offset_at(150.0), 0.0);
+        }
+
+        #[test]
+        fn temperature_sums_per_bank_and_clamps() {
+            let plan = DriftPlan::quiet()
+                .with_transient(hotspot(100.0))
+                .with_transient(ThermalTransient {
+                    bank: 1,
+                    ..hotspot(50.0)
+                })
+                .with_transient(ThermalTransient {
+                    start_ns: 2000.0,
+                    ..hotspot(400.0)
+                });
+            assert_eq!(plan.temperature_at(0, 0.0), 300.0);
+            assert_eq!(plan.temperature_at(0, 2000.0), 400.0, "first plateau only");
+            assert_eq!(
+                plan.temperature_at(0, 3000.0),
+                DRIFT_T_MAX,
+                "stacked transients clamp at the model ceiling"
+            );
+            assert_eq!(plan.temperature_at(1, 2000.0), 350.0);
+            assert_eq!(plan.temperature_at(2, 2000.0), 300.0, "unaffected bank");
+        }
+
+        #[test]
+        fn keys_quantise_temperature_and_aging() {
+            let plan = DriftPlan::quiet().with_transient(hotspot(100.0));
+            let cold = plan.key_at(0, 0.0);
+            assert_eq!(cold, plan.key_at(0, 500.0), "pre-transient keys agree");
+            // Half a quantum of temperature movement does not change the key.
+            assert_eq!(plan.key_at(0, 1000.0), plan.key_at(0, 1004.0));
+            assert_ne!(cold, plan.key_at(0, 2000.0), "plateau is a new key");
+            assert_eq!(cold, plan.key_at(1, 2000.0), "other banks unaffected");
+
+            let aging = DriftPlan::quiet().with_aging_rate(1e-5);
+            assert_eq!(aging.key_at(0, 0.0), aging.key_at(0, 999.0));
+            assert_ne!(aging.key_at(0, 0.0), aging.key_at(0, 1001.0));
+        }
+
+        #[test]
+        fn drifted_spec_flattens_the_high_rolloff() {
+            use stt_mtj::MtjSpec;
+            let reference = MtjSpec::date2010_typical();
+            let plan = DriftPlan::quiet().with_transient(hotspot(150.0));
+            let cold = plan.drifted_spec(&reference, plan.key_at(0, 0.0));
+            let hot = plan.drifted_spec(&reference, plan.key_at(0, 2000.0));
+            // Heating collapses TMR (spec_at) *and* flattens the roll-off
+            // beyond the proportional spec_at scaling.
+            assert!(hot.resistance.r_high0() < cold.resistance.r_high0());
+            let spec_at_only = plan.thermal.spec_at(&reference, 450.0);
+            assert!(
+                hot.resistance.dr_high_max().get()
+                    < 0.5 * spec_at_only.resistance.dr_high_max().get(),
+                "tc = 0.01/K at ΔT = 150 K flattens by > 2×"
+            );
+            // Low-state roll-off follows spec_at alone.
+            assert!(
+                (hot.resistance.dr_low_max() - spec_at_only.resistance.dr_low_max())
+                    .abs()
+                    .get()
+                    < 1e-9
+            );
+        }
+
+        #[test]
+        fn aging_decays_the_rolloff_monotonically() {
+            use stt_mtj::MtjSpec;
+            let reference = MtjSpec::date2010_typical();
+            let plan = DriftPlan::quiet().with_aging_rate(1e-5);
+            let fresh = plan.drifted_spec(&reference, plan.key_at(0, 0.0));
+            let worn = plan.drifted_spec(&reference, plan.key_at(0, 5e4));
+            let dead = plan.drifted_spec(&reference, plan.key_at(0, 1e9));
+            assert!(worn.resistance.dr_high_max() < fresh.resistance.dr_high_max());
+            assert!(
+                (dead.resistance.dr_high_max().get() - 0.05 * fresh.resistance.dr_high_max().get())
+                    .abs()
+                    < 1e-9,
+                "flattening floors at 5 %"
+            );
+        }
+
+        #[test]
+        #[should_panic(expected = "durations must be non-negative")]
+        fn transient_rejects_negative_durations() {
+            let _ = DriftPlan::quiet().with_transient(ThermalTransient {
+                ramp_ns: -1.0,
+                ..hotspot(10.0)
+            });
+        }
+
+        #[test]
+        #[should_panic(expected = "ambient temperature")]
+        fn ambient_must_stay_in_model_range() {
+            let _ = DriftPlan::quiet().with_ambient(600.0);
+        }
     }
 
     mod retention_props {

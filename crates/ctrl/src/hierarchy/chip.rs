@@ -29,7 +29,7 @@ use stt_sense::SchemeKind;
 
 use crate::bank::Bank;
 use crate::engine::ControllerConfig;
-use crate::faults::FaultPlan;
+use crate::faults::{DriftPlan, FaultPlan};
 use crate::reliability::EccMode;
 use crate::retry::RetryPolicy;
 use crate::sched::event::EventQueue;
@@ -207,6 +207,8 @@ impl ChipConfig {
             seed: self.seed,
             latency_bounds: self.latency_bounds,
             ecc: self.ecc,
+            drift: DriftPlan::quiet(),
+            calib: None,
         }
     }
 }

@@ -67,6 +67,7 @@
 
 pub mod alloc_probe;
 pub mod bank;
+pub mod calib;
 pub mod engine;
 pub mod faults;
 pub mod hierarchy;
@@ -80,9 +81,11 @@ pub mod txn;
 pub mod workload;
 
 pub use bank::Bank;
+pub use calib::CalibConfig;
 pub use engine::{Controller, ControllerConfig, Dispatch};
 pub use faults::{
-    BackhopCell, CouplingFault, CouplingKind, FaultPlan, PinholeCell, StuckCell, TransitionFault,
+    BackhopCell, CouplingFault, CouplingKind, DriftKey, DriftPlan, FaultPlan, PinholeCell,
+    StuckCell, ThermalTransient, TransitionFault,
 };
 pub use hierarchy::{
     BankCoord, BusTiming, Chip, ChipConfig, ChipRun, ChipTelemetry, ClosedLoopSource, Geometry,
@@ -90,8 +93,9 @@ pub use hierarchy::{
     ShardDispatch, Topology,
 };
 pub use march::{
-    march_c_minus, march_ss, run_escape_campaign, run_march, EscapeRow, FaultClass, MarchAlgorithm,
-    MarchCampaignConfig, MarchOp, MarchProgram, MarchStep, PlantedDefect,
+    march_c_minus, march_ss, run_escape_campaign, run_march, run_march_with, DataBackground,
+    EscapeRow, FaultClass, MarchAlgorithm, MarchCampaignConfig, MarchOp, MarchProgram, MarchStep,
+    PlantedDefect,
 };
 pub use reliability::{
     run_campaign, CampaignConfig, CampaignRow, EccMode, FaultIntensity, Protection, ScrubConfig,
@@ -103,8 +107,8 @@ pub use sched::{
 };
 pub use sense::{Scheme, Sensed};
 pub use telemetry::{
-    rollup_by, BankTelemetry, ChannelTelemetry, EccTelemetry, LatencyBounds, MarchFail,
-    MarchTelemetry, QueueTelemetry, SojournStats, Telemetry,
+    rollup_by, BankTelemetry, CalibTelemetry, ChannelTelemetry, EccTelemetry, LatencyBounds,
+    MarchFail, MarchTelemetry, QueueTelemetry, SojournStats, Telemetry,
 };
 pub use txn::{
     Op, Trace, TraceBinaryError, TraceParseError, TraceParseErrorKind, TraceView, Transaction,

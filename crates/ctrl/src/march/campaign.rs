@@ -31,7 +31,7 @@ use stt_sense::SchemeKind;
 
 use crate::engine::{Controller, ControllerConfig};
 use crate::faults::{CouplingKind, FaultPlan};
-use crate::march::program::MarchAlgorithm;
+use crate::march::program::{DataBackground, MarchAlgorithm};
 use crate::reliability::{Protection, ScrubConfig, WORD_BITS};
 use crate::sched::{Frontend, FrontendConfig, MarchConfig};
 use crate::txn::Trace;
@@ -123,6 +123,11 @@ pub struct MarchCampaignConfig {
     pub defects_per_class: usize,
     /// Backhop probability per completed write for the backhop rung.
     pub backhop_prob: f64,
+    /// Read modes to sweep: `false` = host-visible (decoded under ECC),
+    /// `true` = raw array reads that bypass the codec.
+    pub raw_modes: Vec<bool>,
+    /// Data backgrounds to sweep.
+    pub backgrounds: Vec<DataBackground>,
     /// Scrub tick interval (ns) for the [`Protection::EccScrub`] column.
     pub scrub_interval_ns: f64,
 }
@@ -149,8 +154,24 @@ impl MarchCampaignConfig {
             classes: FaultClass::ALL.to_vec(),
             defects_per_class: 4,
             backhop_prob: 0.35,
+            raw_modes: vec![false],
+            backgrounds: vec![DataBackground::Solid],
             scrub_interval_ns: 25.0,
         }
+    }
+
+    /// Overrides the read-mode list (`false` = decoded, `true` = raw).
+    #[must_use]
+    pub fn with_raw_modes(mut self, raw_modes: Vec<bool>) -> Self {
+        self.raw_modes = raw_modes;
+        self
+    }
+
+    /// Overrides the data-background list.
+    #[must_use]
+    pub fn with_backgrounds(mut self, backgrounds: Vec<DataBackground>) -> Self {
+        self.backgrounds = backgrounds;
+        self
     }
 
     /// Overrides the scheme list.
@@ -277,6 +298,10 @@ pub struct EscapeRow {
     pub protection: Protection,
     /// March algorithm.
     pub algorithm: MarchAlgorithm,
+    /// Whether reads bypassed the ECC codec.
+    pub raw: bool,
+    /// Data background marched.
+    pub background: DataBackground,
     /// Victim cells planted (over all banks).
     pub planted: u64,
     /// Planted victims present in the fail bitmap.
@@ -317,77 +342,89 @@ pub fn run_escape_campaign(config: &MarchCampaignConfig) -> Vec<EscapeRow> {
         for &scheme in &config.schemes {
             for protection in Protection::ALL {
                 for &algorithm in &config.algorithms {
-                    let mut controller_config = ControllerConfig::date2010(scheme, config.banks);
-                    controller_config.spec = config.spec.clone();
-                    let controller_config = controller_config
-                        .with_seed(config.seed)
-                        .with_faults(plan.clone())
-                        .with_ecc(protection.ecc_mode());
-                    let mut frontend_config =
-                        FrontendConfig::fcfs_unbounded().with_march(MarchConfig::new(algorithm));
-                    if protection.scrubbed() {
-                        frontend_config = frontend_config
-                            .with_scrub(ScrubConfig::every_ns(config.scrub_interval_ns));
+                    for &background in &config.backgrounds {
+                        for &raw in &config.raw_modes {
+                            let mut controller_config =
+                                ControllerConfig::date2010(scheme, config.banks);
+                            controller_config.spec = config.spec.clone();
+                            let controller_config = controller_config
+                                .with_seed(config.seed)
+                                .with_faults(plan.clone())
+                                .with_ecc(protection.ecc_mode());
+                            let mut frontend_config = FrontendConfig::fcfs_unbounded().with_march(
+                                MarchConfig::new(algorithm)
+                                    .with_background(background)
+                                    .with_raw(raw),
+                            );
+                            if protection.scrubbed() {
+                                frontend_config = frontend_config
+                                    .with_scrub(ScrubConfig::every_ns(config.scrub_interval_ns));
+                            }
+                            let mut frontend =
+                                Frontend::new(Controller::new(controller_config), frontend_config);
+                            let run = frontend.run(&Trace::new());
+                            let detected = planted
+                                .iter()
+                                .filter(|defect| {
+                                    run.telemetry.banks[defect.bank]
+                                        .march
+                                        .failing_cells
+                                        .contains(&defect.victim_cell)
+                                })
+                                .count() as u64;
+                            let march_ops: u64 =
+                                run.telemetry.banks.iter().map(|bank| bank.march.ops).sum();
+                            let test_time_ns = run
+                                .telemetry
+                                .banks
+                                .iter()
+                                .map(|bank| bank.march.busy_time.get() * 1e9)
+                                .fold(0.0, f64::max);
+                            let mismatches: u64 = run
+                                .telemetry
+                                .banks
+                                .iter()
+                                .map(|bank| bank.march.mismatches)
+                                .sum();
+                            let planted_count = planted.len() as u64;
+                            let detection_rate = detected as f64 / planted_count as f64;
+                            let ops_per_cell = algorithm.program().ops_per_cell() as u64;
+                            assert_eq!(
+                                march_ops,
+                                ops_per_cell * cells * config.banks as u64,
+                                "{} must cost exactly {}n",
+                                algorithm.name(),
+                                ops_per_cell
+                            );
+                            assert!(test_time_ns > 0.0, "test time must be charged");
+                            check_coverage(
+                                class,
+                                scheme,
+                                protection,
+                                algorithm,
+                                raw,
+                                detected,
+                                planted_count,
+                            );
+                            rows.push(EscapeRow {
+                                class,
+                                scheme,
+                                protection,
+                                algorithm,
+                                raw,
+                                background,
+                                planted: planted_count,
+                                detected,
+                                detection_rate,
+                                escape_rate: 1.0 - detection_rate,
+                                mismatches,
+                                march_ops,
+                                ops_per_bit: march_ops as f64
+                                    / (cells * config.banks as u64) as f64,
+                                test_time_ns,
+                            });
+                        }
                     }
-                    let mut frontend =
-                        Frontend::new(Controller::new(controller_config), frontend_config);
-                    let run = frontend.run(&Trace::new());
-                    let detected = planted
-                        .iter()
-                        .filter(|defect| {
-                            run.telemetry.banks[defect.bank]
-                                .march
-                                .failing_cells
-                                .contains(&defect.victim_cell)
-                        })
-                        .count() as u64;
-                    let march_ops: u64 =
-                        run.telemetry.banks.iter().map(|bank| bank.march.ops).sum();
-                    let test_time_ns = run
-                        .telemetry
-                        .banks
-                        .iter()
-                        .map(|bank| bank.march.busy_time.get() * 1e9)
-                        .fold(0.0, f64::max);
-                    let mismatches: u64 = run
-                        .telemetry
-                        .banks
-                        .iter()
-                        .map(|bank| bank.march.mismatches)
-                        .sum();
-                    let planted_count = planted.len() as u64;
-                    let detection_rate = detected as f64 / planted_count as f64;
-                    let ops_per_cell = algorithm.program().ops_per_cell() as u64;
-                    assert_eq!(
-                        march_ops,
-                        ops_per_cell * cells * config.banks as u64,
-                        "{} must cost exactly {}n",
-                        algorithm.name(),
-                        ops_per_cell
-                    );
-                    assert!(test_time_ns > 0.0, "test time must be charged");
-                    check_coverage(
-                        class,
-                        scheme,
-                        protection,
-                        algorithm,
-                        detected,
-                        planted_count,
-                    );
-                    rows.push(EscapeRow {
-                        class,
-                        scheme,
-                        protection,
-                        algorithm,
-                        planted: planted_count,
-                        detected,
-                        detection_rate,
-                        escape_rate: 1.0 - detection_rate,
-                        mismatches,
-                        march_ops,
-                        ops_per_bit: march_ops as f64 / (cells * config.banks as u64) as f64,
-                        test_time_ns,
-                    });
                 }
             }
         }
@@ -395,20 +432,23 @@ pub fn run_escape_campaign(config: &MarchCampaignConfig) -> Vec<EscapeRow> {
     rows
 }
 
-/// The asserted slice of the coverage matrix: unprotected banks on the
-/// variation-clean schemes. The conventional scheme's bad-cell floor makes
-/// healthy-cell verdicts noisy (reported, not asserted), and ECC levels
-/// legitimately mask single-cell defects from the tester.
+/// The asserted slice of the coverage matrix: variation-clean schemes at
+/// unprotected banks — or at **any** protection level when the March reads
+/// raw, since bypassing the codec denies ECC the chance to absorb the
+/// defect. The conventional scheme's bad-cell floor makes healthy-cell
+/// verdicts noisy (reported, not asserted), and decoded reads at ECC
+/// levels legitimately mask single-cell defects from the tester.
 fn check_coverage(
     class: FaultClass,
     scheme: SchemeKind,
     protection: Protection,
     algorithm: MarchAlgorithm,
+    raw: bool,
     detected: u64,
     planted: u64,
 ) {
     let clean_scheme = matches!(scheme, SchemeKind::Nondestructive | SchemeKind::Destructive);
-    if !clean_scheme || protection != Protection::None {
+    if !clean_scheme || (protection != Protection::None && !raw) {
         return;
     }
     match (class, algorithm) {
@@ -502,5 +542,55 @@ mod tests {
             .unwrap();
         assert!((c_minus.ops_per_bit - 10.0).abs() < 1e-12);
         assert!((ss.ops_per_bit - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_mode_recovers_coverage_ecc_masks_from_the_tester() {
+        let config = MarchCampaignConfig::date2010()
+            .with_schemes(vec![SchemeKind::Nondestructive])
+            .with_algorithms(vec![MarchAlgorithm::CMinus])
+            .with_classes(vec![FaultClass::StuckAt, FaultClass::Pinhole])
+            .with_raw_modes(vec![false, true]);
+        let rows = run_escape_campaign(&config);
+        // 2 classes × 1 scheme × 3 protections × 1 algorithm × 2 read modes.
+        assert_eq!(rows.len(), 12);
+        for row in &rows {
+            if row.raw {
+                // Bypassing the codec denies ECC the chance to absorb the
+                // defect: full single-cell coverage at every protection
+                // level (asserted inside the sweep too).
+                assert_eq!(row.detection_rate, 1.0, "{row:?}");
+            } else if row.protection != Protection::None {
+                // The decoded word hides what the codec corrects.
+                assert!(
+                    row.detection_rate < 1.0,
+                    "SECDED must mask single-cell defects from decoded reads: {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_background_holds_coverage_at_unprotected_banks() {
+        let config = MarchCampaignConfig::date2010()
+            .with_schemes(vec![SchemeKind::Nondestructive])
+            .with_algorithms(vec![MarchAlgorithm::Ss])
+            .with_classes(vec![FaultClass::StuckAt])
+            .with_backgrounds(DataBackground::ALL.to_vec());
+        let rows = run_escape_campaign(&config);
+        // 1 class × 1 scheme × 3 protections × 1 algorithm × 3 backgrounds.
+        assert_eq!(rows.len(), 9);
+        for background in DataBackground::ALL {
+            let row = rows
+                .iter()
+                .find(|row| row.background == background && row.protection == Protection::None)
+                .unwrap();
+            assert_eq!(
+                row.detection_rate,
+                1.0,
+                "{} background must not cost stuck-at coverage",
+                background.name()
+            );
+        }
     }
 }

@@ -31,7 +31,7 @@ pub use campaign::{
     run_escape_campaign, EscapeRow, FaultClass, MarchCampaignConfig, PlantedDefect,
 };
 pub use program::{
-    march_c_minus, march_ss, AddressOrder, MarchAlgorithm, MarchElement, MarchOp, MarchProgram,
-    MarchStep,
+    march_c_minus, march_ss, AddressOrder, DataBackground, MarchAlgorithm, MarchElement, MarchOp,
+    MarchProgram, MarchStep,
 };
-pub use runner::run_march;
+pub use runner::{run_march, run_march_with};

@@ -63,6 +63,62 @@ pub struct MarchStep {
     pub element: u8,
 }
 
+/// The data background a March run is executed against.
+///
+/// Classic March notation is defined over a *solid* background (`w0`
+/// writes 0 everywhere). Re-reading `0`/`1` as "background value" /
+/// "inverse background value" preserves every detection property of the
+/// algorithm while letting the tester sensitise defects a solid pattern
+/// can't: inter-word coupling faults need neighbouring cells to hold
+/// *opposite* values while the aggressor toggles, which a checkerboard
+/// provides by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataBackground {
+    /// All-zeros base pattern — the textbook lowering.
+    #[default]
+    Solid,
+    /// Physical checkerboard: cell `(row, col)` starts at `(row + col) & 1`,
+    /// so every cell's four physical neighbours hold its complement.
+    Checkerboard,
+    /// `0x55` stripes along the row-major word order: odd cells hold 1 —
+    /// adjacent cells *within a word* alternate, the pattern datasheets
+    /// call a 55/AA sweep.
+    Alt55,
+}
+
+impl DataBackground {
+    /// Every background in the library.
+    pub const ALL: [DataBackground; 3] = [
+        DataBackground::Solid,
+        DataBackground::Checkerboard,
+        DataBackground::Alt55,
+    ];
+
+    /// Display name (CSV-friendly).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DataBackground::Solid => "solid",
+            DataBackground::Checkerboard => "checkerboard",
+            DataBackground::Alt55 => "alt55",
+        }
+    }
+
+    /// The background bit of row-major `cell` on a `cols`-wide array.
+    #[must_use]
+    pub fn bit(self, cell: u32, cols: u32) -> bool {
+        match self {
+            DataBackground::Solid => false,
+            DataBackground::Checkerboard => {
+                let row = cell / cols;
+                let col = cell % cols;
+                (row + col) & 1 == 1
+            }
+            DataBackground::Alt55 => cell & 1 == 1,
+        }
+    }
+}
+
 /// Which March algorithm to run — the `Copy` handle configuration structs
 /// carry; [`MarchAlgorithm::program`] builds the full description.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -164,6 +220,27 @@ impl MarchProgram {
     /// across serial and sharded dispatch.
     #[must_use]
     pub fn lower(&self, cells: u32) -> Vec<MarchStep> {
+        self.lower_with_background(cells, 1, DataBackground::Solid)
+    }
+
+    /// Lowers the program onto a data background: every `0`/`1` in the
+    /// notation is reinterpreted as "background value of the cell" / "its
+    /// complement", i.e. each step's bit is XORed with
+    /// [`DataBackground::bit`]. A [`DataBackground::Solid`] lowering equals
+    /// [`MarchProgram::lower`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero (the checkerboard needs the array's
+    /// physical width).
+    #[must_use]
+    pub fn lower_with_background(
+        &self,
+        cells: u32,
+        cols: u32,
+        background: DataBackground,
+    ) -> Vec<MarchStep> {
+        assert!(cols > 0, "a data background needs a nonzero array width");
         let mut steps = Vec::with_capacity(self.ops_per_cell() * cells as usize);
         for (index, element) in self.elements.iter().enumerate() {
             let element_id = u8::try_from(index).expect("March programs have few elements");
@@ -172,7 +249,12 @@ impl MarchProgram {
                 AddressOrder::Down => Box::new((0..cells).rev()),
             };
             for cell in walk {
+                let base = background.bit(cell, cols);
                 for &op in &element.ops {
+                    let op = match op {
+                        MarchOp::R(expected) => MarchOp::R(expected ^ base),
+                        MarchOp::W(bit) => MarchOp::W(bit ^ base),
+                    };
                     steps.push(MarchStep {
                         cell,
                         op,
@@ -243,6 +325,58 @@ mod tests {
             }
             assert_eq!(found, expect_non_transition, "{}", program.name);
         }
+    }
+
+    #[test]
+    fn solid_background_lowering_is_the_textbook_lowering() {
+        let program = march_c_minus();
+        assert_eq!(
+            program.lower(64),
+            program.lower_with_background(64, 8, DataBackground::Solid)
+        );
+    }
+
+    #[test]
+    fn checkerboard_background_alternates_neighbouring_cells() {
+        // On a 4-wide array, cells 0 and 1 are physical row neighbours and
+        // must start at opposite values; cells 3 and 4 wrap to the next row
+        // (col 3 → col 0) and both land on background 1.
+        let program = march_c_minus();
+        let steps = program.lower_with_background(8, 4, DataBackground::Checkerboard);
+        let init: Vec<MarchOp> = steps[..8].iter().map(|s| s.op).collect();
+        assert_eq!(
+            init,
+            [
+                MarchOp::W(false),
+                MarchOp::W(true),
+                MarchOp::W(false),
+                MarchOp::W(true),
+                MarchOp::W(true),
+                MarchOp::W(false),
+                MarchOp::W(true),
+                MarchOp::W(false),
+            ]
+        );
+        // Reads expect the same XORed pattern: element 1 on cell 1 is
+        // (r0,w1) over background 1 → (r1,w0).
+        let cell1: Vec<MarchOp> = steps
+            .iter()
+            .filter(|s| s.element == 1 && s.cell == 1)
+            .map(|s| s.op)
+            .collect();
+        assert_eq!(cell1, [MarchOp::R(true), MarchOp::W(false)]);
+    }
+
+    #[test]
+    fn alt55_background_follows_cell_parity_not_geometry() {
+        let bg = DataBackground::Alt55;
+        for cols in [1, 4, 64] {
+            assert!(!bg.bit(0, cols));
+            assert!(bg.bit(1, cols));
+            assert!(!bg.bit(2, cols));
+        }
+        assert_eq!(DataBackground::default(), DataBackground::Solid);
+        assert_eq!(DataBackground::ALL.len(), 3);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Drives a lowered March program through every bank of a controller.
 
 use crate::engine::{Controller, Dispatch};
-use crate::march::program::MarchAlgorithm;
+use crate::march::program::{DataBackground, MarchAlgorithm};
 use crate::telemetry::Telemetry;
 
 /// Runs `algorithm` over every bank of `controller` and returns the
@@ -12,6 +12,10 @@ use crate::telemetry::Telemetry;
 /// stream, so [`Dispatch::Serial`] and [`Dispatch::Parallel`] are
 /// bit-identical — the same invariant demand traffic holds.
 ///
+/// Reads go through the bank's host-visible read path (decoded under ECC);
+/// see [`run_march_with`] for the raw-array mode and data-background
+/// sweeps.
+///
 /// # Panics
 ///
 /// Panics if the per-bank capacity exceeds `u32::MAX` cells.
@@ -20,15 +24,44 @@ pub fn run_march(
     algorithm: MarchAlgorithm,
     dispatch: Dispatch,
 ) -> Telemetry {
+    run_march_with(
+        controller,
+        algorithm,
+        DataBackground::Solid,
+        false,
+        dispatch,
+    )
+}
+
+/// [`run_march`] with the tester's knobs exposed: a
+/// [`DataBackground`] the notation's `0`/`1` is lowered against, and a
+/// `raw` mode that bypasses the SECDED codec on reads so single-cell
+/// defects the codec would absorb are observed directly (no effect on
+/// unprotected parts).
+///
+/// # Panics
+///
+/// Panics if the per-bank capacity exceeds `u32::MAX` cells.
+pub fn run_march_with(
+    controller: &mut Controller,
+    algorithm: MarchAlgorithm,
+    background: DataBackground,
+    raw: bool,
+    dispatch: Dispatch,
+) -> Telemetry {
     let faults = controller.config().faults.clone();
     let cells = u32::try_from(controller.config().spec.capacity_bits())
         .expect("bank capacity must fit march cell indices");
-    let steps = algorithm.program().lower(cells);
+    let cols = u32::try_from(controller.config().spec.cols)
+        .expect("bank width must fit march cell indices");
+    let steps = algorithm
+        .program()
+        .lower_with_background(cells, cols, background);
     match dispatch {
         Dispatch::Serial => {
             for bank in controller.banks_mut() {
                 for step in &steps {
-                    bank.execute_march_op(step.cell, step.op, step.element, &faults);
+                    bank.execute_march_op(step.cell, step.op, step.element, raw, &faults);
                 }
             }
         }
@@ -40,7 +73,7 @@ pub fn run_march(
                 for bank in banks.iter_mut() {
                     scope.spawn(move |_| {
                         for step in steps {
-                            bank.execute_march_op(step.cell, step.op, step.element, faults);
+                            bank.execute_march_op(step.cell, step.op, step.element, raw, faults);
                         }
                     });
                 }

@@ -25,9 +25,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::alloc_probe;
 use crate::bank::Bank;
+use crate::calib::CalibConfig;
 use crate::engine::Controller;
 use crate::faults::FaultPlan;
-use crate::march::{MarchAlgorithm, MarchStep};
+use crate::march::{DataBackground, MarchAlgorithm, MarchStep};
 use crate::reliability::ScrubConfig;
 use crate::telemetry::{QueueTelemetry, SojournStats, Telemetry};
 use crate::txn::{Op, Transaction, TxnSource};
@@ -65,13 +66,41 @@ pub enum Backpressure {
 pub struct MarchConfig {
     /// Which March algorithm to run.
     pub algorithm: MarchAlgorithm,
+    /// Data background the notation's `0`/`1` is lowered against
+    /// (defaults to [`DataBackground::Solid`], the textbook lowering).
+    #[serde(default)]
+    pub background: DataBackground,
+    /// Raw-array test mode: March reads bypass the SECDED codec and
+    /// observe the bare cell, so single-cell defects the codec would
+    /// absorb are caught at every protection level. No effect without ECC.
+    #[serde(default)]
+    pub raw: bool,
 }
 
 impl MarchConfig {
-    /// A test pass of `algorithm` over every bank.
+    /// A test pass of `algorithm` over every bank (solid background,
+    /// host-visible reads).
     #[must_use]
     pub fn new(algorithm: MarchAlgorithm) -> Self {
-        Self { algorithm }
+        Self {
+            algorithm,
+            background: DataBackground::Solid,
+            raw: false,
+        }
+    }
+
+    /// Lowers against `background` instead of the solid pattern.
+    #[must_use]
+    pub fn with_background(mut self, background: DataBackground) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Sets the raw-array (codec-bypass) read mode.
+    #[must_use]
+    pub fn with_raw(mut self, raw: bool) -> Self {
+        self.raw = raw;
+        self
     }
 }
 
@@ -94,6 +123,14 @@ pub struct FrontendConfig {
     /// [`PriorityClass::Test`] citizen between demand and scrub.
     #[serde(default)]
     pub march: Option<MarchConfig>,
+    /// Per-bank calibration daemon (see [`CalibConfig`]): a periodic
+    /// [`PriorityClass::Background`] check of each bank's misread /
+    /// retry-exhaustion rate; a tripped check runs a reference-read burst
+    /// and β refit in a lane-idle gap, never delaying or reordering demand.
+    /// Mutually exclusive with the inline daemon
+    /// ([`ControllerConfig::with_calib`](crate::engine::ControllerConfig::with_calib)).
+    #[serde(default)]
+    pub calib: Option<CalibConfig>,
     /// Retain raw per-completion sojourn samples
     /// ([`SojournStats::Exact`]) instead of the default fixed-memory
     /// streaming quantile estimators. Exact mode grows telemetry by one
@@ -114,6 +151,7 @@ impl FrontendConfig {
             backpressure: Backpressure::Stall,
             scrub: None,
             march: None,
+            calib: None,
             exact_sojourn: false,
         }
     }
@@ -137,6 +175,13 @@ impl FrontendConfig {
     #[must_use]
     pub fn with_march(mut self, march: MarchConfig) -> Self {
         self.march = Some(march);
+        self
+    }
+
+    /// Enables the per-bank calibration daemon.
+    #[must_use]
+    pub fn with_calib(mut self, calib: CalibConfig) -> Self {
+        self.calib = Some(calib);
         self
     }
 
@@ -177,6 +222,17 @@ impl FrontendConfig {
                 scrub.interval_ns.is_finite() && scrub.interval_ns > 0.0,
                 "scrub interval must be positive, got {}",
                 scrub.interval_ns
+            );
+        }
+        if let Some(calib) = self.calib {
+            assert!(
+                calib.interval_ns.is_finite() && calib.interval_ns > 0.0,
+                "calibration interval must be positive, got {}",
+                calib.interval_ns
+            );
+            assert!(
+                calib.burst_reads > 0,
+                "a calibration burst needs at least one read"
             );
         }
     }
@@ -399,6 +455,13 @@ enum Event {
     March { bank: usize },
     /// A bank finished an in-flight March-test operation.
     MarchComplete { bank: usize },
+    /// The calibration daemon's periodic tick: evaluate `bank`'s trip
+    /// condition. A check is free; a *tripped* check runs the burst +
+    /// refit and occupies the lane like scrub. Background priority:
+    /// deferred (and counted) when the lane is busy or demand/test waits.
+    Calib { bank: usize },
+    /// A bank finished an in-flight calibration burst.
+    CalibComplete { bank: usize },
 }
 
 /// Run state of the March traffic source: one lowered schedule shared by
@@ -415,15 +478,26 @@ struct MarchSource {
     /// Steps not yet executed across all banks; the scrub daemon stays
     /// alive — and the event loop keeps running — while this is non-zero.
     remaining: usize,
+    /// Raw-array read mode (see [`MarchConfig::raw`]).
+    raw: bool,
 }
 
 impl MarchSource {
-    fn new(config: Option<MarchConfig>, capacity_bits: usize, bank_count: usize) -> Self {
+    fn new(
+        config: Option<MarchConfig>,
+        capacity_bits: usize,
+        cols: usize,
+        bank_count: usize,
+    ) -> Self {
         let steps = match config {
             Some(march) => {
                 let cells = u32::try_from(capacity_bits)
                     .expect("bank capacity must fit March cell indices");
-                march.algorithm.program().lower(cells)
+                let cols = u32::try_from(cols).expect("bank width must fit March cell indices");
+                march
+                    .algorithm
+                    .program()
+                    .lower_with_background(cells, cols, march.background)
             }
             None => Vec::new(),
         };
@@ -432,6 +506,7 @@ impl MarchSource {
             cursor: vec![0; bank_count],
             kicked: vec![false; bank_count],
             steps,
+            raw: config.is_some_and(|march| march.raw),
         }
     }
 
@@ -456,7 +531,7 @@ fn kick_march(
     if !march.waiting(bank) || march.kicked[bank] {
         return;
     }
-    if lane.in_service.is_some() || lane.scrub_busy || lane.march_busy {
+    if lane.in_service.is_some() || lane.scrub_busy || lane.march_busy || lane.calib_busy {
         lane.stats.march_deferred += 1;
         return;
     }
@@ -526,6 +601,11 @@ impl Frontend {
             config.scrub.is_none() || controller.config().ecc.is_enabled(),
             "the scrub daemon requires ECC (see ControllerConfig::with_ecc)"
         );
+        assert!(
+            config.calib.is_none() || controller.config().calib.is_none(),
+            "enable the inline calibration daemon (ControllerConfig::with_calib) or the \
+             frontend daemon (FrontendConfig::with_calib), not both"
+        );
         let banks = controller.config().banks;
         Self {
             controller,
@@ -590,11 +670,13 @@ impl Frontend {
             backpressure,
             scrub,
             march,
+            calib,
             exact_sojourn,
         } = self.config;
         let faults = self.controller.config().faults.clone();
         let bank_count = self.controller.config().banks;
         let capacity_bits = self.controller.config().spec.capacity_bits();
+        let cols = self.controller.config().spec.cols;
         let n = trace.len();
 
         // One validation pass tripling as a monotonicity probe (so the
@@ -639,6 +721,7 @@ impl Frontend {
             && queue_depth == usize::MAX
             && scrub.is_none()
             && march.is_none()
+            && calib.is_none()
             && bank_count <= FAST_PATH_MAX_BANKS;
         // Lane arenas sized to the deepest each queue can get this run (a
         // lane can only ever hold its own bank's transactions); the retry
@@ -687,18 +770,18 @@ impl Frontend {
 
         // In flight at any instant: one fresh arrival, per bank one
         // completion + one scrub tick + one scrub completion + one March
-        // offer or completion, plus at most one re-offer per parked
-        // transaction.
+        // offer or completion + one calibration tick + one calibration
+        // completion, plus at most one re-offer per parked transaction.
         let mut events: EventQueue<Event> =
-            EventQueue::with_capacity(if retrying { n } else { 0 } + 4 * bank_count + 4);
+            EventQueue::with_capacity(if retrying { n } else { 0 } + 6 * bank_count + 4);
         let mut cursor = 0usize;
         let mut stalled: Option<StalledAdmission> = None;
-        // Demand transactions not yet completed or dropped. The scrub
-        // daemon's ticks reschedule themselves only while this (or the
-        // March backlog) is non-zero, so the event loop terminates as soon
-        // as demand and test traffic drain.
+        // Demand transactions not yet completed or dropped. The scrub and
+        // calibration daemons' ticks reschedule themselves only while this
+        // (or the March backlog) is non-zero, so the event loop terminates
+        // as soon as demand and test traffic drain.
         let mut unfinished = n;
-        let mut march = MarchSource::new(march, capacity_bits, bank_count);
+        let mut march = MarchSource::new(march, capacity_bits, cols, bank_count);
 
         schedule_fresh(&mut events, &order, trace, &mut cursor, 0.0);
         for bank in 0..bank_count {
@@ -714,6 +797,13 @@ impl Frontend {
                 }
             }
         }
+        if let Some(calib) = calib {
+            if unfinished > 0 || march.remaining > 0 {
+                for bank in 0..bank_count {
+                    events.schedule(calib.interval_ns, Event::Calib { bank });
+                }
+            }
+        }
 
         let allocs_before = alloc_probe::count();
         while let Some((now, event)) = events.pop() {
@@ -726,6 +816,7 @@ impl Frontend {
                     if lane.in_service.is_none()
                         && !lane.scrub_busy
                         && !lane.march_busy
+                        && !lane.calib_busy
                         && lane.queue.is_empty()
                     {
                         // Idle bank, empty queue: straight into service.
@@ -806,6 +897,7 @@ impl Frontend {
                             if lane.in_service.is_none()
                                 && !lane.scrub_busy
                                 && !lane.march_busy
+                                && !lane.calib_busy
                                 && lane.queue.is_empty()
                             {
                                 lane.stats.admitted += 1;
@@ -838,7 +930,10 @@ impl Frontend {
                     }
                     let interval_ns = scrub.expect("scrub event without scrub config").interval_ns;
                     let lane = &mut lanes[bank];
-                    let busy = lane.in_service.is_some() || lane.scrub_busy || lane.march_busy;
+                    let busy = lane.in_service.is_some()
+                        || lane.scrub_busy
+                        || lane.march_busy
+                        || lane.calib_busy;
                     if busy
                         || policy.arbitrate3(!lane.queue.is_empty(), march.waiting(bank))
                             != PriorityClass::Background
@@ -872,7 +967,10 @@ impl Frontend {
                         continue;
                     }
                     let lane = &mut lanes[bank];
-                    let busy = lane.in_service.is_some() || lane.scrub_busy || lane.march_busy;
+                    let busy = lane.in_service.is_some()
+                        || lane.scrub_busy
+                        || lane.march_busy
+                        || lane.calib_busy;
                     if busy
                         || policy.arbitrate3(!lane.queue.is_empty(), true) != PriorityClass::Test
                     {
@@ -888,7 +986,7 @@ impl Frontend {
                     march.remaining -= 1;
                     let served = &mut banks[bank];
                     let busy_before = served.telemetry().march.busy_time;
-                    served.execute_march_op(step.cell, step.op, step.element, &faults);
+                    served.execute_march_op(step.cell, step.op, step.element, march.raw, &faults);
                     let service_ns = (served.telemetry().march.busy_time - busy_before).get() * 1e9;
                     lane.march_busy = true;
                     events.schedule(now + service_ns, Event::MarchComplete { bank });
@@ -898,6 +996,47 @@ impl Frontend {
                     let lane = &mut lanes[bank];
                     debug_assert!(lane.march_busy, "march completion without march op");
                     lane.march_busy = false;
+                    try_dispatch(lane, &mut banks[bank], &faults, &mut events, policy, now);
+                    wake_parked(lane, &mut events, backpressure, now);
+                    kick_march(&mut march, &mut lanes[bank], &mut events, bank, now);
+                }
+                Event::Calib { bank } => {
+                    // Like the scrub daemon, the calibration daemon dies
+                    // with the demand and test streams.
+                    if unfinished == 0 && march.remaining == 0 {
+                        continue;
+                    }
+                    let config = calib.expect("calibration event without calib config");
+                    let lane = &mut lanes[bank];
+                    let busy = lane.in_service.is_some()
+                        || lane.scrub_busy
+                        || lane.march_busy
+                        || lane.calib_busy;
+                    if busy
+                        || policy.arbitrate3(!lane.queue.is_empty(), march.waiting(bank))
+                            != PriorityClass::Background
+                    {
+                        lane.stats.calib_deferred += 1;
+                    } else {
+                        // A check that does not trip is free (counter
+                        // inspection, no array access); only a tripped
+                        // check — burst + refit — occupies the lane.
+                        let served = &mut banks[bank];
+                        let busy_before = served.telemetry().calib.busy_time;
+                        if served.calibration_tick(&config) {
+                            let service_ns =
+                                (served.telemetry().calib.busy_time - busy_before).get() * 1e9;
+                            lane.calib_busy = true;
+                            events.schedule(now + service_ns, Event::CalibComplete { bank });
+                        }
+                    }
+                    events.schedule(now + config.interval_ns, Event::Calib { bank });
+                }
+                Event::CalibComplete { bank } => {
+                    end_ns = end_ns.max(now);
+                    let lane = &mut lanes[bank];
+                    debug_assert!(lane.calib_busy, "calibration completion without a burst");
+                    lane.calib_busy = false;
                     try_dispatch(lane, &mut banks[bank], &faults, &mut events, policy, now);
                     wake_parked(lane, &mut events, backpressure, now);
                     kick_march(&mut march, &mut lanes[bank], &mut events, bank, now);
@@ -931,6 +1070,10 @@ impl Frontend {
         for lane in &mut lanes {
             debug_assert!(lane.queue.is_empty() && lane.in_service.is_none() && !lane.scrub_busy);
             debug_assert!(!lane.march_busy, "drained loop left a March op in flight");
+            debug_assert!(
+                !lane.calib_busy,
+                "drained loop left a calibration burst in flight"
+            );
             debug_assert!(lane.parked.is_empty(), "drained loop left parked retries");
             lane.flush_occupancy(end_ns);
             lane.stats.horizon_ns = end_ns;
@@ -1246,7 +1389,7 @@ fn try_dispatch(
     policy: Policy,
     now: f64,
 ) {
-    if lane.in_service.is_some() || lane.scrub_busy || lane.march_busy {
+    if lane.in_service.is_some() || lane.scrub_busy || lane.march_busy || lane.calib_busy {
         return;
     }
     let Some(index) = policy.choose(&mut lane.queue) else {
@@ -1564,6 +1707,162 @@ mod tests {
             Controller::new(config),
             FrontendConfig::fcfs_unbounded()
                 .with_backpressure(Backpressure::Retry { delay_ns: 0.0 }),
+        );
+    }
+
+    use crate::calib::CalibConfig as Calib;
+    use crate::faults::{DriftPlan, ThermalTransient};
+
+    /// A 2-bank controller with a standing +60 K hot-spot on bank 0 — the
+    /// same operating point the bank-level calibration tests use: static β
+    /// misreads every stored 1 on bank 0, a refit β restores correctness.
+    fn hot_controller_config() -> ControllerConfig {
+        ControllerConfig::small(SchemeKind::Nondestructive, 2)
+            .with_seed(77)
+            .with_drift(DriftPlan::quiet().with_transient(ThermalTransient {
+                bank: 0,
+                start_ns: 0.0,
+                ramp_ns: 0.0,
+                hold_ns: 1e12,
+                fall_ns: 0.0,
+                amplitude_k: 60.0,
+            }))
+    }
+
+    #[test]
+    fn calibration_daemon_trips_in_idle_gaps_and_recovers_misreads() {
+        let controller_config = hot_controller_config();
+        let trace = timed_trace(&controller_config, 400, 200.0);
+        let static_run = Frontend::new(
+            Controller::new(controller_config.clone()),
+            FrontendConfig::fcfs_unbounded(),
+        )
+        .run(&trace);
+        let calibrated_run = Frontend::new(
+            Controller::new(controller_config),
+            FrontendConfig::fcfs_unbounded().with_calib(Calib::date2010()),
+        )
+        .run(&trace);
+        assert_eq!(calibrated_run.completions.len(), 400);
+        let calibrated = calibrated_run.telemetry.aggregate();
+        let statics = static_run.telemetry.aggregate();
+        assert!(calibrated.calib.trips >= 1, "drifted bank 0 must trip");
+        assert_eq!(calibrated.calib.bursts, calibrated.calib.trips);
+        assert_eq!(calibrated.calib.refits, calibrated.calib.trips);
+        assert!(calibrated.calib.busy_time.get() > 0.0);
+        assert!(
+            calibrated.calib.last_beta > 1.9 && calibrated.calib.last_beta < 2.3,
+            "refit beta near the paper's operating point, got {}",
+            calibrated.calib.last_beta
+        );
+        assert!(
+            calibrated.misreads * 2 < statics.misreads,
+            "the daemon must recover most of the misread rate \
+             (static {}, calibrated {})",
+            statics.misreads,
+            calibrated.misreads
+        );
+    }
+
+    #[test]
+    fn calibration_defers_to_demand_under_saturation() {
+        let controller_config = hot_controller_config();
+        // 1 ns gaps against ~14 ns reads: a demand transaction is always
+        // waiting, so arbitration never grants the calibration class a slot.
+        let trace = timed_trace(&controller_config, 400, 1.0);
+        let run = Frontend::new(
+            Controller::new(controller_config),
+            FrontendConfig::fcfs_unbounded().with_calib(Calib::date2010()),
+        )
+        .run(&trace);
+        let aggregate = run.telemetry.aggregate();
+        assert_eq!(
+            aggregate.queue.completed, 400,
+            "calibration must not lose demand"
+        );
+        assert!(
+            aggregate.queue.calib_deferred > 0,
+            "saturation must defer calibration checks"
+        );
+    }
+
+    #[test]
+    fn calibration_bursts_never_reorder_or_drop_demand() {
+        let controller_config = hot_controller_config();
+        let trace = timed_trace(&controller_config, 400, 200.0);
+        let plain = Frontend::new(
+            Controller::new(controller_config.clone()),
+            FrontendConfig::fcfs_unbounded(),
+        )
+        .run(&trace);
+        let calibrated = Frontend::new(
+            Controller::new(controller_config),
+            FrontendConfig::fcfs_unbounded().with_calib(Calib::date2010()),
+        )
+        .run(&trace);
+        assert_eq!(calibrated.completions.len(), plain.completions.len());
+        // Same transactions served, and within each bank in the same order:
+        // a burst may delay a completion, never displace or drop one.
+        for bank in 0..2 {
+            let order = |run: &SchedRun| {
+                run.completions
+                    .iter()
+                    .filter(|completion| completion.bank == bank)
+                    .map(|completion| completion.trace_index)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                order(&plain),
+                order(&calibrated),
+                "bank {bank}: per-bank demand order must survive bursts"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_on_a_quiet_plan_leaves_demand_bit_identical() {
+        // Process variation leaves a few cells inside the guard band even
+        // without drift, so the daemon may trip — but a quiet-plan refit
+        // lands back on the nominal design, and the burst draws from its
+        // own RNG stream, so demand traffic must be unaffected either way.
+        let controller_config = ControllerConfig::small(SchemeKind::Nondestructive, 2);
+        let trace = timed_trace(&controller_config, 200, 100.0);
+        let mut plain = Frontend::new(
+            Controller::new(controller_config.clone()),
+            FrontendConfig::fcfs_unbounded(),
+        );
+        let mut calibrated = Frontend::new(
+            Controller::new(controller_config),
+            FrontendConfig::fcfs_unbounded().with_calib(Calib::date2010()),
+        );
+        let a = plain.run(&trace);
+        let b = calibrated.run(&trace);
+        let (qa, qb) = (a.telemetry.aggregate(), b.telemetry.aggregate());
+        assert_eq!(qb.queue.completed, 200);
+        assert_eq!(qa.misreads, qb.misreads);
+        assert_eq!(qa.read_retries, qb.read_retries);
+        assert_eq!(
+            plain.controller().stored_state(),
+            calibrated.controller().stored_state(),
+            "calibration bursts are read-only"
+        );
+        if qb.calib.refits > 0 {
+            let drift = (qb.calib.last_beta - 2.1301).abs();
+            assert!(
+                drift < 1e-3,
+                "a quiet-plan refit must land on the nominal beta, got {}",
+                qb.calib.last_beta
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not both")]
+    fn inline_and_frontend_calibration_are_mutually_exclusive() {
+        let config = hot_controller_config().with_calib(Calib::date2010());
+        let _ = Frontend::new(
+            Controller::new(config),
+            FrontendConfig::fcfs_unbounded().with_calib(Calib::date2010()),
         );
     }
 }

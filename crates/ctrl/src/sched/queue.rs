@@ -198,6 +198,9 @@ pub(crate) struct Lane {
     /// A March-test operation occupies the service stage (mutually
     /// exclusive with both of the above; test ops are non-preemptive too).
     pub(crate) march_busy: bool,
+    /// A calibration burst occupies the service stage (mutually exclusive
+    /// with all of the above; a burst is non-preemptive once tripped).
+    pub(crate) calib_busy: bool,
     pub(crate) last_change_ns: f64,
     pub(crate) stats: QueueTelemetry,
     /// Retry-backpressure waitlist (empty except under `Retry`).
@@ -215,6 +218,7 @@ impl Lane {
             in_service: None,
             scrub_busy: false,
             march_busy: false,
+            calib_busy: false,
             last_change_ns: 0.0,
             stats: QueueTelemetry::default(),
             parked: VecDeque::new(),

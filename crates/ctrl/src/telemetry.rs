@@ -333,6 +333,10 @@ pub struct QueueTelemetry {
     /// waiting and yielded (test priority: below demand, above scrub).
     #[serde(default)]
     pub march_deferred: u64,
+    /// Calibration-daemon ticks that found the bank busy or higher-class
+    /// work waiting and yielded (background priority, like scrub).
+    #[serde(default)]
+    pub calib_deferred: u64,
 }
 
 impl QueueTelemetry {
@@ -392,6 +396,7 @@ impl QueueTelemetry {
         self.sojourn.merge(&other.sojourn);
         self.scrub_deferred += other.scrub_deferred;
         self.march_deferred += other.march_deferred;
+        self.calib_deferred += other.calib_deferred;
     }
 }
 
@@ -604,6 +609,45 @@ impl MarchTelemetry {
     }
 }
 
+/// Calibration-daemon counters for one bank, filled only when a
+/// [`CalibConfig`](crate::calib::CalibConfig) is active (all zero
+/// otherwise). The trip → burst → refit protocol is documented in
+/// [`calib`](crate::calib) and DESIGN.md §15.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CalibTelemetry {
+    /// Trip-condition evaluations that crossed the threshold.
+    pub trips: u64,
+    /// Calibration bursts issued (one per trip that reached the bank).
+    pub bursts: u64,
+    /// Reference-cell senses performed across all bursts.
+    pub burst_reads: u64,
+    /// β refits that swapped a new operating point into the read path.
+    pub refits: u64,
+    /// The β the bank's sensing scheme currently runs at (0 until the
+    /// first refit reports one; self-referenced schemes only).
+    pub last_beta: f64,
+    /// Bank-occupancy time spent on calibration bursts. Separate from
+    /// [`BankTelemetry::busy_time`] for the same reason scrub and March
+    /// time are: the demand busy clock doubles as the retention-decay and
+    /// drift clock, and maintenance traffic must not accelerate the drift
+    /// it compensates for.
+    pub busy_time: Seconds,
+}
+
+impl CalibTelemetry {
+    /// Folds another bank's calibration counters into this one.
+    pub fn merge(&mut self, other: &CalibTelemetry) {
+        self.trips += other.trips;
+        self.bursts += other.bursts;
+        self.burst_reads += other.burst_reads;
+        self.refits += other.refits;
+        if other.refits > 0 {
+            self.last_beta = other.last_beta;
+        }
+        self.busy_time += other.busy_time;
+    }
+}
+
 /// Counters for one bank.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BankTelemetry {
@@ -666,6 +710,10 @@ pub struct BankTelemetry {
     /// this bank (all zero otherwise).
     #[serde(default)]
     pub march: MarchTelemetry,
+    /// Calibration-daemon counters, filled only when a calibration config
+    /// is active (all zero otherwise).
+    #[serde(default)]
+    pub calib: CalibTelemetry,
 }
 
 impl BankTelemetry {
@@ -700,6 +748,7 @@ impl BankTelemetry {
             queue: QueueTelemetry::default(),
             ecc: EccTelemetry::default(),
             march: MarchTelemetry::default(),
+            calib: CalibTelemetry::default(),
         }
     }
 
@@ -733,6 +782,7 @@ impl BankTelemetry {
         self.queue.merge(&other.queue);
         self.ecc.merge(&other.ecc);
         self.march.merge(&other.march);
+        self.calib.merge(&other.calib);
     }
 
     /// Misread rate over served reads (0 when no reads ran).

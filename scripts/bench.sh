@@ -29,7 +29,7 @@ iterations="${BENCH_ITERATIONS:-15}"
 records="$(mktemp)"
 trap 'rm -f "$records"' EXIT
 
-for bench in mna_solver trace_engine sched_frontend reliability_codec hierarchy_dispatch march_lowering; do
+for bench in mna_solver trace_engine sched_frontend reliability_codec hierarchy_dispatch march_lowering calib_burst; do
     echo "==> cargo bench -p stt-bench --bench $bench"
     CRITERION_JSON="$records" CRITERION_ITERATIONS="$iterations" \
         cargo bench -p stt-bench --bench "$bench"
@@ -93,6 +93,11 @@ awk -v iterations="$iterations" -v amortization="$amortization" '
         # the restart cost of every escape-campaign sweep cell.
         if ("march_lowering/lower/March C-" in mtxn) {
             printf "  \"march_lower_mops_per_s\": %.3f,\n", mtxn["march_lowering/lower/March C-"]
+        }
+        # One tripped recalibration cycle (reference-read burst + beta
+        # refit), in microseconds: the lane-occupancy cost of the daemon.
+        if (medians["calib/burst_refit"] > 0) {
+            printf "  \"calib_burst_us\": %.3f,\n", medians["calib/burst_refit"] * 1e6
         }
         printf "  \"benches\": [\n"
         for (k = 0; k < count; k++) {

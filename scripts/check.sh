@@ -97,9 +97,20 @@ test -s "$smoke_dir/topology_sweep.csv"
 # Manufacturing-test smoke: the March escape campaign on the trimmed
 # (smoke-sized) matrix. Every textbook coverage guarantee is asserted
 # inside run_escape_campaign, so a non-empty CSV means they all held.
-echo "==> trafficsim --march-sweep smoke"
+echo "==> trafficsim --march-sweep smoke (decoded + raw read modes)"
 cargo run --release -q -p stt-bench --bin trafficsim -- \
     --march-sweep --ops 200 --csv "$smoke_dir" > /dev/null
 test -s "$smoke_dir/march_sweep.csv"
+# The sweep marches every cell in both read modes; raw rows must be there.
+grep -q ",true," "$smoke_dir/march_sweep.csv"
+
+# Thermal-drift smoke: three arms (baseline / hot-static / hot-calibrated)
+# with serial == parallel asserted per arm. The >=10x degradation and <=2x
+# recovery gates only arm at the full --ops 4000; the smoke proves the
+# drift + daemon path end to end.
+echo "==> trafficsim --thermal-sweep smoke"
+cargo run --release -q -p stt-bench --bin trafficsim -- \
+    --thermal-sweep --ops 300 --csv "$smoke_dir" > /dev/null
+test -s "$smoke_dir/thermal_sweep.csv"
 
 echo "all checks passed"

@@ -14,13 +14,18 @@
 //! 4. **The paper's system-level argument** — at the same offered load the
 //!    destructive scheme's restore-inflated 25 ns read queues harder than
 //!    the nondestructive scheme's 14 ns read.
+//! 5. **Drift and recalibration preserve the anchor** — thermal/aging
+//!    drift on the busy clock plus the inline β-recalibration daemon stay
+//!    bit-identical across serial replay, parallel dispatch and the
+//!    frontend (checked as a proptest over transient shapes).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stt_ctrl::{
-    Backpressure, Controller, ControllerConfig, Dispatch, EccMode, FaultPlan, Frontend,
-    FrontendConfig, Policy, QueueTelemetry, ScrubConfig, Trace, Workload,
+    Backpressure, CalibConfig, Controller, ControllerConfig, Dispatch, DriftPlan, EccMode,
+    FaultPlan, Frontend, FrontendConfig, Policy, QueueTelemetry, ScrubConfig, ThermalTransient,
+    Trace, Workload,
 };
 use stt_sense::SchemeKind;
 
@@ -131,6 +136,37 @@ fn fast_path_matches_the_general_event_loop_exactly() {
             "{kind}: telemetry, completions and makespan must be bit-identical"
         );
     }
+}
+
+#[test]
+fn drift_with_inline_calibration_holds_the_anchor_identity() {
+    // A standing hot-spot on bank 0 plus the inline daemon: the trip →
+    // burst → refit loop runs inside each bank, so serial replay, parallel
+    // dispatch and the frontend must all see the identical sequence.
+    let plan = DriftPlan::quiet().with_transient(ThermalTransient {
+        bank: 0,
+        start_ns: 0.0,
+        ramp_ns: 0.0,
+        hold_ns: 1e12,
+        fall_ns: 0.0,
+        amplitude_k: 60.0,
+    });
+    let config = ControllerConfig::small(SchemeKind::Nondestructive, 2)
+        .with_seed(77)
+        .with_drift(plan)
+        .with_calib(CalibConfig::date2010());
+    let trace = timed_trace(&config, Workload::ReadMostly, 1_200, 6.0);
+    let parallel = Controller::new(config.clone()).run(&trace, Dispatch::Parallel);
+    let serial = Controller::new(config.clone()).run(&trace, Dispatch::Serial);
+    assert_eq!(
+        serial, parallel,
+        "calibration must not break bank isolation"
+    );
+    assert!(
+        parallel.aggregate().calib.trips >= 1,
+        "the hot-spot must actually trip the daemon"
+    );
+    assert_anchor_identity(config, &trace);
 }
 
 #[test]
@@ -273,5 +309,44 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Any transient shape (including ramps and cool-downs mid-trace) with
+    /// the inline recalibration daemon stays bit-identical across serial
+    /// replay, parallel dispatch and the event-driven frontend.
+    #[test]
+    fn drift_with_calibration_is_bit_identical_across_dispatch(
+        ops in 1usize..120,
+        gap_ns in 1.0f64..30.0,
+        amplitude_k in 0.0f64..90.0,
+        hold_ns in 50.0f64..2_000.0,
+        seed in 0u64..1_000,
+    ) {
+        let plan = DriftPlan::quiet().with_transient(ThermalTransient {
+            bank: 0,
+            start_ns: 0.0,
+            ramp_ns: 100.0,
+            hold_ns,
+            fall_ns: 200.0,
+            amplitude_k,
+        });
+        let config = ControllerConfig::small(SchemeKind::Nondestructive, 2)
+            .with_seed(seed)
+            .with_drift(plan)
+            .with_calib(CalibConfig::date2010().with_check_reads(16));
+        let trace = Workload::ReadMostly
+            .generate(config.footprint(), ops, &mut StdRng::seed_from_u64(seed))
+            .with_poisson_arrivals(gap_ns, &mut StdRng::seed_from_u64(seed ^ 0xbeef));
+        let serial = Controller::new(config.clone()).run(&trace, Dispatch::Serial);
+        let parallel = Controller::new(config.clone()).run(&trace, Dispatch::Parallel);
+        prop_assert_eq!(&serial, &parallel);
+
+        let mut frontend = Frontend::new(Controller::new(config), FrontendConfig::fcfs_unbounded());
+        let run = frontend.run(&trace);
+        let mut scrubbed = run.telemetry.clone();
+        for bank in &mut scrubbed.banks {
+            bank.queue = QueueTelemetry::default();
+        }
+        prop_assert_eq!(scrubbed, serial);
     }
 }
